@@ -1,0 +1,81 @@
+"""Ablation benches for the design choices the paper calls out.
+
+* Section 3, optimisation 1: prefetching from DRAM/SRAM at transaction
+  arrival (on in the evaluation) vs. waiting for the ordering time.
+* Section 2.2: the initial slack ``S`` ("setting S to a small positive value
+  allows GTs to advance during moderate contention without unduly delaying
+  destination processing"); with no contention modelled, larger slack only
+  delays processing.
+* Scale-invariance of the protocol comparison (the justification for running
+  scaled-down reference streams).
+"""
+
+import pytest
+
+from repro import api
+from repro.analysis.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+WORKLOAD = "oltp"
+
+
+def test_prefetch_optimization_ablation(benchmark, scale):
+    def experiment():
+        enabled = api.run_experiment(workload=WORKLOAD, protocol="ts-snoop",
+                                     network="butterfly", scale=scale,
+                                     prefetch_optimization=True)
+        disabled = api.run_experiment(workload=WORKLOAD, protocol="ts-snoop",
+                                      network="butterfly", scale=scale,
+                                      prefetch_optimization=False)
+        return enabled, disabled
+
+    enabled, disabled = run_once(benchmark, experiment)
+    print()
+    print(format_table(
+        ["prefetch at arrival", "runtime (ns)", "avg miss latency (ns)"],
+        [["on (paper)", enabled.runtime_ns, f"{enabled.average_miss_latency_ns:.0f}"],
+         ["off", disabled.runtime_ns, f"{disabled.average_miss_latency_ns:.0f}"]],
+        title="Ablation — Section 3 optimisation 1"))
+    assert enabled.runtime_ns <= disabled.runtime_ns
+
+
+def test_slack_sensitivity(benchmark, scale):
+    def experiment():
+        return {slack: api.run_experiment(workload=WORKLOAD,
+                                          protocol="ts-snoop",
+                                          network="torus", scale=scale,
+                                          slack=slack)
+                for slack in (0, 2, 4)}
+
+    results = run_once(benchmark, experiment)
+    print()
+    print(format_table(
+        ["slack S", "runtime (ns)", "avg miss latency (ns)"],
+        [[slack, result.runtime_ns, f"{result.average_miss_latency_ns:.0f}"]
+         for slack, result in results.items()],
+        title="Ablation — initial slack (unloaded network)"))
+    assert results[0].runtime_ns <= results[4].runtime_ns
+
+
+def test_protocol_ranking_is_scale_invariant(benchmark, scale):
+    def experiment():
+        small = api.compare_protocols(workload=WORKLOAD, network="butterfly",
+                                      scale=scale * 0.5)
+        large = api.compare_protocols(workload=WORKLOAD, network="butterfly",
+                                      scale=scale)
+        return small, large
+
+    small, large = run_once(benchmark, experiment)
+    rows = []
+    for label, comparison in (("0.5x", small), ("1x", large)):
+        rows.append([label,
+                     f"{comparison.normalized_runtime('dirclassic'):.2f}",
+                     f"{comparison.normalized_runtime('diropt'):.2f}"])
+    print()
+    print(format_table(["scale", "DirClassic / TS", "DirOpt / TS"], rows,
+                       title="Ablation — scale invariance of Figure 3 ratios"))
+    for comparison in (small, large):
+        assert comparison.normalized_runtime("dirclassic") > 1.0
+        assert comparison.normalized_runtime("diropt") > 1.0

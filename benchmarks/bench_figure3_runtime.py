@@ -1,0 +1,33 @@
+"""Figure 3 — normalised runtime, butterfly (left) and torus (right).
+
+For every workload and both networks, runs TS-Snoop, DirClassic and DirOpt
+on identical reference streams and reports runtimes normalised to TS-Snoop.
+The paper's headline: TS-Snoop runs 6-28% (butterfly) / 6-29% (torus) faster
+than the directory protocols, with DSS under DirClassic omitted because it
+exceeded 2x.
+"""
+
+import pytest
+
+from repro.analysis.report import format_figure3
+from repro.analysis.tables import figure3, headline_summary
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("network", ["butterfly", "torus"])
+def test_figure3_normalized_runtime(benchmark, scale, network):
+    comparisons = run_once(benchmark, figure3, network=network, scale=scale)
+    print()
+    print(format_figure3(comparisons, network))
+
+    summary = headline_summary(comparisons, network)
+    low, high = summary.speedup_range()
+    print(f"TS-Snoop is {100 * low:.0f}%-{100 * high:.0f}% faster than the "
+          f"directory protocols on the {network} "
+          f"(paper: 6-28% butterfly, 6-29% torus; DSS/DirClassic omitted)")
+
+    for workload, comparison in comparisons.items():
+        assert comparison.normalized_runtime("dirclassic") > 1.0, workload
+        assert comparison.normalized_runtime("diropt") > 1.0, workload
+    assert low > 0.0

@@ -1,0 +1,36 @@
+"""Figure 4 — normalised link traffic, butterfly (left) and torus (right).
+
+Reports per-link traffic normalised to TS-Snoop, broken down into the
+paper's categories (Data, Request, Nack, Misc.).  The paper's headline:
+TS-Snoop uses 13-43% (butterfly) / 17-37% (torus) more link bandwidth than
+the directory protocols.
+"""
+
+import pytest
+
+from repro.analysis.report import format_figure4
+from repro.analysis.tables import figure4, headline_summary, section5_traffic_bound
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("network", ["butterfly", "torus"])
+def test_figure4_normalized_link_traffic(benchmark, scale, network):
+    comparisons = run_once(benchmark, figure4, network=network, scale=scale)
+    print()
+    print(format_figure4(comparisons, network))
+
+    summary = headline_summary(comparisons, network)
+    low, high = summary.extra_traffic_range()
+    bound = section5_traffic_bound()[network].extra_fraction
+    print(f"TS-Snoop uses {100 * low:.0f}%-{100 * high:.0f}% more link "
+          f"bandwidth than the directory protocols on the {network} "
+          f"(paper: 13-43% butterfly, 17-37% torus; analytic bound "
+          f"{100 * bound:.0f}%)")
+
+    for workload, comparison in comparisons.items():
+        # Directories always use less link bandwidth than broadcast snooping.
+        assert comparison.normalized_traffic("dirclassic") < 1.0, workload
+        assert comparison.normalized_traffic("diropt") < 1.0, workload
+        # And the measured surplus never exceeds the Section 5 upper bound.
+        assert comparison.extra_traffic_of_baseline_over("diropt") <= bound + 0.05

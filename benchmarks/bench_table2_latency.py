@@ -1,0 +1,29 @@
+"""Table 2 — unloaded network timing assumptions.
+
+Regenerates every derived latency of Table 2 from the base parameters
+(Dovh=4, Dswitch=15, Dmem=80, Dcache=25) and checks them against the
+published values.
+"""
+
+from repro.analysis.latency_model import table2_latencies
+from repro.analysis.report import format_table
+from repro.analysis.tables import PAPER_TABLE2
+
+from benchmarks.conftest import run_once
+
+
+def _generate():
+    return table2_latencies()
+
+
+def test_table2_unloaded_latencies(benchmark):
+    rows = run_once(benchmark, _generate)
+    table = []
+    for topology, latencies in rows.items():
+        for metric, value in latencies.as_dict().items():
+            table.append([topology, metric, value, PAPER_TABLE2[topology][metric]])
+    print()
+    print(format_table(["topology", "latency", "measured (ns)", "paper (ns)"],
+                       table, title="Table 2 — unloaded latencies"))
+    for topology, latencies in rows.items():
+        assert latencies.as_dict() == PAPER_TABLE2[topology]

@@ -1,0 +1,35 @@
+"""Table 3 — benchmark characteristics.
+
+Runs all five workload profiles and reports data touched, total misses and
+the cache-to-cache (3-hop) miss fraction next to the paper's values.  The
+absolute miss counts are scaled down (a pure-Python simulator cannot run
+billions of instructions); the fractions are the quantities that must match.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table3
+
+from benchmarks.conftest import run_once
+
+
+def test_table3_benchmark_characteristics(benchmark, scale):
+    rows = run_once(benchmark, table3, scale=scale)
+    table = []
+    for row in rows:
+        table.append([
+            row.workload,
+            f"{row.data_touched_mb:.2f}",
+            f"{row.paper_data_touched_mb:.1f}",
+            row.total_misses,
+            f"{row.paper_misses_millions:.1f}M",
+            f"{row.three_hop_percent:.0f}%",
+            f"{row.paper_three_hop_percent:.0f}%",
+        ])
+    print()
+    print(format_table(
+        ["workload", "data (MB)", "paper (MB)", "misses", "paper misses",
+         "3-hop", "paper 3-hop"],
+        table, title="Table 3 — benchmark characteristics"))
+    for row in rows:
+        assert row.total_misses > 0
+        assert abs(row.three_hop_percent - row.paper_three_hop_percent) < 15

@@ -1,0 +1,53 @@
+"""Section 5 back-of-the-envelope traffic bound.
+
+Regenerates the per-miss byte accounting (384 B vs 240 B on the butterfly),
+the 60% extra-bandwidth bound, its reduction to 33% at 128-byte blocks, and
+the growth of the broadcast cost with system size.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.traffic_model import broadcast_cost_scaling, per_miss_bytes
+from repro.network import make_topology
+from repro.network.torus import TorusTopology
+
+from benchmarks.conftest import run_once
+
+
+def _bound_rows():
+    rows = []
+    for block_bytes in (64, 128):
+        for name in ("butterfly", "torus"):
+            bound = per_miss_bytes(make_topology(name), block_bytes)
+            rows.append([name, block_bytes, bound.snooping_bytes_per_miss,
+                         bound.directory_bytes_per_miss,
+                         f"{100 * bound.extra_fraction:.0f}%"])
+    return rows
+
+
+def test_section5_per_miss_bound(benchmark):
+    rows = run_once(benchmark, _bound_rows)
+    print()
+    print(format_table(
+        ["topology", "block (B)", "snooping B/miss", "directory B/miss",
+         "max extra traffic"],
+        rows, title="Section 5 — per-miss traffic bound"))
+    butterfly_64 = [row for row in rows
+                    if row[0] == "butterfly" and row[1] == 64][0]
+    assert butterfly_64[2] == 384 and butterfly_64[3] == 240
+    butterfly_128 = [row for row in rows
+                     if row[0] == "butterfly" and row[1] == 128][0]
+    assert butterfly_128[4] == "33%"
+
+
+def test_broadcast_cost_grows_with_system_size(benchmark):
+    scaling = run_once(benchmark, broadcast_cost_scaling,
+                       lambda n: TorusTopology.for_endpoints(n),
+                       [4, 8, 16, 64])
+    print()
+    print(format_table(["processors", "max extra traffic"],
+                       [[size, f"{100 * extra:.0f}%"]
+                        for size, extra in scaling.items()],
+                       title="Broadcast cost vs system size (Section 5)"))
+    assert scaling[4] < scaling[16] < scaling[64]

@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and prints it;
+``--benchmark-only`` runs (as in the project README) therefore both time the
+experiment and emit the reproduced numbers.
+
+``REPRO_BENCH_SCALE`` (environment variable, default 0.5) multiplies the
+reference-stream length of every simulated workload, letting CI keep bench
+wall-clock short while full-fidelity runs use 1.0 or larger.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: why the paper omits DSS under DirClassic.
+
+Figure 3's caption notes that DSS results with DirClassic are omitted
+"because runtimes were more than twice as long as those of the other two
+protocols, due, in part, to a large number of nacks."  This example
+reproduces that pathology: the decision-support workload's hot migratory
+records and locks collide at the home directory, DirClassic's busy entries
+NACK the losers, and the retries snowball.
+
+The script runs DSS under all three protocols, prints the NACK/retry volume
+and runtime blow-up, and contrasts it with the well-behaved OLTP workload.
+
+Usage::
+
+    python examples/dss_nack_storm.py [scale]
+"""
+
+import sys
+
+from repro import api
+from repro.analysis.report import format_table
+
+
+def run(workload: str, scale: float):
+    comparison = api.compare_protocols(workload=workload, network="butterfly",
+                                       scale=scale)
+    rows = []
+    for protocol in comparison.protocols():
+        result = comparison.results[protocol]
+        rows.append([
+            workload, protocol,
+            f"{comparison.normalized_runtime(protocol):.2f}",
+            result.nacks, result.retries,
+            f"{result.average_miss_latency_ns:.0f}",
+        ])
+    return comparison, rows
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+
+    dss_comparison, dss_rows = run("dss", scale)
+    _oltp_comparison, oltp_rows = run("oltp", scale)
+
+    print(format_table(
+        ["workload", "protocol", "runtime / TS-Snoop", "NACKs", "retries",
+         "avg miss latency (ns)"],
+        dss_rows + oltp_rows,
+        title="DSS contention versus OLTP (butterfly network)"))
+
+    blowup = dss_comparison.normalized_runtime("dirclassic")
+    print()
+    print(f"DirClassic runs DSS {blowup:.2f}x slower than TS-Snoop; the paper "
+          f"omits this bar from Figure 3 for exceeding 2x.")
+    print("DirOpt, which never NACKs, and TS-Snoop, which has no directory "
+          "to collide at, both stay close to their usual behaviour.")
+
+
+if __name__ == "__main__":
+    main()

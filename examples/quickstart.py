@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: run one commercial workload on all three coherence protocols.
+
+This is the smallest end-to-end use of the library: it simulates the paper's
+16-processor target system running the OLTP (TPC-C-like) workload on the
+butterfly network under TS-Snoop, DirClassic and DirOpt, then prints the
+Figure 3 / Figure 4 style comparison.
+
+Usage::
+
+    python examples/quickstart.py [workload] [network] [scale]
+
+e.g. ``python examples/quickstart.py dss torus 0.5``.
+"""
+
+import sys
+
+from repro import api
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "oltp"
+    network = sys.argv[2] if len(sys.argv) > 2 else "butterfly"
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.4
+
+    print(f"Simulating {workload!r} on the {network} network "
+          f"(scale={scale}) ...")
+    comparison = api.compare_protocols(workload=workload, network=network,
+                                       scale=scale)
+
+    rows = []
+    for protocol in comparison.protocols():
+        result = comparison.results[protocol]
+        rows.append([
+            protocol,
+            result.runtime_ns,
+            f"{comparison.normalized_runtime(protocol):.2f}",
+            result.misses,
+            f"{100 * result.cache_to_cache_fraction:.0f}%",
+            f"{result.per_link_bytes:.0f}",
+            f"{comparison.normalized_traffic(protocol):.2f}",
+            result.nacks,
+        ])
+    print()
+    print(format_table(
+        ["protocol", "runtime (ns)", "norm.", "misses", "cache-to-cache",
+         "bytes/link", "norm.", "NACKs"],
+        rows, title=f"{workload} on {network} (normalised to TS-Snoop)"))
+
+    ts_faster_dirclassic = comparison.speedup_of_baseline_over("dirclassic")
+    ts_faster_diropt = comparison.speedup_of_baseline_over("diropt")
+    extra_traffic = comparison.extra_traffic_of_baseline_over("diropt")
+    print()
+    print(f"TS-Snoop is {100 * ts_faster_dirclassic:.0f}% faster than "
+          f"DirClassic and {100 * ts_faster_diropt:.0f}% faster than DirOpt, "
+          f"while using {100 * extra_traffic:.0f}% more link bandwidth than "
+          f"DirOpt -- the paper's latency-for-bandwidth trade-off.")
+
+
+if __name__ == "__main__":
+    main()

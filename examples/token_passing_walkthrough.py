@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Figure 1 walkthrough: the token-passing switch, step by step.
+
+Replays the paper's Figure 1 example on a standalone 2x2 switch, printing
+the switch state after every step, and then demonstrates the same logical
+time machinery end-to-end on the full 4x4 torus: several processors
+broadcast address transactions at different times, every endpoint receives
+them at different physical times, and every endpoint processes them in the
+identical total order.
+
+Usage::
+
+    python examples/token_passing_walkthrough.py
+"""
+
+from repro.core.timestamp_network import TimestampAddressNetwork
+from repro.core.token_switch import BufferedTransaction, TokenSwitch
+from repro.network import make_topology
+from repro.network.message import Message, MessageKind
+from repro.network.timing import NetworkTiming
+from repro.sim.kernel import Simulator
+
+
+def figure1_walkthrough() -> None:
+    print("=" * 72)
+    print("Figure 1: token passing through a simplified 2x2 switch")
+    print("=" * 72)
+    switch = TokenSwitch("2x2", input_ports=["top", "bottom"],
+                         output_ports=["top", "bottom"], initial_tokens=1)
+    message = BufferedTransaction(payload="msg", slack=1, source=0)
+
+    print("(a) empty buffer; a message with slack 1 arrives on the top input")
+    switch.receive_transaction("top", message)
+    print(f"(b) buffered past one waiting token -> slack is now {message.slack}")
+
+    switch.receive_token("top")
+    switch.receive_token("bottom")
+    print(f"(c) tokens arrive on both inputs -> counters {switch.token_counts}")
+
+    switch.propagate_token()
+    print(f"(d) the switch issues a token on each output; it passes the "
+          f"buffered message -> slack back to {message.slack}, "
+          f"GT now {switch.guarantee_time}")
+
+    copies = switch.release_transaction(message, [("top", 1), ("bottom", 0)])
+    for port, copy in copies:
+        print(f"(e) copy sent on {port!r} carries slack {copy.slack} "
+              f"(the shorter branch gets the delta-D adjustment)")
+    print()
+
+
+def torus_total_order_demo() -> None:
+    print("=" * 72)
+    print("Total order on the 4x4 torus: delivered out of order, processed "
+          "in order")
+    print("=" * 72)
+    topology = make_topology("torus")
+    sim = Simulator()
+    network = TimestampAddressNetwork(sim, topology, NetworkTiming())
+    log = {endpoint: [] for endpoint in topology.endpoints()}
+    for endpoint in topology.endpoints():
+        network.attach(endpoint,
+                       lambda d, e=endpoint: log[e].append(d))
+    network.start()
+
+    injections = [(0, 0), (15, 0), (5, 20), (10, 35)]
+    for index, (source, time) in enumerate(injections):
+        message = Message(MessageKind.GETS, src=source, dst=None, block=index)
+        sim.schedule_at(time, lambda m=message: network.broadcast(m))
+    sim.run(until=3_000)
+
+    print(f"{len(injections)} transactions broadcast from nodes "
+          f"{[src for src, _t in injections]} at times "
+          f"{[t for _src, t in injections]}\n")
+    for endpoint in (0, 5, 15):
+        entries = ", ".join(
+            f"src {d.message.src} (arrived {d.arrival_time} ns, "
+            f"processed {d.ordered_time} ns)"
+            for d in log[endpoint])
+        print(f"endpoint {endpoint:2d}: {entries}")
+    orders = {tuple(d.message.msg_id for d in log[e]) for e in log}
+    print(f"\nidentical processing order at all 16 endpoints: "
+          f"{len(orders) == 1}")
+
+
+if __name__ == "__main__":
+    figure1_walkthrough()
+    torus_total_order_demo()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works on
+environments whose setuptools/wheel toolchain predates PEP 660 editable
+installs (the metadata itself lives in ``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

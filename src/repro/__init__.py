@@ -1,0 +1,28 @@
+"""Timestamp Snooping reproduction library.
+
+Reproduction of Martin et al., "Timestamp Snooping: An Approach for Extending
+SMPs" (ASPLOS 2000).  The package provides:
+
+* ``repro.core`` -- the paper's contribution: a logically-ordered broadcast
+  address network built from token-passing switches and endpoint ordering
+  queues.
+* ``repro.network`` -- interconnect substrate (butterfly and torus topologies,
+  links with traffic accounting, an unordered data network).
+* ``repro.memory`` -- cache arrays, coherence state machinery, MSHRs.
+* ``repro.protocols`` -- TS-Snoop, DirClassic and DirOpt coherence protocols.
+* ``repro.processor`` -- the blocking processor model and consistency checker.
+* ``repro.workloads`` -- synthetic commercial-workload reference generators.
+* ``repro.system`` -- system configuration, builder and simulation runner.
+* ``repro.analysis`` -- closed-form latency/traffic models and report helpers.
+
+Quickstart::
+
+    from repro import api
+    result = api.run_experiment(workload="oltp", protocol="ts-snoop",
+                                network="butterfly")
+    print(result.runtime_ns, result.cache_to_cache_fraction)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

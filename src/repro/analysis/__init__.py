@@ -1,0 +1,55 @@
+"""Closed-form models and report generation for the paper's tables/figures."""
+
+from repro.analysis.latency_model import (
+    LatencyModel,
+    UnloadedLatencies,
+    table2_latencies,
+)
+from repro.analysis.traffic_model import (
+    TrafficBound,
+    per_miss_bytes,
+    traffic_bound,
+)
+from repro.analysis.report import (
+    format_table,
+    normalize,
+    format_figure3,
+    format_figure4,
+)
+from repro.analysis.tables import (
+    table2,
+    table3,
+    figure3,
+    figure4,
+    section5_traffic_bound,
+    headline_summary,
+    HeadlineSummary,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_FIGURE3_SPEEDUP_RANGE,
+    PAPER_FIGURE4_EXTRA_TRAFFIC_RANGE,
+)
+
+__all__ = [
+    "LatencyModel",
+    "UnloadedLatencies",
+    "table2_latencies",
+    "TrafficBound",
+    "per_miss_bytes",
+    "traffic_bound",
+    "format_table",
+    "normalize",
+    "format_figure3",
+    "format_figure4",
+    "table2",
+    "table3",
+    "figure3",
+    "figure4",
+    "section5_traffic_bound",
+    "headline_summary",
+    "HeadlineSummary",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_FIGURE3_SPEEDUP_RANGE",
+    "PAPER_FIGURE4_EXTRA_TRAFFIC_RANGE",
+]

@@ -1,0 +1,84 @@
+"""High-level convenience API.
+
+Most users only need two calls::
+
+    from repro import api
+
+    # One run.
+    result = api.run_experiment(workload="oltp", protocol="ts-snoop",
+                                network="butterfly", scale=0.5)
+
+    # The Figure 3 / Figure 4 comparison for one workload and network.
+    comparison = api.compare_protocols(workload="oltp", network="torus")
+    print(comparison.normalized_runtime("dirclassic"))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.system.builder import build_streams
+from repro.system.config import SystemConfig
+from repro.system.results import ProtocolComparison, RunResult
+from repro.system.simulation import SimulationRunner
+from repro.workloads.profiles import get_profile, workload_names
+
+
+#: Paper order of the protocols in Figures 3 and 4.
+DEFAULT_PROTOCOLS = ("ts-snoop", "dirclassic", "diropt")
+
+
+def run_experiment(workload: str = "oltp", protocol: str = "ts-snoop",
+                   network: str = "butterfly", scale: float = 1.0,
+                   config: Optional[SystemConfig] = None,
+                   **overrides) -> RunResult:
+    """Run one workload on one protocol/network and return its RunResult.
+
+    ``scale`` multiplies the length of the reference streams (1.0 is the
+    library default of a few thousand references per processor).  Additional
+    keyword arguments override :class:`~repro.system.config.SystemConfig`
+    fields, e.g. ``perturbation_replicas=3`` or ``slack=2``.
+    """
+    base = config or SystemConfig()
+    run_config = base.with_options(protocol=protocol, network=network,
+                                   **overrides)
+    profile = get_profile(workload)
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    return SimulationRunner(run_config, profile).run()
+
+
+def compare_protocols(workload: str = "oltp", network: str = "butterfly",
+                      protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+                      scale: float = 1.0,
+                      config: Optional[SystemConfig] = None,
+                      **overrides) -> ProtocolComparison:
+    """Run every protocol on the identical reference streams (Figures 3/4)."""
+    base = config or SystemConfig()
+    profile = get_profile(workload)
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    streams_config = base.with_options(network=network, **overrides)
+    streams = build_streams(profile, streams_config)
+    comparison = ProtocolComparison(workload=profile.name, network=network,
+                                    baseline_protocol=protocols[0])
+    for protocol in protocols:
+        run_config = base.with_options(protocol=protocol, network=network,
+                                       **overrides)
+        result = SimulationRunner(run_config, profile).run(streams)
+        comparison.add(result)
+    return comparison
+
+
+def sweep_workloads(network: str = "butterfly",
+                    workloads: Optional[Iterable[str]] = None,
+                    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+                    scale: float = 1.0,
+                    **overrides) -> Dict[str, ProtocolComparison]:
+    """Figure 3 / Figure 4 data: every workload on one network."""
+    comparisons: Dict[str, ProtocolComparison] = {}
+    for workload in (workloads or workload_names()):
+        comparisons[workload] = compare_protocols(
+            workload=workload, network=network, protocols=protocols,
+            scale=scale, **overrides)
+    return comparisons

@@ -1,0 +1,149 @@
+"""Closed-form model of the timestamp snooping address network.
+
+Full workload runs (millions of simulated nanoseconds) cannot afford to
+simulate every token exchange, and they do not need to: the paper models no
+network contention, so the detailed network's behaviour has a closed form.
+
+For a broadcast injected at physical time ``t`` with slack ``S`` from source
+``s`` over a topology with worst-case broadcast depth ``Dmax``:
+
+* the copy for destination ``d`` *arrives* at
+  ``t + Dovh + arrival_hops(s, d) * Dswitch`` (delivered as fast as the
+  spanning tree allows, without regard to order);
+* every destination may *process* the transaction once its guarantee time
+  reaches the transaction's ordering time, which happens at
+  ``t + Dovh + (Dmax + S) * Dswitch`` (tokens advance one logical hop per
+  switch traversal time);
+* all destinations process all transactions in the same total order because
+  the ordering instant is a global property of the transaction, with ties
+  broken by injection order (itself deterministic).
+
+The class exposes the same interface as
+:class:`~repro.core.timestamp_network.TimestampAddressNetwork` so the
+TS-Snoop protocol can run on either.  Agreement between the two models on
+unloaded latency and ordering is covered by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.timestamp_network import (
+    AddressNetworkInterface,
+    EarlyHandler,
+    OrderedDelivery,
+    OrderedHandler,
+)
+from repro.network.link import TrafficAccountant
+from repro.network.message import Message
+from repro.network.timing import NetworkTiming
+from repro.network.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import PerturbationModel
+
+
+class AnalyticalTimestampNetwork(AddressNetworkInterface):
+    """Unloaded-latency timestamp snooping address network."""
+
+    #: The detailed network's endpoints use a strict release rule: an
+    #: ordering-time-``v`` transaction is processed when the endpoint GT
+    #: reaches ``v + 1``, i.e. one extra token interval after the nominal
+    #: ``Dovh + (Dmax + S) * Dswitch``.  The analytical model adds the same
+    #: interval so both agree on the physical instant of processability.
+    ORDERING_MARGIN = 1
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 timing: Optional[NetworkTiming] = None,
+                 accountant: Optional[TrafficAccountant] = None,
+                 default_slack: int = 0,
+                 perturbation: Optional[PerturbationModel] = None,
+                 name: str = "ts-network-analytic") -> None:
+        super().__init__(sim, name, default_slack)
+        self.topology = topology
+        self.timing = timing or NetworkTiming()
+        self.accountant = accountant
+        self.perturbation = perturbation
+        self._ordered_handlers: Dict[int, OrderedHandler] = {}
+        self._early_handlers: Dict[int, EarlyHandler] = {}
+        self._logical_counter = 0
+
+    # -------------------------------------------------------------- plumbing
+    def attach(self, endpoint: int, ordered_handler: OrderedHandler,
+               early_handler: Optional[EarlyHandler] = None) -> None:
+        if not 0 <= endpoint < self.topology.num_endpoints:
+            raise ValueError(f"endpoint {endpoint} out of range")
+        self._ordered_handlers[endpoint] = ordered_handler
+        if early_handler is not None:
+            self._early_handlers[endpoint] = early_handler
+
+    # ------------------------------------------------------------- broadcast
+    def broadcast(self, message: Message, slack: Optional[int] = None) -> None:
+        if slack is None:
+            slack = self.default_slack
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        source = message.src
+        message.sent_at = self.now
+        tree = self.topology.broadcast_tree(source)
+        if self.accountant is not None:
+            self.accountant.record(message, tree.link_count())
+        self.stats.counter("broadcasts").increment()
+
+        jitter = 0
+        if self.perturbation is not None and self.perturbation.enabled:
+            jitter = self.perturbation.response_delay()
+
+        ordered_delay = (self.timing.ordering_latency(
+            tree.depth, slack + self.ORDERING_MARGIN) + jitter)
+        ordered_time = self.now + ordered_delay
+        self._logical_counter += 1
+        logical_time = self._logical_counter
+        injected_at = self.now
+
+        # Early ("peek") deliveries are only scheduled for endpoints that
+        # asked for them; the arrival time itself is also carried in the
+        # ordered delivery so controllers can model the prefetch optimisation
+        # without a separate event.
+        for endpoint, early in self._early_handlers.items():
+            arrival_delay = (self.timing.overhead_ns
+                             + tree.arrival_hops[endpoint] * self.timing.switch_ns)
+            self.schedule(arrival_delay,
+                          lambda e=early, m=message, t=injected_at + arrival_delay: e(m, t),
+                          label="early")
+
+        # All endpoints become able to process the transaction at the same
+        # physical instant; one event fans out to every attached handler in
+        # endpoint order.  Transactions whose ordering instants coincide are
+        # tie-broken by source id (the event priority), exactly as the
+        # detailed token network and the paper's Section 2.2 prescribe.
+        self.schedule(ordered_delay,
+                      lambda: self._deliver_ordered(message, tree, injected_at,
+                                                    ordered_time, logical_time),
+                      priority=message.src,
+                      label="ordered")
+        self.stats.counter("deliveries").increment(self.topology.num_endpoints)
+
+    def _deliver_ordered(self, message: Message, tree, injected_at: int,
+                         ordered_time: int, logical_time: int) -> None:
+        for endpoint in self.topology.endpoints():
+            handler = self._ordered_handlers.get(endpoint)
+            if handler is None:
+                continue
+            arrival_time = (injected_at + self.timing.overhead_ns
+                            + tree.arrival_hops[endpoint] * self.timing.switch_ns)
+            handler(OrderedDelivery(message=message, endpoint=endpoint,
+                                    arrival_time=arrival_time,
+                                    ordered_time=ordered_time,
+                                    logical_time=logical_time))
+
+    # ------------------------------------------------------------- inspection
+    def ordering_latency(self, slack: Optional[int] = None) -> int:
+        """Physical delay from injection to global processability."""
+        if slack is None:
+            slack = self.default_slack
+        return self.timing.ordering_latency(self.topology.max_hops,
+                                            slack + self.ORDERING_MARGIN)
+
+    def arrival_latency(self, src: int, dst: int) -> int:
+        hops = self.topology.broadcast_arrival_hops(src, dst)
+        return self.timing.overhead_ns + hops * self.timing.switch_ns

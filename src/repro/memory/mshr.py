@@ -1,0 +1,96 @@
+"""Miss Status Holding Registers (transaction buffers).
+
+Cache and memory controllers track in-flight coherence transactions here.
+The paper assumes up to 8 outstanding transactions per processor when sizing
+endpoint buffering (Section 2.2, "Buffering"); our processor model is
+blocking (at most one outstanding demand miss), but writebacks and protocol
+races still require multiple simultaneous entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class MSHRFullError(RuntimeError):
+    """Raised when a controller tries to exceed its outstanding-miss limit."""
+
+
+@dataclass
+class MSHREntry:
+    """State of one in-flight transaction for a single block."""
+
+    block: int
+    kind: str                       # e.g. "GETS", "GETM", "UPGRADE", "PUTM"
+    issue_time: int
+    requester: int
+    transient_state: str = "pending"
+    acks_expected: int = 0
+    acks_received: int = 0
+    data_received: bool = False
+    ordered: bool = False           # TS-Snoop: own transaction seen in order
+    retries: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_acks_received(self) -> bool:
+        return self.acks_received >= self.acks_expected
+
+    @property
+    def complete(self) -> bool:
+        """A demand miss is complete once data and all acks have arrived."""
+        return self.data_received and self.all_acks_received
+
+
+class MSHRFile:
+    """A bounded set of MSHR entries indexed by block number."""
+
+    def __init__(self, capacity: int = 16, name: str = "mshr") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._entries: Dict[int, MSHREntry] = {}
+        self.peak_occupancy = 0
+        self.total_allocations = 0
+
+    # ------------------------------------------------------------ life cycle
+    def allocate(self, block: int, kind: str, issue_time: int,
+                 requester: int) -> MSHREntry:
+        if block in self._entries:
+            raise ValueError(f"{self.name}: block {block} already in flight")
+        if len(self._entries) >= self.capacity:
+            raise MSHRFullError(
+                f"{self.name}: all {self.capacity} MSHRs in use")
+        entry = MSHREntry(block=block, kind=kind, issue_time=issue_time,
+                          requester=requester)
+        self._entries[block] = entry
+        self.total_allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def release(self, block: int) -> MSHREntry:
+        if block not in self._entries:
+            raise KeyError(f"{self.name}: no in-flight entry for block {block}")
+        return self._entries.pop(block)
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, block: int) -> Optional[MSHREntry]:
+        return self._entries.get(block)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def entries(self) -> List[MSHREntry]:
+        return list(self._entries.values())
+
+    def blocks_in_flight(self) -> List[int]:
+        return list(self._entries.keys())

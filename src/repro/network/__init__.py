@@ -1,0 +1,50 @@
+"""Interconnect substrate.
+
+Provides the two evaluated topologies (four radix-4 butterflies and a 4x4
+bidirectional torus), message/packet definitions with the paper's byte
+accounting (72-byte data messages, 8-byte address/control messages), per-link
+traffic accounting for Figure 4, an unordered point-to-point data network and
+the virtual networks used by the directory protocols.
+"""
+
+from repro.network.message import Message, MessageKind, TrafficCategory
+from repro.network.topology import Topology, BroadcastTree
+from repro.network.butterfly import ButterflyTopology
+from repro.network.torus import TorusTopology
+from repro.network.routing import build_torus_broadcast_tree, delta_d_table
+from repro.network.link import Link, TrafficAccountant
+from repro.network.data_network import DataNetwork
+from repro.network.virtual_network import (
+    VirtualNetwork,
+    PointToPointOrderedNetwork,
+)
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "TrafficCategory",
+    "Topology",
+    "BroadcastTree",
+    "ButterflyTopology",
+    "TorusTopology",
+    "build_torus_broadcast_tree",
+    "delta_d_table",
+    "Link",
+    "TrafficAccountant",
+    "DataNetwork",
+    "VirtualNetwork",
+    "PointToPointOrderedNetwork",
+]
+
+
+def make_topology(name: str, num_endpoints: int = 16) -> Topology:
+    """Factory for the two evaluated topologies by name.
+
+    ``name`` is one of ``"butterfly"`` or ``"torus"`` (case-insensitive).
+    """
+    key = name.strip().lower()
+    if key in ("butterfly", "bfly", "indirect"):
+        return ButterflyTopology(num_endpoints=num_endpoints)
+    if key in ("torus", "2d-torus", "direct"):
+        return TorusTopology.for_endpoints(num_endpoints)
+    raise ValueError(f"unknown topology {name!r}; expected 'butterfly' or 'torus'")

@@ -1,0 +1,96 @@
+"""Unordered point-to-point data network.
+
+Section 2: "The data network must reliably deliver data messages to a single
+destination, but it can do so without regard for order."  The directory
+protocols' unordered request and response virtual networks reuse the same
+machinery (see :mod:`repro.network.virtual_network`).
+
+The performance model is the paper's: unloaded latencies only, computed from
+the topology hop count, plus the optional perturbation delay of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.network.link import TrafficAccountant
+from repro.network.message import Message
+from repro.network.timing import NetworkTiming
+from repro.network.topology import Topology
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import PerturbationModel
+
+
+DeliveryCallback = Callable[[Message], None]
+
+
+class DataNetwork(Component):
+    """Delivers unicast messages after the unloaded topology latency.
+
+    Receivers register a per-node handler with :meth:`attach`; a sender may
+    also pass an explicit ``on_deliver`` callback (used by tests and by
+    simple point-to-point examples).
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 timing: NetworkTiming, accountant: TrafficAccountant,
+                 perturbation: Optional[PerturbationModel] = None,
+                 name: str = "data-network") -> None:
+        super().__init__(sim, name)
+        self.topology = topology
+        self.timing = timing
+        self.accountant = accountant
+        self.perturbation = perturbation
+        self._receivers: dict[int, DeliveryCallback] = {}
+
+    # -------------------------------------------------------------- receivers
+    def attach(self, node: int, handler: DeliveryCallback) -> None:
+        """Register the delivery handler for endpoint ``node``."""
+        self._receivers[node] = handler
+
+    def _handler_for(self, message: Message,
+                     on_deliver: Optional[DeliveryCallback]) -> DeliveryCallback:
+        if on_deliver is not None:
+            return on_deliver
+        handler = self._receivers.get(message.dst)
+        if handler is None:
+            raise ValueError(
+                f"{self.name}: no receiver attached for node {message.dst}")
+        return handler
+
+    # ----------------------------------------------------------------- sends
+    def send(self, message: Message,
+             on_deliver: Optional[DeliveryCallback] = None) -> int:
+        """Send ``message``; returns the absolute delivery time.
+
+        Delivery goes to the handler registered for ``message.dst`` (or the
+        explicit ``on_deliver`` override).  Messages whose source and
+        destination are the same node are delivered locally (zero link
+        traversals).
+        """
+        if message.dst is None:
+            raise ValueError("the data network only carries unicast messages")
+        handler = self._handler_for(message, on_deliver)
+        message.sent_at = self.now
+        latency, traversals = self._latency_and_traversals(message.src, message.dst)
+        if self.perturbation is not None and self.perturbation.enabled:
+            latency += self.perturbation.response_delay()
+        self.accountant.record(message, traversals)
+        self.stats.counter("messages").increment()
+        self.stats.counter("bytes").increment(message.size_bytes)
+        delivery_time = self.now + latency
+        self.schedule(latency, lambda: handler(message),
+                      label=f"deliver:{message.kind.label}")
+        return delivery_time
+
+    def latency(self, src: int, dst: int) -> int:
+        """Unloaded latency between two endpoints (no perturbation)."""
+        return self._latency_and_traversals(src, dst)[0]
+
+    # --------------------------------------------------------------- helpers
+    def _latency_and_traversals(self, src: int, dst: int) -> tuple[int, int]:
+        if src == dst:
+            return self.timing.local_delivery_ns, 0
+        hops = self.topology.hop_count(src, dst)
+        return self.timing.one_way_latency(hops), hops

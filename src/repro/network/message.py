@@ -1,0 +1,114 @@
+"""Coherence messages and their byte/traffic accounting.
+
+Figure 4 of the paper assumes 72-byte data messages (a 64-byte block plus
+header) and 8-byte non-data messages, and splits link traffic into four
+categories: Data, Request, Nack and Misc (forwards, invalidations,
+acknowledgments).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+
+DATA_MESSAGE_BYTES = 72
+CONTROL_MESSAGE_BYTES = 8
+
+
+class TrafficCategory(str, Enum):
+    """Link-traffic categories used in Figure 4."""
+
+    DATA = "Data"
+    REQUEST = "Request"
+    NACK = "Nack"
+    MISC = "Misc."
+
+
+class MessageKind(Enum):
+    """Every message type exchanged by the three protocols."""
+
+    # Address/request messages (broadcast for TS-Snoop, unicast to home for
+    # the directory protocols).
+    GETS = ("GETS", TrafficCategory.REQUEST, CONTROL_MESSAGE_BYTES)
+    GETM = ("GETM", TrafficCategory.REQUEST, CONTROL_MESSAGE_BYTES)
+    UPGRADE = ("UPGRADE", TrafficCategory.REQUEST, CONTROL_MESSAGE_BYTES)
+    PUTM = ("PUTM", TrafficCategory.REQUEST, CONTROL_MESSAGE_BYTES)
+
+    # Data-carrying messages.
+    DATA = ("DATA", TrafficCategory.DATA, DATA_MESSAGE_BYTES)
+    DATA_EXCLUSIVE = ("DATA_EXCLUSIVE", TrafficCategory.DATA, DATA_MESSAGE_BYTES)
+    WRITEBACK_DATA = ("WRITEBACK_DATA", TrafficCategory.DATA, DATA_MESSAGE_BYTES)
+
+    # Directory-protocol control messages.
+    FORWARD_GETS = ("FORWARD_GETS", TrafficCategory.MISC, CONTROL_MESSAGE_BYTES)
+    FORWARD_GETM = ("FORWARD_GETM", TrafficCategory.MISC, CONTROL_MESSAGE_BYTES)
+    INVALIDATE = ("INVALIDATE", TrafficCategory.MISC, CONTROL_MESSAGE_BYTES)
+    INV_ACK = ("INV_ACK", TrafficCategory.MISC, CONTROL_MESSAGE_BYTES)
+    WRITEBACK_ACK = ("WRITEBACK_ACK", TrafficCategory.MISC, CONTROL_MESSAGE_BYTES)
+    TRANSFER = ("TRANSFER", TrafficCategory.MISC, CONTROL_MESSAGE_BYTES)
+    NACK = ("NACK", TrafficCategory.NACK, CONTROL_MESSAGE_BYTES)
+
+    # Token used by the timestamp network (piggybacked; a couple of bits in
+    # practice, so it is not charged any link bytes).
+    TOKEN = ("TOKEN", TrafficCategory.MISC, 0)
+
+    def __init__(self, label: str, category: TrafficCategory,
+                 size_bytes: int) -> None:
+        self.label = label
+        self.category = category
+        self.size_bytes = size_bytes
+
+    @property
+    def is_data(self) -> bool:
+        return self.category is TrafficCategory.DATA
+
+    @property
+    def is_request(self) -> bool:
+        return self.category is TrafficCategory.REQUEST
+
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One protocol message.
+
+    ``dst`` is ``None`` for broadcast address transactions (TS-Snoop); every
+    other message is a unicast.  ``payload`` carries protocol-specific fields
+    (e.g. ack counts, version tokens) without subclassing.
+    """
+
+    kind: MessageKind
+    src: int
+    dst: Optional[int]
+    block: int
+    sent_at: int = 0
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.kind.size_bytes
+
+    @property
+    def category(self) -> TrafficCategory:
+        return self.kind.category
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst is None
+
+    def reply(self, kind: MessageKind, src: int, *,
+              sent_at: int = 0, **payload: Any) -> "Message":
+        """Build a unicast reply to this message's sender."""
+        return Message(kind=kind, src=src, dst=self.src, block=self.block,
+                       sent_at=sent_at, payload=dict(payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = "broadcast" if self.dst is None else f"n{self.dst}"
+        return (f"<{self.kind.label} #{self.msg_id} n{self.src}->{target} "
+                f"block={self.block}>")

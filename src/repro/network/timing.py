@@ -1,0 +1,43 @@
+"""Network timing parameters (the ``D*`` latencies of Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkTiming:
+    """Unloaded per-hop latencies.
+
+    ``overhead_ns`` is the time to enter/exit the network (``Dovh``),
+    ``switch_ns`` the per-link/switch traversal time (``Dswitch``, which the
+    paper defines to include wire propagation, synchronisation and routing),
+    and ``local_delivery_ns`` the latency of a message whose source and
+    destination are the same node (it never enters the network).
+    """
+
+    overhead_ns: int = 4
+    switch_ns: int = 15
+    local_delivery_ns: int = 0
+
+    def one_way_latency(self, hops: int) -> int:
+        """``Dnet`` for a path of ``hops`` link traversals."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        return self.overhead_ns + hops * self.switch_ns
+
+    def ordering_latency(self, max_hops: int, slack: int) -> int:
+        """Physical time for a transaction's ordering time to be reached.
+
+        An address transaction injected with slack ``S`` has
+        ``OT = GT_source + Dmax + S`` (Section 2.2); with tokens advancing one
+        logical hop per switch traversal time this corresponds to
+        ``Dovh + (Dmax + S) * Dswitch`` nanoseconds after injection.
+        """
+        if max_hops < 0 or slack < 0:
+            raise ValueError("max_hops and slack must be non-negative")
+        return self.overhead_ns + (max_hops + slack) * self.switch_ns
+
+
+#: Timing used throughout the paper's evaluation (Table 2).
+PAPER_TIMING = NetworkTiming(overhead_ns=4, switch_ns=15, local_delivery_ns=0)

@@ -1,0 +1,75 @@
+"""Virtual networks for the directory protocols.
+
+Section 4.2: "The directory protocols use three virtual networks: an
+unordered request network, a network for requests forwarded by the directory
+to processors, and an unordered network for responses [...].  The forwarded
+request virtual network is unordered for DirClassic and point-to-point
+ordered for DirOpt."
+
+Both classes share one :class:`~repro.network.link.TrafficAccountant`: the
+paper charges all virtual networks to the same physical links.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.network.data_network import DataNetwork, DeliveryCallback
+from repro.network.link import TrafficAccountant
+from repro.network.message import Message
+from repro.network.timing import NetworkTiming
+from repro.network.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import PerturbationModel
+
+
+class VirtualNetwork(DataNetwork):
+    """An unordered virtual network (plain unicast delivery)."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 timing: NetworkTiming, accountant: TrafficAccountant,
+                 perturbation: Optional[PerturbationModel] = None,
+                 name: str = "vnet") -> None:
+        super().__init__(sim, topology, timing, accountant,
+                         perturbation=perturbation, name=name)
+
+
+class PointToPointOrderedNetwork(VirtualNetwork):
+    """A virtual network that preserves per (src, dst) pair FIFO order.
+
+    DirOpt relies on this property for its forwarded-request network so that
+    it can avoid NACKs: two forwards from the same directory to the same
+    cache are observed in the order the directory sent them.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 timing: NetworkTiming, accountant: TrafficAccountant,
+                 perturbation: Optional[PerturbationModel] = None,
+                 name: str = "ordered-vnet") -> None:
+        super().__init__(sim, topology, timing, accountant,
+                         perturbation=perturbation, name=name)
+        self._last_delivery: Dict[Tuple[int, int], int] = {}
+
+    def send(self, message: Message,
+             on_deliver: Optional[DeliveryCallback] = None) -> int:
+        if message.dst is None:
+            raise ValueError("virtual networks only carry unicast messages")
+        handler = self._handler_for(message, on_deliver)
+        message.sent_at = self.now
+        latency, traversals = self._latency_and_traversals(message.src, message.dst)
+        if self.perturbation is not None and self.perturbation.enabled:
+            latency += self.perturbation.response_delay()
+        self.accountant.record(message, traversals)
+        self.stats.counter("messages").increment()
+        self.stats.counter("bytes").increment(message.size_bytes)
+
+        pair = (message.src, message.dst)
+        natural_delivery = self.now + latency
+        ordered_delivery = max(natural_delivery,
+                               self._last_delivery.get(pair, 0))
+        if ordered_delivery > natural_delivery:
+            self.stats.counter("ordering_stalls").increment()
+        self._last_delivery[pair] = ordered_delivery
+        self.schedule_at(ordered_delivery, lambda: handler(message),
+                         label=f"deliver:{message.kind.label}")
+        return ordered_delivery

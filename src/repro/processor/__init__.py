@@ -1,0 +1,11 @@
+"""Processor model and memory-consistency checking."""
+
+from repro.processor.processor import Processor, ProcessorConfig
+from repro.processor.consistency import CoherenceChecker, check_swmr_invariant
+
+__all__ = [
+    "Processor",
+    "ProcessorConfig",
+    "CoherenceChecker",
+    "check_swmr_invariant",
+]

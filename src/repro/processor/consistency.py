@@ -1,0 +1,127 @@
+"""Coherence / consistency checking.
+
+The paper leans on formal work (Sorin et al.; Afek et al.) showing that
+snooping correctness depends only on the order in which transactions are
+processed.  Our simulator carries a per-block *version* token through every
+data message; the checker uses those tokens to detect coherence violations
+during test runs:
+
+* **write serialisation** -- versions written to a block must be strictly
+  increasing in completion order (two caches believing they both own a block
+  produce duplicate or decreasing versions);
+* **no stale reads going backward** -- a given processor must never observe
+  a block's version moving backward;
+* **no reads from the future** -- a read can only return a version some
+  write has produced.
+
+A separate helper, :func:`check_swmr_invariant`, inspects the stable cache
+states directly and asserts the single-writer / multiple-reader property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.memory.coherence import CacheState
+
+
+@dataclass
+class Violation:
+    """One detected coherence violation."""
+
+    kind: str
+    block: int
+    node: int
+    detail: str
+    time: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"[{self.kind}] block {self.block} node {self.node} "
+                f"at t={self.time}: {self.detail}")
+
+
+class CoherenceChecker:
+    """Collects read/write observations and flags violations."""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self._latest_write: Dict[int, int] = {}
+        self._writes_seen: Dict[int, List[Tuple[int, int, int]]] = {}
+        self._last_read_version: Dict[Tuple[int, int], int] = {}
+        self.writes_recorded = 0
+        self.reads_recorded = 0
+
+    # -------------------------------------------------------------- recording
+    def record_write(self, node: int, block: int, version: int,
+                     time: int) -> None:
+        self.writes_recorded += 1
+        previous = self._latest_write.get(block, 0)
+        if version <= previous:
+            self.violations.append(Violation(
+                kind="write-serialisation", block=block, node=node, time=time,
+                detail=(f"wrote version {version} but version {previous} "
+                        f"was already written")))
+        self._latest_write[block] = max(previous, version)
+        self._writes_seen.setdefault(block, []).append((time, node, version))
+
+    def record_read(self, node: int, block: int, version: int,
+                    time: int) -> None:
+        self.reads_recorded += 1
+        latest = self._latest_write.get(block, 0)
+        if version > latest:
+            self.violations.append(Violation(
+                kind="read-from-future", block=block, node=node, time=time,
+                detail=f"read version {version}, newest write is {latest}"))
+        key = (node, block)
+        previous = self._last_read_version.get(key, 0)
+        if version < previous:
+            self.violations.append(Violation(
+                kind="read-went-backward", block=block, node=node, time=time,
+                detail=f"read version {version} after having read {previous}"))
+        self._last_read_version[key] = max(previous, version)
+
+    # -------------------------------------------------------------- reporting
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            summary = "\n".join(str(v) for v in self.violations[:20])
+            raise AssertionError(
+                f"{len(self.violations)} coherence violations detected:\n{summary}")
+
+    def writes_to(self, block: int) -> List[Tuple[int, int, int]]:
+        return list(self._writes_seen.get(block, []))
+
+
+def check_swmr_invariant(controllers: Iterable) -> List[str]:
+    """Check the single-writer / multiple-reader invariant on stable states.
+
+    ``controllers`` is any iterable of objects exposing a ``cache``
+    (CacheArray) attribute.  Returns a list of human-readable violations
+    (empty when the invariant holds).  Only *stable* states are examined, so
+    this should be called when the system is quiescent (no in-flight
+    transactions), as the integration tests do.
+    """
+    holders: Dict[int, List[Tuple[int, CacheState]]] = {}
+    for index, controller in enumerate(controllers):
+        for block in controller.cache.resident_blocks():
+            state = controller.cache.state_of(block)
+            holders.setdefault(block, []).append((index, state))
+
+    problems: List[str] = []
+    for block, entries in holders.items():
+        modified = [node for node, state in entries
+                    if state in (CacheState.MODIFIED, CacheState.EXCLUSIVE)]
+        shared = [node for node, state in entries
+                  if state in (CacheState.SHARED, CacheState.OWNED)]
+        if len(modified) > 1:
+            problems.append(
+                f"block {block}: multiple writers {sorted(modified)}")
+        if modified and shared:
+            problems.append(
+                f"block {block}: writer {modified} coexists with sharers "
+                f"{sorted(shared)}")
+    return problems

@@ -1,0 +1,126 @@
+"""The blocking processor model (Section 4.3, "Processor Model").
+
+The paper approximates "a processor core and level one caches that execute 4
+billion instructions per second and generate blocking requests to the level
+two data cache".  We do exactly the same: each processor executes
+instructions at a fixed rate between its level-two references and blocks on
+every reference until the cache controller reports completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.memory.coherence import AccessType
+from repro.protocols.base import CacheControllerBase
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.workloads.generator import Reference
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Per-processor execution parameters.
+
+    ``instructions_per_ns`` is 4 in the paper (e.g. a 1 GHz, IPC-4 core or a
+    2 GHz, IPC-2 core with a perfect memory system above the L2).
+    """
+
+    instructions_per_ns: int = 4
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_ns <= 0:
+            raise ValueError("instructions_per_ns must be positive")
+
+    def compute_time(self, instructions: int) -> int:
+        """Nanoseconds needed to execute ``instructions`` between references."""
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        return (instructions + self.instructions_per_ns - 1) // self.instructions_per_ns
+
+
+class Processor(Component):
+    """An in-order core that blocks on every L2 reference."""
+
+    def __init__(self, sim: Simulator, node: int,
+                 controller: CacheControllerBase,
+                 stream: Iterator[Reference],
+                 config: Optional[ProcessorConfig] = None,
+                 on_finish: Optional[Callable[["Processor"], None]] = None,
+                 on_phase: Optional[Callable[["Processor"], None]] = None,
+                 phase_boundary: Optional[int] = None) -> None:
+        super().__init__(sim, f"cpu{node}")
+        self.node = node
+        self.controller = controller
+        self.config = config or ProcessorConfig()
+        self._stream = stream
+        self._on_finish = on_finish
+        self._on_phase = on_phase
+        self._phase_boundary = phase_boundary
+        self.instructions_executed = 0
+        self.references_issued = 0
+        self.finished = False
+        self.finish_time: Optional[int] = None
+        self._started = False
+        self._stalled_at_phase = False
+        self._phase_passed = False
+
+    # ------------------------------------------------------------------ run
+    def start(self) -> None:
+        """Begin executing the reference stream."""
+        if self._started:
+            raise RuntimeError(f"{self.name} started twice")
+        self._started = True
+        self.schedule(0, self._next_reference, label="start")
+
+    def resume(self) -> None:
+        """Continue past a phase barrier (see ``phase_boundary``)."""
+        if not self._stalled_at_phase:
+            return
+        self._stalled_at_phase = False
+        self._phase_passed = True
+        self.schedule(0, self._next_reference, label="resume")
+
+    def _next_reference(self) -> None:
+        if (self._phase_boundary is not None
+                and not self._phase_passed
+                and self.references_issued >= self._phase_boundary
+                and not self._stalled_at_phase):
+            # Warm-up complete: wait here until the harness resumes us so all
+            # processors enter the measured phase together.
+            self._stalled_at_phase = True
+            if self._on_phase is not None:
+                self._on_phase(self)
+            return
+        reference = next(self._stream, None)
+        if reference is None:
+            self._finish()
+            return
+        self.instructions_executed += reference.think_instructions
+        think_ns = self.config.compute_time(reference.think_instructions)
+        self.schedule(think_ns,
+                      lambda: self._issue(reference),
+                      label="compute")
+
+    def _issue(self, reference: Reference) -> None:
+        self.references_issued += 1
+        self.stats.counter("references").increment()
+        if reference.access_type.needs_write_permission:
+            self.stats.counter("writes").increment()
+        else:
+            self.stats.counter("reads").increment()
+        self.controller.access(reference.block, reference.access_type,
+                               self._next_reference)
+
+    def _finish(self) -> None:
+        self.finished = True
+        self.finish_time = self.now
+        self.stats.counter("finished").increment()
+        if self._on_finish is not None:
+            self._on_finish(self)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def waiting_at_phase_barrier(self) -> bool:
+        return self._stalled_at_phase

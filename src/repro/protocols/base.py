@@ -1,0 +1,242 @@
+"""Protocol-independent plumbing shared by all three coherence protocols."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.memory.block import AddressSpace
+from repro.memory.cache import CacheArray
+from repro.memory.coherence import AccessType, CacheState
+from repro.memory.mshr import MSHRFile
+from repro.network.link import TrafficAccountant
+from repro.network.timing import NetworkTiming
+from repro.network.topology import Topology
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.randomness import PerturbationModel
+
+
+class ProtocolName(str, Enum):
+    """The three evaluated protocols (Section 4.2)."""
+
+    TS_SNOOP = "TS-Snoop"
+    DIR_CLASSIC = "DirClassic"
+    DIR_OPT = "DirOpt"
+
+
+class MissSource(str, Enum):
+    """Where the data for a miss was ultimately sourced from."""
+
+    MEMORY = "memory"
+    CACHE = "cache"          # cache-to-cache transfer (a "3-hop" miss for
+                             # directories, a "dirty miss" for snooping)
+    UPGRADE = "upgrade"      # permission-only transition (no data movement)
+
+
+@dataclass(frozen=True)
+class ProtocolTiming:
+    """Controller occupancy / access latencies (Table 2).
+
+    ``cache_access_ns`` is the time for a cache to provide data to the
+    network (``Dcache``); ``memory_access_ns`` is the combined directory and
+    memory access time (``Dmem``); ``l2_hit_ns`` is the latency of a level-two
+    hit as seen by the blocking processor (the paper folds this into its
+    perfect-L1 processor abstraction; it is applied identically to every
+    protocol); ``nack_retry_ns`` is the delay a DirClassic requester waits
+    before re-issuing a NACKed request.
+    """
+
+    cache_access_ns: int = 25
+    memory_access_ns: int = 80
+    l2_hit_ns: int = 10
+    nack_retry_ns: int = 20
+
+    def __post_init__(self) -> None:
+        for name in ("cache_access_ns", "memory_access_ns", "l2_hit_ns",
+                     "nack_retry_ns"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass
+class MissRecord:
+    """One completed miss, as recorded for Table 3 / Figure 3 statistics."""
+
+    node: int
+    block: int
+    access: AccessType
+    issue_time: int
+    complete_time: int
+    source: MissSource
+    retries: int = 0
+
+    @property
+    def latency(self) -> int:
+        return self.complete_time - self.issue_time
+
+    @property
+    def is_cache_to_cache(self) -> bool:
+        return self.source is MissSource.CACHE
+
+
+DoneCallback = Callable[[], None]
+
+
+@dataclass
+class ProtocolBuildContext:
+    """Everything a protocol needs to instantiate its per-node controllers.
+
+    Assembled by :class:`repro.system.builder.SystemBuilder`; each protocol's
+    ``build`` method consumes one and returns the per-node cache controllers
+    that processors talk to.
+    """
+
+    sim: Simulator
+    topology: Topology
+    address_space: AddressSpace
+    caches: List[CacheArray]
+    protocol_timing: ProtocolTiming
+    network_timing: NetworkTiming
+    accountant: TrafficAccountant
+    perturbation: Optional[PerturbationModel] = None
+    checker: Optional[Any] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_endpoints
+
+
+class CoherenceProtocol(ABC):
+    """Factory interface implemented by TS-Snoop, DirClassic and DirOpt."""
+
+    name: ProtocolName
+
+    @abstractmethod
+    def build(self, context: ProtocolBuildContext) -> List["CacheControllerBase"]:
+        """Create the per-node controllers (and the networks they use)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name.value}>"
+
+
+class CacheControllerBase(Component, ABC):
+    """Per-node level-two cache controller.
+
+    The processor calls :meth:`access`; the controller either reports a hit
+    after ``l2_hit_ns`` or starts a coherence transaction and invokes the
+    callback when the miss completes.  Subclasses implement the actual
+    protocol in :meth:`_start_miss` and the message handlers they register
+    with their networks.
+
+    The processor model is blocking (at most one outstanding demand access
+    per processor), matching the paper's processor assumptions; writebacks
+    proceed in the background.
+    """
+
+    def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
+                 cache: CacheArray, timing: ProtocolTiming,
+                 name: str) -> None:
+        super().__init__(sim, name)
+        self.node = node
+        self.address_space = address_space
+        self.cache = cache
+        self.timing = timing
+        self.mshrs = MSHRFile(capacity=32, name=f"{name}.mshr")
+        self.miss_records: List[MissRecord] = []
+        #: optional CoherenceChecker; concrete protocols overwrite this with
+        #: the checker handed to them by the system builder.
+        self.checker = None
+
+    # ------------------------------------------------------------ processor
+    def access(self, block: int, access_type: AccessType,
+               done: DoneCallback) -> None:
+        """Handle one processor reference to ``block``."""
+        state = self.cache.state_of(block)
+        if self._is_hit(state, access_type):
+            self._complete_hit(block, access_type, done)
+            return
+        self.stats.counter("misses").increment()
+        if access_type.needs_write_permission:
+            self.stats.counter("write_misses").increment()
+        else:
+            self.stats.counter("read_misses").increment()
+        self._start_miss(block, access_type, done)
+
+    def _is_hit(self, state: CacheState, access_type: AccessType) -> bool:
+        if access_type.needs_write_permission:
+            return state in (CacheState.MODIFIED, CacheState.EXCLUSIVE)
+        return state is not CacheState.INVALID
+
+    def _complete_hit(self, block: int, access_type: AccessType,
+                      done: DoneCallback) -> None:
+        self.stats.counter("hits").increment()
+        self.cache.touch(block)
+        if access_type.needs_write_permission:
+            line = self.cache.lookup(block)
+            new_version = line.version + 1
+            self.cache.write(block, new_version)
+            if self.checker is not None:
+                self.checker.record_write(self.node, block, new_version,
+                                          self.now)
+        self.schedule(self.timing.l2_hit_ns, done, label="l2-hit")
+
+    # -------------------------------------------------------------- protocol
+    @abstractmethod
+    def _start_miss(self, block: int, access_type: AccessType,
+                    done: DoneCallback) -> None:
+        """Issue the coherence transaction(s) needed to satisfy a miss."""
+
+    # ------------------------------------------------------------ accounting
+    def record_miss(self, record: MissRecord) -> None:
+        self.miss_records.append(record)
+        self.stats.histogram("miss_latency", bin_width=20).record(record.latency)
+        if record.is_cache_to_cache:
+            self.stats.counter("cache_to_cache_misses").increment()
+        elif record.source is MissSource.MEMORY:
+            self.stats.counter("memory_misses").increment()
+
+    def next_version(self) -> int:
+        self._version_counter += 1
+        return self._version_counter
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def total_misses(self) -> int:
+        return int(self.stats.counter("misses").value)
+
+    @property
+    def cache_to_cache_misses(self) -> int:
+        return int(self.stats.counter("cache_to_cache_misses").value)
+
+    def state_of(self, block: int) -> CacheState:
+        return self.cache.state_of(block)
+
+
+@dataclass
+class ProtocolStatistics:
+    """Aggregated per-run protocol statistics (collected by the harness)."""
+
+    protocol: ProtocolName
+    misses: int = 0
+    cache_to_cache_misses: int = 0
+    memory_misses: int = 0
+    writebacks: int = 0
+    nacks: int = 0
+    retries: int = 0
+    miss_latency_total: int = 0
+
+    @property
+    def cache_to_cache_fraction(self) -> float:
+        if self.misses == 0:
+            return 0.0
+        return self.cache_to_cache_misses / self.misses
+
+    @property
+    def average_miss_latency(self) -> float:
+        if self.misses == 0:
+            return 0.0
+        return self.miss_latency_total / self.misses

@@ -1,0 +1,26 @@
+"""DirClassic: the Origin-2000-style directory protocol (Section 4.2).
+
+"DirClassic is modeled after the protocol used in the commercially-deployed
+SGI Origin 2000.  It assumes unordered virtual networks, and it sometimes
+nacks (negatively acknowledges) transactions."
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import ProtocolName
+from repro.protocols.directory import DirectoryPolicy, DirectoryProtocol
+
+
+DIR_CLASSIC_POLICY = DirectoryPolicy(
+    protocol=ProtocolName.DIR_CLASSIC,
+    nack_when_busy=True,
+    ordered_forward_network=False,
+    requires_transfer_ack=True,
+)
+
+
+class DirClassicProtocol(DirectoryProtocol):
+    """Full-bit-vector MSI directory with busy states and NACK/retry."""
+
+    def __init__(self) -> None:
+        super().__init__(DIR_CLASSIC_POLICY)

@@ -1,0 +1,33 @@
+"""DirOpt: the NACK-free directory protocol (Section 4.2).
+
+"Recent directory research has sought to reduce or eliminate nacks.  To this
+end, we developed DirOpt, which uses point-to-point ordering on one virtual
+network to avoid nacks and avoid all blocking at cache and memory
+controllers."
+
+The home node never enters a busy state: it updates the directory the moment
+it forwards a request, the forwarded-request virtual network preserves
+per-pair order, and caches defer forwards that arrive for blocks whose fills
+are still in flight (serviced immediately after the fill), so no request is
+ever negatively acknowledged.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import ProtocolName
+from repro.protocols.directory import DirectoryPolicy, DirectoryProtocol
+
+
+DIR_OPT_POLICY = DirectoryPolicy(
+    protocol=ProtocolName.DIR_OPT,
+    nack_when_busy=False,
+    ordered_forward_network=True,
+    requires_transfer_ack=False,
+)
+
+
+class DirOptProtocol(DirectoryProtocol):
+    """Full-bit-vector MSI directory without NACKs or home-node blocking."""
+
+    def __init__(self) -> None:
+        super().__init__(DIR_OPT_POLICY)

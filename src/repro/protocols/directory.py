@@ -1,0 +1,593 @@
+"""Directory protocol machinery shared by DirClassic and DirOpt.
+
+Both protocols are MSI with a full bit vector of sharers kept at the home
+memory controller of each block (Section 4.2).  Requests travel to the home
+node; the home either answers from memory (two "hops") or forwards the
+request to the owning cache, producing the three-hop transfers whose latency
+penalty motivates the paper.
+
+The two protocols differ only in their :class:`DirectoryPolicy`:
+
+* **DirClassic** (modelled after the SGI Origin 2000): the home enters a busy
+  state while a forwarded request is being resolved and NACKs any request
+  that finds the entry busy; the requester retries.  The forwarded-request
+  virtual network is unordered.
+* **DirOpt**: the home never blocks and never NACKs; it updates the directory
+  immediately when it forwards, the forwarded-request network is
+  point-to-point ordered, and caches absorb any resulting hazards by
+  deferring forwards that arrive for blocks whose fill is still in flight.
+
+Three virtual networks are used (requests, forwarded requests, responses),
+exactly as described in Section 4.2; they all share the physical links for
+traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.memory.block import AddressSpace
+from repro.memory.cache import CacheArray
+from repro.memory.coherence import AccessType, CacheState
+from repro.network.message import Message, MessageKind
+from repro.network.virtual_network import (
+    PointToPointOrderedNetwork,
+    VirtualNetwork,
+)
+from repro.protocols.base import (
+    CacheControllerBase,
+    CoherenceProtocol,
+    DoneCallback,
+    MissRecord,
+    MissSource,
+    ProtocolBuildContext,
+    ProtocolName,
+    ProtocolTiming,
+)
+from repro.protocols.directory_state import (
+    DirectoryBank,
+    DirectoryEntry,
+    DirectoryState,
+)
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class DirectoryPolicy:
+    """The knobs that distinguish DirClassic from DirOpt."""
+
+    protocol: ProtocolName
+    nack_when_busy: bool
+    ordered_forward_network: bool
+    #: old owners confirm ownership transfers to the home so it can leave its
+    #: busy state (needed only when busy states exist)
+    requires_transfer_ack: bool
+
+
+class DirectoryCacheController(CacheControllerBase):
+    """Cache side of the directory protocols (one per node)."""
+
+    def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
+                 cache: CacheArray, timing: ProtocolTiming,
+                 policy: DirectoryPolicy,
+                 request_network: VirtualNetwork,
+                 forward_network: VirtualNetwork,
+                 response_network: VirtualNetwork,
+                 checker: Optional[Any] = None) -> None:
+        super().__init__(sim, node, address_space, cache, timing,
+                         name=f"{policy.protocol.value.lower()}.cache.n{node}")
+        self.policy = policy
+        self.request_network = request_network
+        self.forward_network = forward_network
+        self.response_network = response_network
+        self.checker = checker
+        #: dirty blocks whose PUTM/writeback has not been acknowledged yet
+        self.writeback_buffer: Dict[int, int] = {}
+        forward_network.attach(node, self._on_forward)
+        response_network.attach(node, self._on_response)
+
+    # ------------------------------------------------------------------ miss
+    def _start_miss(self, block: int, access_type: AccessType,
+                    done: DoneCallback) -> None:
+        if block in self.mshrs:
+            raise RuntimeError(
+                f"{self.name}: blocking processor issued a second miss to "
+                f"block {block} while one is outstanding")
+        kind = (MessageKind.GETM if access_type.needs_write_permission
+                else MessageKind.GETS)
+        entry = self.mshrs.allocate(block, kind.label, self.now, self.node)
+        entry.metadata.update({
+            "done": done,
+            "access_type": access_type,
+            "kind": kind,
+            "data_version": 0,
+            "data_from_cache": False,
+            "acks_expected": None,
+            "deferred_forwards": [],
+            "invalidate_on_fill": False,
+            "downgrade_on_fill": False,
+        })
+        self._send_request(block, kind)
+
+    def _send_request(self, block: int, kind: MessageKind) -> None:
+        home = self.address_space.home_node(block)
+        request = Message(kind=kind, src=self.node, dst=home, block=block)
+        self.request_network.send(request)
+        self.stats.counter("requests_sent").increment()
+
+    # -------------------------------------------------------------- forwards
+    def _on_forward(self, message: Message) -> None:
+        """FORWARD_GETS / FORWARD_GETM / INVALIDATE addressed to this cache."""
+        block = message.block
+        if message.kind is MessageKind.INVALIDATE:
+            self._on_invalidate(message)
+            return
+        requester = message.payload["requester"]
+        exclusive = message.kind is MessageKind.FORWARD_GETM
+
+        # A forward that finds the block in our writeback buffer refers to the
+        # ownership we gave up when we evicted it; answer from the buffer so
+        # neither we nor the home deadlocks waiting on the other.
+        if block in self.writeback_buffer:
+            version = self.writeback_buffer[block]
+            self._service_forward(block, requester, exclusive, version,
+                                  from_writeback_buffer=True)
+            return
+
+        entry = self.mshrs.get(block)
+        if entry is not None and requester != self.node:
+            # Our own fill for this block is still in flight; we are (or will
+            # become) the owner the directory believes us to be.  Defer the
+            # forward and service it right after the fill completes.
+            entry.metadata["deferred_forwards"].append(message)
+            self.stats.counter("deferred_forwards").increment()
+            return
+
+        if entry is None and self.cache.state_of(block) is CacheState.MODIFIED:
+            self._service_forward(block, requester, exclusive,
+                                  self.cache.lookup(block).version)
+            return
+
+        # We no longer own the block (the writeback raced ahead of this
+        # forward and has already been acknowledged), or the directory
+        # forwarded our own request back to us after we lost the data.
+        # NACK the requester, who will retry at the home.
+        nack = Message(kind=MessageKind.NACK, src=self.node, dst=requester,
+                       block=block, payload={"from": "owner"})
+        self.response_network.send(nack)
+        self.stats.counter("owner_nacks_sent").increment()
+
+    def _service_forward(self, block: int, requester: int, exclusive: bool,
+                         version: int,
+                         from_writeback_buffer: bool = False) -> None:
+        """Send data for a forwarded request that found us owning the block."""
+        send_time = self.now + self.timing.cache_access_ns
+        data = Message(kind=(MessageKind.DATA_EXCLUSIVE if exclusive
+                             else MessageKind.DATA),
+                       src=self.node, dst=requester, block=block,
+                       payload={"version": version, "from_cache": True,
+                                "acks_expected": 0})
+        self.schedule(max(0, send_time - self.now),
+                      lambda: self.response_network.send(data),
+                      label="fwd-data")
+        self.stats.counter("forwarded_responses").increment()
+
+        home = self.address_space.home_node(block)
+        if exclusive:
+            if not from_writeback_buffer:
+                self.cache.set_state(block, CacheState.INVALID)
+            else:
+                self.writeback_buffer.pop(block, None)
+            if self.policy.requires_transfer_ack:
+                transfer = Message(kind=MessageKind.TRANSFER, src=self.node,
+                                   dst=home, block=block,
+                                   payload={"new_owner": requester})
+                self.response_network.send(transfer)
+        else:
+            if not from_writeback_buffer:
+                # MSI sharing writeback: the home regains ownership and an
+                # up-to-date memory copy; we keep an S copy.
+                self.cache.set_state(block, CacheState.SHARED)
+                writeback = Message(kind=MessageKind.WRITEBACK_DATA,
+                                    src=self.node, dst=home, block=block,
+                                    payload={"version": version,
+                                             "sharing": True})
+                self.schedule(max(0, send_time - self.now),
+                              lambda: self.response_network.send(writeback),
+                              label="sharing-wb")
+            # When serving from the writeback buffer the eviction's
+            # WRITEBACK_DATA is already on its way to the home.
+
+    def _on_invalidate(self, message: Message) -> None:
+        block = message.block
+        requester = message.payload["requester"]
+        entry = self.mshrs.get(block)
+        if entry is not None:
+            # An invalidation can only target a *shared* copy.  If our
+            # outstanding request is a GETS, the directory may have added us
+            # as a sharer and then granted M to someone else, so the incoming
+            # fill must be dropped.  If our outstanding request is a GETM,
+            # the invalidation refers to the stale S copy we held before the
+            # upgrade (the directory never invalidates the owner it just
+            # created -- it forwards to it instead), so the fill stands.
+            if entry.metadata["kind"] is MessageKind.GETS:
+                entry.metadata["invalidate_on_fill"] = True
+        else:
+            state = self.cache.state_of(block)
+            if state is not CacheState.INVALID:
+                self.cache.set_state(block, CacheState.INVALID)
+        self.stats.counter("invalidations_received").increment()
+        ack = Message(kind=MessageKind.INV_ACK, src=self.node, dst=requester,
+                      block=block)
+        self.response_network.send(ack)
+
+    # -------------------------------------------------------------- responses
+    def _on_response(self, message: Message) -> None:
+        kind = message.kind
+        if kind in (MessageKind.DATA, MessageKind.DATA_EXCLUSIVE):
+            self._on_data(message)
+        elif kind is MessageKind.INV_ACK:
+            self._on_inv_ack(message)
+        elif kind is MessageKind.NACK:
+            self._on_nack(message)
+        elif kind is MessageKind.WRITEBACK_ACK:
+            self.writeback_buffer.pop(message.block, None)
+        elif kind is MessageKind.TRANSFER:
+            # Only memory controllers consume TRANSFER; receiving one here
+            # indicates a routing bug, which tests assert never happens.
+            self.stats.counter("unexpected_transfer").increment()
+        else:
+            self.stats.counter("unexpected_response").increment()
+
+    def _on_data(self, message: Message) -> None:
+        entry = self.mshrs.get(message.block)
+        if entry is None:
+            self.stats.counter("orphan_data").increment()
+            return
+        entry.data_received = True
+        entry.metadata["data_version"] = message.payload.get("version", 0)
+        entry.metadata["data_from_cache"] = message.payload.get("from_cache",
+                                                                False)
+        acks = message.payload.get("acks_expected", 0)
+        entry.metadata["acks_expected"] = acks
+        entry.acks_expected = acks
+        self._maybe_complete(message.block)
+
+    def _on_inv_ack(self, message: Message) -> None:
+        entry = self.mshrs.get(message.block)
+        if entry is None:
+            self.stats.counter("orphan_inv_ack").increment()
+            return
+        entry.acks_received += 1
+        self._maybe_complete(message.block)
+
+    def _on_nack(self, message: Message) -> None:
+        entry = self.mshrs.get(message.block)
+        if entry is None:
+            return
+        entry.retries += 1
+        self.stats.counter("nacks_received").increment()
+        kind: MessageKind = entry.metadata["kind"]
+        self.schedule(self.timing.nack_retry_ns,
+                      lambda: self._retry(message.block, kind),
+                      label="nack-retry")
+
+    def _retry(self, block: int, kind: MessageKind) -> None:
+        if block not in self.mshrs:
+            return
+        self.stats.counter("retries_sent").increment()
+        self._send_request(block, kind)
+
+    # ------------------------------------------------------------ completion
+    def _maybe_complete(self, block: int) -> None:
+        entry = self.mshrs.get(block)
+        if entry is None or not entry.data_received:
+            return
+        expected = entry.metadata["acks_expected"]
+        if expected is None or entry.acks_received < expected:
+            return
+        entry = self.mshrs.release(block)
+        access_type: AccessType = entry.metadata["access_type"]
+        version = entry.metadata["data_version"]
+        from_cache = entry.metadata["data_from_cache"]
+        complete_time = self.now
+
+        if access_type.needs_write_permission:
+            version += 1
+            if self.checker is not None:
+                self.checker.record_write(self.node, block, version,
+                                          complete_time)
+        elif self.checker is not None:
+            self.checker.record_read(self.node, block, version, complete_time)
+
+        wants_modified = access_type.needs_write_permission
+        install_state = CacheState.MODIFIED if wants_modified else CacheState.SHARED
+        deferred: List[Message] = entry.metadata["deferred_forwards"]
+        if entry.metadata["invalidate_on_fill"] and not deferred:
+            install_state = None
+        if install_state is not None:
+            eviction = self.cache.install(
+                block, install_state, version=version,
+                dirty=install_state is CacheState.MODIFIED)
+            if eviction.needs_writeback:
+                self._evict_dirty(eviction.victim_block,
+                                  eviction.victim_version)
+
+        record = MissRecord(node=self.node, block=block, access=access_type,
+                            issue_time=entry.issue_time,
+                            complete_time=complete_time,
+                            source=(MissSource.CACHE if from_cache
+                                    else MissSource.MEMORY),
+                            retries=entry.retries)
+        self.record_miss(record)
+        done: DoneCallback = entry.metadata["done"]
+        done()
+
+        # Service forwards that arrived while the fill was in flight, in
+        # arrival order.
+        for forward in deferred:
+            self._on_forward(forward)
+        if entry.metadata["invalidate_on_fill"] and deferred:
+            # The invalidation that raced with the fill still applies after
+            # any deferred forwards have been serviced.
+            if self.cache.state_of(block) is not CacheState.INVALID:
+                self.cache.set_state(block, CacheState.INVALID)
+
+    def _evict_dirty(self, block: int, version: int) -> None:
+        """Write a dirty victim back to its home node."""
+        home = self.address_space.home_node(block)
+        self.writeback_buffer[block] = version
+        putm = Message(kind=MessageKind.PUTM, src=self.node, dst=home,
+                       block=block, payload={"version": version})
+        self.request_network.send(putm)
+        writeback = Message(kind=MessageKind.WRITEBACK_DATA, src=self.node,
+                            dst=home, block=block,
+                            payload={"version": version, "sharing": False})
+        self.response_network.send(writeback)
+        self.stats.counter("dirty_evictions").increment()
+
+
+class DirectoryMemoryController(Component):
+    """Home memory controller + directory slice for one node."""
+
+    def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
+                 timing: ProtocolTiming, policy: DirectoryPolicy,
+                 request_network: VirtualNetwork,
+                 forward_network: VirtualNetwork,
+                 response_network: VirtualNetwork) -> None:
+        super().__init__(sim, f"{policy.protocol.value.lower()}.home.n{node}")
+        self.node = node
+        self.address_space = address_space
+        self.timing = timing
+        self.policy = policy
+        self.request_network = request_network
+        self.forward_network = forward_network
+        self.response_network = response_network
+        self.directory = DirectoryBank(node)
+        #: responses waiting for an in-flight writeback's data
+        self._deferred_data: Dict[int, List[Message]] = {}
+        request_network.attach(node, self._on_request)
+
+    # -------------------------------------------------------------- requests
+    def _on_request(self, message: Message) -> None:
+        if self.address_space.home_node(message.block) != self.node:
+            raise RuntimeError(f"{self.name}: request for a block homed "
+                               f"elsewhere: {message}")
+        kind = message.kind
+        if kind is MessageKind.GETS:
+            self._on_gets(message)
+        elif kind is MessageKind.GETM:
+            self._on_getm(message)
+        elif kind is MessageKind.PUTM:
+            self._on_putm(message)
+        else:
+            raise RuntimeError(f"{self.name}: unexpected request {message}")
+
+    def _on_gets(self, message: Message) -> None:
+        entry = self.directory.entry(message.block)
+        requester = message.src
+        if entry.state.is_busy:
+            self._busy(message, entry)
+            return
+        if entry.state is DirectoryState.MODIFIED:
+            owner = entry.owner
+            self._forward(message, owner, exclusive=False)
+            if self.policy.nack_when_busy:
+                entry.state = DirectoryState.BUSY_SHARED
+                entry.busy_for = requester
+            else:
+                entry.make_shared(entry.sharers | {owner, requester})
+                entry.awaiting_data = True
+            return
+        # Memory owns the block: serve it after the directory+memory access.
+        entry.add_sharer(requester)
+        self._send_data(message, entry, exclusive=False, acks_expected=0)
+
+    def _on_getm(self, message: Message) -> None:
+        entry = self.directory.entry(message.block)
+        requester = message.src
+        if entry.state.is_busy:
+            self._busy(message, entry)
+            return
+        if entry.state is DirectoryState.MODIFIED:
+            owner = entry.owner
+            self._forward(message, owner, exclusive=True)
+            if self.policy.nack_when_busy:
+                entry.state = DirectoryState.BUSY_MODIFIED
+                entry.busy_for = requester
+            else:
+                entry.make_modified(requester)
+            return
+        # Memory owns the block; invalidate sharers and grant M.
+        targets = entry.invalidation_targets(requester)
+        for sharer in sorted(targets):
+            invalidate = Message(kind=MessageKind.INVALIDATE, src=self.node,
+                                 dst=sharer, block=message.block,
+                                 payload={"requester": requester})
+            self.schedule(self.timing.memory_access_ns,
+                          lambda m=invalidate: self.forward_network.send(m),
+                          label="invalidate")
+            self.stats.counter("invalidations_sent").increment()
+        self._send_data(message, entry, exclusive=True,
+                        acks_expected=len(targets))
+        entry.make_modified(requester)
+
+    def _on_putm(self, message: Message) -> None:
+        entry = self.directory.entry(message.block)
+        requester = message.src
+        stale = not (entry.owner == requester
+                     and entry.state in (DirectoryState.MODIFIED,
+                                         DirectoryState.BUSY_SHARED,
+                                         DirectoryState.BUSY_MODIFIED))
+        if not stale:
+            entry.reset_to_uncached()
+            entry.awaiting_data = entry.early_data_from != requester
+            entry.early_data_from = None
+        if stale:
+            self.stats.counter("stale_writebacks").increment()
+        ack = Message(kind=MessageKind.WRITEBACK_ACK, src=self.node,
+                      dst=requester, block=message.block)
+        self.schedule(self.timing.memory_access_ns,
+                      lambda: self.response_network.send(ack),
+                      label="wb-ack")
+
+    # --------------------------------------------------------------- helpers
+    def _busy(self, message: Message, entry: DirectoryEntry) -> None:
+        """A request found the entry busy (DirClassic only)."""
+        nack = Message(kind=MessageKind.NACK, src=self.node, dst=message.src,
+                       block=message.block, payload={"from": "home"})
+        self.schedule(self.timing.memory_access_ns,
+                      lambda: self.response_network.send(nack),
+                      label="nack")
+        self.stats.counter("nacks_sent").increment()
+
+    def _forward(self, message: Message, owner: int, exclusive: bool) -> None:
+        kind = MessageKind.FORWARD_GETM if exclusive else MessageKind.FORWARD_GETS
+        forward = Message(kind=kind, src=self.node, dst=owner,
+                          block=message.block,
+                          payload={"requester": message.src})
+        self.schedule(self.timing.memory_access_ns,
+                      lambda: self.forward_network.send(forward),
+                      label="forward")
+        self.stats.counter("forwards_sent").increment()
+
+    def _send_data(self, message: Message, entry: DirectoryEntry,
+                   exclusive: bool, acks_expected: int) -> None:
+        data = Message(kind=(MessageKind.DATA_EXCLUSIVE if exclusive
+                             else MessageKind.DATA),
+                       src=self.node, dst=message.src, block=message.block,
+                       payload={"version": entry.version, "from_cache": False,
+                                "acks_expected": acks_expected})
+        if entry.awaiting_data:
+            self._deferred_data.setdefault(message.block, []).append(data)
+            self.stats.counter("deferred_memory_responses").increment()
+            return
+        self.schedule(self.timing.memory_access_ns,
+                      lambda: self.response_network.send(data),
+                      label="mem-data")
+        self.stats.counter("memory_responses").increment()
+
+    # ------------------------------------------------------- writeback plane
+    def on_writeback_data(self, message: Message) -> None:
+        """WRITEBACK_DATA (sharing or eviction) arrived for a homed block."""
+        entry = self.directory.entry(message.block)
+        entry.version = max(entry.version, message.payload.get("version", 0))
+        if (entry.state is DirectoryState.MODIFIED
+                and entry.owner == message.src
+                and not message.payload.get("sharing", False)):
+            # Eviction data racing ahead of its PUTM; remember it so the PUTM
+            # does not leave the entry waiting for a second copy.
+            entry.early_data_from = message.src
+        entry.awaiting_data = False
+        if message.payload.get("sharing", False) and self.policy.nack_when_busy:
+            # DirClassic: the sharing writeback resolves the BUSY_SHARED state
+            # opened when the GETS was forwarded.
+            if entry.state is DirectoryState.BUSY_SHARED:
+                sharers = set(entry.sharers) | {message.src}
+                if entry.busy_for is not None:
+                    sharers.add(entry.busy_for)
+                if entry.owner is not None:
+                    sharers.add(entry.owner)
+                entry.make_shared(sharers)
+        self.stats.counter("writeback_data_received").increment()
+        pending = self._deferred_data.pop(message.block, [])
+        for data in pending:
+            data.payload["version"] = entry.version
+            self.schedule(self.timing.memory_access_ns,
+                          lambda m=data: self.response_network.send(m),
+                          label="deferred-data")
+
+    def on_transfer(self, message: Message) -> None:
+        """Ownership-transfer confirmation (DirClassic BUSY_MODIFIED exit)."""
+        entry = self.directory.entry(message.block)
+        if entry.state is DirectoryState.BUSY_MODIFIED:
+            entry.make_modified(message.payload["new_owner"])
+        self.stats.counter("transfers_received").increment()
+
+
+class _HomeResponseRouter(Component):
+    """Demultiplexes response-network traffic addressed to a node.
+
+    Data/acks for the cache controller and writeback data / transfer
+    confirmations for the memory controller share the response virtual
+    network; this tiny router keeps each controller's handler simple.
+    """
+
+    def __init__(self, sim: Simulator, node: int,
+                 cache: DirectoryCacheController,
+                 memory: DirectoryMemoryController) -> None:
+        super().__init__(sim, f"resp-router.n{node}")
+        self.cache = cache
+        self.memory = memory
+
+    def route(self, message: Message) -> None:
+        if message.kind is MessageKind.WRITEBACK_DATA:
+            self.memory.on_writeback_data(message)
+        elif message.kind is MessageKind.TRANSFER:
+            self.memory.on_transfer(message)
+        else:
+            self.cache._on_response(message)
+
+
+class DirectoryProtocol(CoherenceProtocol):
+    """Factory shared by DirClassic and DirOpt (differs only in policy)."""
+
+    def __init__(self, policy: DirectoryPolicy) -> None:
+        self.policy = policy
+        self.name = policy.protocol
+
+    def build(self, context: ProtocolBuildContext) -> List[DirectoryCacheController]:
+        sim = context.sim
+        request_network = VirtualNetwork(
+            sim, context.topology, context.network_timing, context.accountant,
+            perturbation=context.perturbation, name="dir-request-vnet")
+        if self.policy.ordered_forward_network:
+            forward_network: VirtualNetwork = PointToPointOrderedNetwork(
+                sim, context.topology, context.network_timing,
+                context.accountant, perturbation=context.perturbation,
+                name="dir-forward-vnet")
+        else:
+            forward_network = VirtualNetwork(
+                sim, context.topology, context.network_timing,
+                context.accountant, perturbation=context.perturbation,
+                name="dir-forward-vnet")
+        response_network = VirtualNetwork(
+            sim, context.topology, context.network_timing, context.accountant,
+            perturbation=context.perturbation, name="dir-response-vnet")
+
+        caches: List[DirectoryCacheController] = []
+        for node in range(context.num_nodes):
+            cache = DirectoryCacheController(
+                sim, node, context.address_space, context.caches[node],
+                context.protocol_timing, self.policy, request_network,
+                forward_network, response_network, checker=context.checker)
+            memory = DirectoryMemoryController(
+                sim, node, context.address_space, context.protocol_timing,
+                self.policy, request_network, forward_network,
+                response_network)
+            router = _HomeResponseRouter(sim, node, cache, memory)
+            response_network.attach(node, router.route)
+            caches.append(cache)
+        return caches

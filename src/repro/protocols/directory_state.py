@@ -1,0 +1,106 @@
+"""Directory storage for the two directory protocols.
+
+Both DirClassic and DirOpt keep a full bit vector of sharers per block
+(Section 4.2).  DirClassic additionally uses *busy* states while a request is
+being resolved through a third party and NACKs requests that hit a busy
+entry; DirOpt never enters a busy state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, Optional, Set
+
+
+class DirectoryState(Enum):
+    """Stable and transient directory states."""
+
+    UNCACHED = "I"          # memory owns the block; no cached copies tracked
+    SHARED = "S"            # memory owns the block; sharers hold S copies
+    MODIFIED = "M"          # a single cache owns the block
+    BUSY_SHARED = "BS"      # DirClassic: GETS forwarded, awaiting writeback
+    BUSY_MODIFIED = "BM"    # DirClassic: GETM forwarded, awaiting transfer
+
+    @property
+    def is_busy(self) -> bool:
+        return self in (DirectoryState.BUSY_SHARED, DirectoryState.BUSY_MODIFIED)
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory record for one block (full-bit-vector sharers)."""
+
+    state: DirectoryState = DirectoryState.UNCACHED
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+    version: int = 0
+    #: memory's copy is stale until an in-flight (sharing) writeback arrives
+    awaiting_data: bool = False
+    #: requester whose transaction put the entry into a busy state
+    busy_for: Optional[int] = None
+    #: writeback data from the still-registered owner arrived before its
+    #: PUTM was processed (perturbation can reorder the two messages)
+    early_data_from: Optional[int] = None
+
+    def reset_to_uncached(self) -> None:
+        self.state = DirectoryState.UNCACHED
+        self.owner = None
+        self.sharers.clear()
+        self.busy_for = None
+
+    def make_modified(self, owner: int) -> None:
+        self.state = DirectoryState.MODIFIED
+        self.owner = owner
+        self.sharers = {owner}
+        self.busy_for = None
+
+    def make_shared(self, sharers: Set[int]) -> None:
+        self.state = DirectoryState.SHARED
+        self.owner = None
+        self.sharers = set(sharers)
+        self.busy_for = None
+
+    def add_sharer(self, node: int) -> None:
+        if self.state is DirectoryState.UNCACHED:
+            self.state = DirectoryState.SHARED
+        self.sharers.add(node)
+
+    def invalidation_targets(self, requester: int) -> Set[int]:
+        """Sharers that must be invalidated for ``requester`` to gain M."""
+        return {node for node in self.sharers if node != requester}
+
+
+class DirectoryBank:
+    """The directory slice held by one memory controller.
+
+    Entries are created lazily: a block nobody has ever requested is
+    implicitly UNCACHED with memory as its owner.
+    """
+
+    def __init__(self, home_node: int) -> None:
+        self.home_node = home_node
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, block: int) -> DirectoryEntry:
+        if block not in self._entries:
+            self._entries[block] = DirectoryEntry()
+        return self._entries[block]
+
+    def peek(self, block: int) -> Optional[DirectoryEntry]:
+        """Entry if it exists, without creating one (used by tests/stats)."""
+        return self._entries.get(block)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[tuple[int, DirectoryEntry]]:
+        return iter(self._entries.items())
+
+    def busy_blocks(self) -> Set[int]:
+        return {block for block, entry in self._entries.items()
+                if entry.state.is_busy}
+
+    def blocks_owned_by_caches(self) -> Set[int]:
+        return {block for block, entry in self._entries.items()
+                if entry.state is DirectoryState.MODIFIED}

@@ -1,0 +1,480 @@
+"""TS-Snoop: the timestamp snooping MSI protocol (Section 3).
+
+Every coherence transaction (GETS, GETM, PUTM) is broadcast on the timestamp
+address network and processed by every cache and memory controller in the
+network's logical total order.  The conventional snooping *owned* wired-OR
+signal is replaced by one bit per block at memory indicating whether memory
+owns the block (the Synapse scheme); there is no E state, so no shared signal
+is needed either.
+
+Each node hosts a single :class:`TSSnoopNode` that plays both roles:
+
+* the **cache side** (this node's L2 and processor interface), and
+* the **memory side** for the slice of physical memory homed at this node
+  (the per-block owner bookkeeping).
+
+The controllers implement optimisation 1 of Section 3 (prefetching data from
+DRAM/SRAM as soon as a transaction *arrives*, sending it only once the
+transaction is *ordered*); optimisation 2 (early processing of other
+processors' transactions) is left disabled, as in the paper's evaluation.
+Both can be toggled for ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.analytical_ordering import AnalyticalTimestampNetwork
+from repro.core.timestamp_network import (
+    AddressNetworkInterface,
+    OrderedDelivery,
+    TimestampAddressNetwork,
+)
+from repro.memory.block import AddressSpace
+from repro.memory.cache import CacheArray
+from repro.memory.coherence import AccessType, CacheState
+from repro.network.data_network import DataNetwork
+from repro.network.message import Message, MessageKind
+from repro.network.timing import NetworkTiming
+from repro.protocols.base import (
+    CacheControllerBase,
+    CoherenceProtocol,
+    DoneCallback,
+    MissRecord,
+    MissSource,
+    ProtocolBuildContext,
+    ProtocolName,
+    ProtocolTiming,
+)
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class _HomeBlockState:
+    """Memory-side bookkeeping for one block homed at this node.
+
+    ``owner`` is ``None`` when memory owns the block (the paper's one owner
+    bit set); otherwise it names the cache that owns it.  ``awaiting_data``
+    is set while memory is the logical owner but the owner's writeback data
+    is still in flight; responses issued in that window are deferred until
+    the data arrives.
+    """
+
+    owner: Optional[int] = None
+    awaiting_data: bool = False
+    data_ready_time: int = 0
+    version: int = 0
+    deferred: List[Tuple[int, bool, int]] = field(default_factory=list)
+    # deferred entries: (requester, exclusive, earliest_send_time)
+    #: a writeback's data arrived from this (still registered) owner before
+    #: the ownership transfer itself was ordered -- eviction data can race
+    #: ahead of its PUTM broadcast.
+    early_data_from: Optional[int] = None
+
+
+@dataclass
+class _WritebackEntry:
+    """A victim block awaiting its PUTM to be ordered (still the owner)."""
+
+    version: int
+
+
+class TSSnoopNode(CacheControllerBase):
+    """Combined cache-side / memory-side controller for one node."""
+
+    def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
+                 cache: CacheArray, timing: ProtocolTiming,
+                 address_network: AddressNetworkInterface,
+                 data_network: DataNetwork,
+                 prefetch: bool = True,
+                 checker: Optional[Any] = None) -> None:
+        super().__init__(sim, node, address_space, cache, timing,
+                         name=f"ts-snoop.n{node}")
+        self.address_network = address_network
+        self.data_network = data_network
+        self.prefetch = prefetch
+        self.checker = checker
+        self.home_blocks: Dict[int, _HomeBlockState] = {}
+        self.writeback_buffer: Dict[int, _WritebackEntry] = {}
+        address_network.attach(node, self._on_ordered)
+        data_network.attach(node, self._on_data_message)
+
+    # ------------------------------------------------------------------ miss
+    def _start_miss(self, block: int, access_type: AccessType,
+                    done: DoneCallback) -> None:
+        if block in self.mshrs:
+            raise RuntimeError(
+                f"{self.name}: blocking processor issued a second miss to "
+                f"block {block} while one is outstanding")
+        kind = (MessageKind.GETM if access_type.needs_write_permission
+                else MessageKind.GETS)
+        entry = self.mshrs.allocate(block, kind.label, self.now, self.node)
+        entry.metadata.update({
+            "done": done,
+            "access_type": access_type,
+            "logical_state": None,
+            "owed": [],
+            "data_version": 0,
+            "data_from_cache": False,
+            "data_time": None,
+            "ordered_time": None,
+        })
+        request = Message(kind=kind, src=self.node, dst=None, block=block)
+        self.address_network.broadcast(request)
+        self.stats.counter("address_broadcasts").increment()
+
+    # ------------------------------------------------- ordered address stream
+    def _on_ordered(self, delivery: OrderedDelivery) -> None:
+        message = delivery.message
+        if self.address_space.home_node(message.block) == self.node:
+            self._memory_side(delivery)
+        self._cache_side(delivery)
+
+    # ------------------------------------------------------------ memory side
+    def _memory_side(self, delivery: OrderedDelivery) -> None:
+        message = delivery.message
+        block = message.block
+        state = self.home_blocks.setdefault(block, _HomeBlockState())
+        kind = message.kind
+
+        if kind is MessageKind.GETS:
+            if state.owner is None:
+                self._memory_respond(delivery, state, exclusive=False)
+            else:
+                # The owning cache responds and (per MSI) writes the block
+                # back, so memory becomes the owner again once that data
+                # lands (unless an eviction's data already raced here).
+                previous_owner = state.owner
+                state.owner = None
+                state.awaiting_data = state.early_data_from != previous_owner
+                state.early_data_from = None
+        elif kind is MessageKind.GETM:
+            if state.owner is None:
+                self._memory_respond(delivery, state, exclusive=True)
+            state.owner = message.src
+            state.early_data_from = None
+        elif kind is MessageKind.PUTM:
+            if state.owner == message.src:
+                state.owner = None
+                state.awaiting_data = state.early_data_from != message.src
+                state.early_data_from = None
+            else:
+                # Stale writeback: ownership already moved on (a request was
+                # ordered ahead of the PUTM).  Ignore it.
+                self.stats.counter("stale_putm").increment()
+
+    def _memory_respond(self, delivery: OrderedDelivery,
+                        state: _HomeBlockState, exclusive: bool) -> None:
+        """Send data from memory for an ordered GETS/GETM."""
+        message = delivery.message
+        requester = message.src
+        if self.prefetch:
+            ready = max(delivery.arrival_time + self.timing.memory_access_ns,
+                        delivery.ordered_time)
+        else:
+            ready = delivery.ordered_time + self.timing.memory_access_ns
+        if state.awaiting_data:
+            # The writeback carrying the current data has not arrived yet;
+            # remember the response and send it when it does.
+            state.deferred.append((requester, exclusive, ready))
+            self.stats.counter("memory_deferred_responses").increment()
+            return
+        ready = max(ready, state.data_ready_time)
+        self._send_memory_data(requester, message.block, state.version,
+                               exclusive, ready)
+
+    def _send_memory_data(self, requester: int, block: int, version: int,
+                          exclusive: bool, send_time: int) -> None:
+        kind = MessageKind.DATA_EXCLUSIVE if exclusive else MessageKind.DATA
+        data = Message(kind=kind, src=self.node, dst=requester, block=block,
+                       payload={"version": version, "from_cache": False})
+        delay = max(0, send_time - self.now)
+        self.schedule(delay, lambda: self.data_network.send(data),
+                      label="mem-data")
+        self.stats.counter("memory_data_responses").increment()
+
+    def _on_writeback_data(self, message: Message) -> None:
+        """WRITEBACK_DATA arrived at this (home) memory controller."""
+        block = message.block
+        state = self.home_blocks.setdefault(block, _HomeBlockState())
+        self.stats.counter("writeback_data_received").increment()
+        if not state.awaiting_data and state.owner is not None:
+            if state.owner == message.src:
+                # Eviction data racing ahead of its PUTM: remember that the
+                # current owner's data is already here so the transfer, once
+                # ordered, does not wait for a second copy.
+                state.early_data_from = message.src
+                state.data_ready_time = self.now
+                state.version = max(state.version,
+                                    message.payload.get("version", 0))
+            # Otherwise the data is stale (ownership already moved on).
+            return
+        state.awaiting_data = False
+        state.data_ready_time = self.now
+        state.version = max(state.version, message.payload.get("version", 0))
+        deferred, state.deferred = state.deferred, []
+        for requester, exclusive, earliest in deferred:
+            self._send_memory_data(requester, block, state.version, exclusive,
+                                   max(earliest, self.now))
+
+    # ------------------------------------------------------------- cache side
+    def _cache_side(self, delivery: OrderedDelivery) -> None:
+        message = delivery.message
+        if message.src == self.node:
+            self._own_transaction_ordered(delivery)
+            return
+        kind = message.kind
+        if kind is MessageKind.PUTM:
+            return                      # another node's writeback: no action
+        exclusive = kind is MessageKind.GETM
+        self._snoop_remote_request(delivery, exclusive)
+
+    def _snoop_remote_request(self, delivery: OrderedDelivery,
+                              exclusive: bool) -> None:
+        message = delivery.message
+        block = message.block
+        requester = message.src
+
+        # A miss of our own to the same block that has already been ordered
+        # makes us the logical owner/holder even though the data is still in
+        # flight; fold the remote request into the MSHR.
+        entry = self.mshrs.get(block)
+        if entry is not None and entry.metadata.get("logical_state") is not None:
+            self._snoop_against_mshr(entry, requester, exclusive)
+            return
+
+        if block in self.writeback_buffer:
+            self._respond_from_writeback_buffer(delivery, requester, exclusive)
+            return
+
+        state = self.cache.state_of(block)
+        if state is CacheState.MODIFIED:
+            self._respond_from_cache(delivery, requester, exclusive)
+        elif state is CacheState.SHARED and exclusive:
+            self.cache.set_state(block, CacheState.INVALID)
+            self.stats.counter("invalidations_observed").increment()
+
+    def _snoop_against_mshr(self, entry, requester: int,
+                            exclusive: bool) -> None:
+        """Remote request ordered after our own, before our data arrived."""
+        logical = entry.metadata["logical_state"]
+        if logical is CacheState.MODIFIED:
+            entry.metadata["owed"].append((requester, exclusive))
+            entry.metadata["logical_state"] = (
+                CacheState.INVALID if exclusive else CacheState.SHARED)
+            self.stats.counter("owed_responses").increment()
+        elif logical is CacheState.SHARED and exclusive:
+            entry.metadata["logical_state"] = CacheState.INVALID
+            self.stats.counter("invalidations_observed").increment()
+
+    def _respond_from_cache(self, delivery: OrderedDelivery, requester: int,
+                            exclusive: bool) -> None:
+        block = delivery.message.block
+        line = self.cache.lookup(block)
+        version = line.version if line is not None else 0
+        send_time = self._cache_response_time(delivery)
+        self._send_cache_data(requester, block, version, send_time)
+        if exclusive:
+            self.cache.set_state(block, CacheState.INVALID)
+        else:
+            # MSI: the owner downgrades to S and memory becomes the owner
+            # again, which requires writing the dirty block back (this is the
+            # second data message the paper's Section 5 analysis mentions).
+            self.cache.set_state(block, CacheState.SHARED)
+            self._send_writeback_data(block, version, send_time)
+
+    def _respond_from_writeback_buffer(self, delivery: OrderedDelivery,
+                                       requester: int, exclusive: bool) -> None:
+        block = delivery.message.block
+        wb_entry = self.writeback_buffer.pop(block)
+        send_time = self._cache_response_time(delivery)
+        self._send_cache_data(requester, block, wb_entry.version, send_time)
+        self.stats.counter("writeback_buffer_responses").increment()
+        # The WRITEBACK_DATA sent at eviction time is already on its way to
+        # memory, so no second copy is needed for the non-exclusive case.
+
+    def _cache_response_time(self, delivery: OrderedDelivery) -> int:
+        if self.prefetch:
+            return max(delivery.arrival_time + self.timing.cache_access_ns,
+                       delivery.ordered_time)
+        return delivery.ordered_time + self.timing.cache_access_ns
+
+    def _send_cache_data(self, requester: int, block: int, version: int,
+                         send_time: int) -> None:
+        data = Message(kind=MessageKind.DATA, src=self.node, dst=requester,
+                       block=block,
+                       payload={"version": version, "from_cache": True})
+        delay = max(0, send_time - self.now)
+        self.schedule(delay, lambda: self.data_network.send(data),
+                      label="cache-data")
+        self.stats.counter("cache_data_responses").increment()
+
+    def _send_writeback_data(self, block: int, version: int,
+                             send_time: int) -> None:
+        home = self.address_space.home_node(block)
+        writeback = Message(kind=MessageKind.WRITEBACK_DATA, src=self.node,
+                            dst=home, block=block,
+                            payload={"version": version})
+        delay = max(0, send_time - self.now)
+        self.schedule(delay, lambda: self.data_network.send(writeback),
+                      label="wb-data")
+        self.stats.counter("writebacks_sent").increment()
+
+    # --------------------------------------------------- own request ordered
+    def _own_transaction_ordered(self, delivery: OrderedDelivery) -> None:
+        message = delivery.message
+        block = message.block
+        if message.kind is MessageKind.PUTM:
+            # Our writeback reached its place in the total order; ownership
+            # has passed to memory (unless a request beat us to it, in which
+            # case the buffer entry is already gone).
+            self.writeback_buffer.pop(block, None)
+            return
+        entry = self.mshrs.get(block)
+        if entry is None:
+            return
+        entry.ordered = True
+        entry.metadata["ordered_time"] = delivery.ordered_time
+        entry.metadata["logical_state"] = (
+            CacheState.MODIFIED if message.kind is MessageKind.GETM
+            else CacheState.SHARED)
+        self._maybe_complete(block)
+
+    # ------------------------------------------------------------ data plane
+    def _on_data_message(self, message: Message) -> None:
+        """Delivery callback for every unicast addressed to this node."""
+        if message.dst != self.node:
+            raise RuntimeError(f"{self.name}: misrouted message {message}")
+        if message.kind is MessageKind.WRITEBACK_DATA:
+            self._on_writeback_data(message)
+            return
+        entry = self.mshrs.get(message.block)
+        if entry is None:
+            # Data for a miss that no longer exists should not happen in this
+            # protocol; count it so tests can assert it never does.
+            self.stats.counter("orphan_data").increment()
+            return
+        entry.data_received = True
+        entry.metadata["data_version"] = message.payload.get("version", 0)
+        entry.metadata["data_from_cache"] = message.payload.get("from_cache",
+                                                                False)
+        entry.metadata["data_time"] = self.now
+        self._maybe_complete(message.block)
+
+    # ------------------------------------------------------------ completion
+    def _maybe_complete(self, block: int) -> None:
+        entry = self.mshrs.get(block)
+        if entry is None or not entry.ordered or not entry.data_received:
+            return
+        entry = self.mshrs.release(block)
+        access_type: AccessType = entry.metadata["access_type"]
+        logical_state: CacheState = entry.metadata["logical_state"]
+        version = entry.metadata["data_version"]
+        from_cache = entry.metadata["data_from_cache"]
+        complete_time = self.now
+
+        if access_type.needs_write_permission:
+            version += 1
+            if self.checker is not None:
+                self.checker.record_write(self.node, block, version,
+                                          complete_time)
+        elif self.checker is not None:
+            self.checker.record_read(self.node, block, version, complete_time)
+
+        if logical_state is not CacheState.INVALID:
+            install_state = (CacheState.MODIFIED
+                             if access_type.needs_write_permission
+                             and logical_state is CacheState.MODIFIED
+                             else CacheState.SHARED)
+            eviction = self.cache.install(block, install_state,
+                                          version=version,
+                                          dirty=install_state is CacheState.MODIFIED)
+            if eviction.needs_writeback:
+                self._evict_dirty(eviction.victim_block, eviction.victim_version)
+
+        self._settle_owed_responses(entry, block, version)
+
+        record = MissRecord(node=self.node, block=block, access=access_type,
+                            issue_time=entry.issue_time,
+                            complete_time=complete_time,
+                            source=(MissSource.CACHE if from_cache
+                                    else MissSource.MEMORY))
+        self.record_miss(record)
+        done: DoneCallback = entry.metadata["done"]
+        done()
+
+    def _settle_owed_responses(self, entry, block: int, version: int) -> None:
+        """Send data owed to requesters ordered behind our own miss."""
+        owed: List[Tuple[int, bool]] = entry.metadata["owed"]
+        if not owed:
+            return
+        send_time = self.now + self.timing.cache_access_ns
+        first_requester, first_exclusive = owed[0]
+        self._send_cache_data(first_requester, block, version, send_time)
+        if not first_exclusive:
+            # We downgraded to S; memory regains ownership via writeback.
+            self._send_writeback_data(block, version, send_time)
+        # Any further owed responses belong to later owners, not to us: once
+        # we have answered the first one, ownership has moved on (to memory
+        # for a GETS, to the requester for a GETM), and the protocol routes
+        # later requests there.  The ordered-stream bookkeeping above never
+        # queues more than one owed response for that reason.
+        if len(owed) > 1:
+            raise AssertionError(
+                f"{self.name}: more than one owed response queued for block "
+                f"{block}; the logical-state tracking is inconsistent")
+
+    def _evict_dirty(self, block: int, version: int) -> None:
+        """Broadcast a PUTM for a dirty victim and ship its data home."""
+        self.writeback_buffer[block] = _WritebackEntry(version=version)
+        putm = Message(kind=MessageKind.PUTM, src=self.node, dst=None,
+                       block=block)
+        self.address_network.broadcast(putm)
+        self._send_writeback_data(block, version, self.now)
+        self.stats.counter("dirty_evictions").increment()
+
+
+class TSSnoopProtocol(CoherenceProtocol):
+    """Factory for a 16-node TS-Snoop system.
+
+    ``detailed_network=True`` runs the event-accurate token-passing network
+    (slow; suitable for microbenchmarks and validation), otherwise the
+    closed-form analytical network is used, as for all full workload runs.
+    """
+
+    name = ProtocolName.TS_SNOOP
+
+    def __init__(self, prefetch: bool = True, slack: int = 0,
+                 detailed_network: bool = False) -> None:
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        self.prefetch = prefetch
+        self.slack = slack
+        self.detailed_network = detailed_network
+
+    def build(self, context: ProtocolBuildContext) -> List[TSSnoopNode]:
+        sim = context.sim
+        if self.detailed_network:
+            address_network: AddressNetworkInterface = TimestampAddressNetwork(
+                sim, context.topology, context.network_timing,
+                accountant=context.accountant, default_slack=self.slack)
+        else:
+            address_network = AnalyticalTimestampNetwork(
+                sim, context.topology, context.network_timing,
+                accountant=context.accountant, default_slack=self.slack,
+                perturbation=context.perturbation)
+        data_network = DataNetwork(sim, context.topology,
+                                   context.network_timing,
+                                   context.accountant,
+                                   perturbation=context.perturbation,
+                                   name="ts-data-network")
+        nodes = []
+        for node in range(context.num_nodes):
+            nodes.append(TSSnoopNode(
+                sim, node, context.address_space, context.caches[node],
+                context.protocol_timing, address_network, data_network,
+                prefetch=self.prefetch, checker=context.checker))
+        if isinstance(address_network, TimestampAddressNetwork):
+            address_network.start()
+        return nodes

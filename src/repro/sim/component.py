@@ -1,0 +1,54 @@
+"""Base class for simulation model objects."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.stats import StatGroup
+
+
+class Component:
+    """A named model object bound to a :class:`~repro.sim.kernel.Simulator`.
+
+    Components provide a uniform way to schedule work, keep statistics and
+    print debug traces.  All hardware-ish objects in the library (switches,
+    caches, memory controllers, processors, network interfaces) derive from
+    this class.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = StatGroup(name)
+        self._trace_hook: Optional[Callable[[int, str, str], None]] = None
+
+    # ------------------------------------------------------------ scheduling
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def schedule(self, delay: int, callback: Callable[[], None], *,
+                 priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay`` ns, tagged with our name."""
+        return self.sim.schedule(delay, callback, priority=priority,
+                                 label=label or self.name)
+
+    def schedule_at(self, time: int, callback: Callable[[], None], *,
+                    priority: int = 0, label: str = "") -> Event:
+        return self.sim.schedule_at(time, callback, priority=priority,
+                                    label=label or self.name)
+
+    # --------------------------------------------------------------- tracing
+    def set_trace_hook(self,
+                       hook: Optional[Callable[[int, str, str], None]]) -> None:
+        """Install a ``hook(time, component_name, message)`` debug callback."""
+        self._trace_hook = hook
+
+    def trace(self, message: str) -> None:
+        """Emit a debug trace line if a hook is installed (cheap otherwise)."""
+        if self._trace_hook is not None:
+            self._trace_hook(self.sim.now, self.name, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

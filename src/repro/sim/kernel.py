@@ -1,0 +1,215 @@
+"""Discrete-event simulation kernel.
+
+Times are integer nanoseconds throughout the library.  Using integers keeps
+event ordering exact and makes runs reproducible bit-for-bit, which the
+perturbation methodology of the paper (Section 4.3) relies on: perturbed
+replicas differ *only* in the injected random delays.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (scheduling in the past, etc.)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events order by ``(time, priority, seq)``.  ``priority`` breaks ties at
+    the same timestamp (lower runs first) and ``seq`` preserves FIFO order
+    for events with identical time and priority.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it is popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: int, callback: Callable[[], None], *,
+             priority: int = 0, label: str = "") -> Event:
+        """Insert a new event and return it (so callers may cancel it)."""
+        event = Event(time=time, priority=priority, seq=self._seq,
+                      callback=callback, label=label)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self._live -= 1
+            if event.cancelled:
+                continue
+            return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[int]:
+        """Return the time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._live -= 1
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+
+class Simulator:
+    """The event-driven simulation engine.
+
+    A :class:`Simulator` owns the clock and the event queue.  Model
+    components call :meth:`schedule` / :meth:`schedule_at` to arrange future
+    work; :meth:`run` drains events until the queue empties, a time limit is
+    hit, or an event budget is exhausted.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0
+        self._events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # -------------------------------------------------------------- schedule
+    def schedule(self, delay: int, callback: Callable[[], None], *,
+                 priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, callback,
+                                priority=priority, label=label)
+
+    def schedule_at(self, time: int, callback: Callable[[], None], *,
+                    priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}")
+        return self._queue.push(time, callback, priority=priority, label=label)
+
+    # ------------------------------------------------------------------- run
+    def run(self, *, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Returns the number of events processed during this call.  ``until``
+        is an inclusive simulated-time bound; ``max_events`` bounds the work
+        done by this call (useful for watchdogs in tests).
+        """
+        processed = 0
+        self._running = True
+        self._stop_requested = False
+        try:
+            while self._queue:
+                if self._stop_requested:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.callback()
+                processed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        return processed
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        event.callback()
+        self._events_processed += 1
+        return True
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    def drain_until_quiescent(self, *, max_events: int = 50_000_000) -> int:
+        """Run until no events remain; guard against runaway models."""
+        processed = self.run(max_events=max_events)
+        if self._queue:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events "
+                f"({len(self._queue)} still pending at t={self._now})")
+        return processed
+
+    # --------------------------------------------------------------- utility
+    def iterate_events(self, *, until: Optional[int] = None) -> Iterator[int]:
+        """Yield the simulation time after each processed event.
+
+        Convenience generator used by interactive examples and a handful of
+        tests that want to observe the simulation advancing.
+        """
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                return
+            event = self._queue.pop()
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+            yield self._now
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0
+        self._events_processed = 0

@@ -1,0 +1,108 @@
+"""Deterministic randomness and the paper's perturbation methodology.
+
+Section 4.3 of the paper: "we performed redundant simulations perturbed by
+injecting small random delays in all message responses.  [...] we report the
+minimum run time from a set of runs whose only difference is the
+perturbation."  :class:`PerturbationModel` implements exactly that knob.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+
+class DeterministicRandom:
+    """A seeded random source with a few convenience helpers.
+
+    A thin wrapper over :class:`random.Random` so that model code never
+    touches the global random state and every simulation is reproducible
+    from its seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, salt: int) -> "DeterministicRandom":
+        """Derive an independent stream; used to give each node its own RNG."""
+        return DeterministicRandom((self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+
+    # ------------------------------------------------------------- primitives
+    def uniform_int(self, low: int, high: int) -> int:
+        """Inclusive integer in [low, high]."""
+        return self._rng.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def choice(self, items: Sequence):
+        return self._rng.choice(items)
+
+    def weighted_choice(self, items: Sequence, weights: Sequence[float]):
+        return self._rng.choices(items, weights=weights, k=1)[0]
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def sample(self, items: Sequence, k: int) -> list:
+        return self._rng.sample(items, k)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def geometric(self, mean: float) -> int:
+        """Geometric-ish positive integer with the given mean (>= 1)."""
+        if mean <= 1.0:
+            return 1
+        p = 1.0 / mean
+        value = 1
+        while self._rng.random() > p:
+            value += 1
+            if value > 64 * mean:
+                break
+        return value
+
+    def zipf_index(self, n: int, skew: float = 0.8) -> int:
+        """A Zipf-like index in [0, n) used for hot/cold block selection."""
+        if n <= 1:
+            return 0
+        # Inverse-CDF sampling over a truncated power law; coarse but cheap.
+        u = self._rng.random()
+        index = int(n * (u ** (1.0 / (1.0 - skew + 1e-9))))
+        return min(max(index, 0), n - 1)
+
+
+class PerturbationModel:
+    """Small random delays injected into message responses.
+
+    ``max_delay_ns == 0`` (replica 0) disables perturbation so the first
+    replica of every experiment is the deterministic baseline.
+    """
+
+    def __init__(self, rng: DeterministicRandom, max_delay_ns: int = 0) -> None:
+        if max_delay_ns < 0:
+            raise ValueError("max_delay_ns must be non-negative")
+        self._rng = rng
+        self.max_delay_ns = max_delay_ns
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_delay_ns > 0
+
+    def response_delay(self) -> int:
+        """Extra latency (ns) to add to the next message response."""
+        if self.max_delay_ns == 0:
+            return 0
+        return self._rng.uniform_int(0, self.max_delay_ns)
+
+    @classmethod
+    def replicas(cls, base_seed: int, count: int,
+                 max_delay_ns: int = 5) -> Iterable["PerturbationModel"]:
+        """Yield ``count`` perturbation models for redundant simulations.
+
+        Replica 0 is unperturbed; replicas 1..count-1 use independent seeds.
+        """
+        for index in range(count):
+            rng = DeterministicRandom(base_seed * 7919 + index)
+            yield cls(rng, 0 if index == 0 else max_delay_ns)

@@ -1,0 +1,172 @@
+"""Statistics containers used by every model component."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class ByteCounter:
+    """Counts messages and bytes, split by an arbitrary category key.
+
+    Used for per-link traffic accounting (Figure 4 categories: Data,
+    Request, Nack, Misc).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.messages: Dict[str, int] = {}
+        self.bytes: Dict[str, int] = {}
+
+    def record(self, category: str, num_bytes: int, count: int = 1) -> None:
+        self.messages[category] = self.messages.get(category, 0) + count
+        self.bytes[category] = self.bytes.get(category, 0) + num_bytes * count
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def bytes_for(self, category: str) -> int:
+        return self.bytes.get(category, 0)
+
+    def merge(self, other: "ByteCounter") -> None:
+        for category, count in other.messages.items():
+            self.messages[category] = self.messages.get(category, 0) + count
+        for category, num_bytes in other.bytes.items():
+            self.bytes[category] = self.bytes.get(category, 0) + num_bytes
+
+    def reset(self) -> None:
+        self.messages.clear()
+        self.bytes.clear()
+
+
+class Histogram:
+    """A latency histogram with fixed-width bins plus running moments."""
+
+    def __init__(self, name: str, bin_width: int = 10,
+                 max_bins: int = 200) -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.name = name
+        self.bin_width = bin_width
+        self.max_bins = max_bins
+        self.bins: List[int] = [0] * max_bins
+        self.overflow = 0
+        self.count = 0
+        self.total = 0
+        self.minimum: Optional[int] = None
+        self.maximum: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"negative sample {value} in {self.name}")
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        index = value // self.bin_width
+        if index >= self.max_bins:
+            self.overflow += 1
+        else:
+            self.bins[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> int:
+        """Approximate percentile using bin lower edges."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if self.count == 0:
+            return 0
+        target = fraction * self.count
+        seen = 0
+        for index, bucket in enumerate(self.bins):
+            seen += bucket
+            if seen >= target:
+                return index * self.bin_width
+        return self.max_bins * self.bin_width
+
+    def reset(self) -> None:
+        self.bins = [0] * self.max_bins
+        self.overflow = 0
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+
+
+@dataclass
+class StatGroup:
+    """A named collection of statistics owned by one component."""
+
+    owner: str
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    byte_counters: Dict[str, ByteCounter] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(f"{self.owner}.{name}")
+        return self.counters[name]
+
+    def histogram(self, name: str, bin_width: int = 10) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(f"{self.owner}.{name}",
+                                              bin_width=bin_width)
+        return self.histograms[name]
+
+    def byte_counter(self, name: str) -> ByteCounter:
+        if name not in self.byte_counters:
+            self.byte_counters[name] = ByteCounter(f"{self.owner}.{name}")
+        return self.byte_counters[name]
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
+        for byte_counter in self.byte_counters.values():
+            byte_counter.reset()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flatten counters into a plain dict (used in results/reporting)."""
+        data = {name: counter.value for name, counter in self.counters.items()}
+        for name, histogram in self.histograms.items():
+            data[f"{name}.count"] = histogram.count
+            data[f"{name}.total"] = histogram.total
+        return data
+
+
+def merge_byte_counters(counters: Iterable[ByteCounter],
+                        name: str = "merged") -> ByteCounter:
+    """Sum several :class:`ByteCounter` objects into a new one."""
+    merged = ByteCounter(name)
+    for counter in counters:
+        merged.merge(counter)
+    return merged

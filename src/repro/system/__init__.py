@@ -1,0 +1,16 @@
+"""System assembly and simulation harness."""
+
+from repro.system.config import SystemConfig
+from repro.system.builder import BuiltSystem, SystemBuilder
+from repro.system.simulation import SimulationRunner, run_workload
+from repro.system.results import RunResult, ProtocolComparison
+
+__all__ = [
+    "SystemConfig",
+    "SystemBuilder",
+    "BuiltSystem",
+    "SimulationRunner",
+    "run_workload",
+    "RunResult",
+    "ProtocolComparison",
+]

@@ -1,0 +1,78 @@
+"""System configuration (the target system of Section 4.2 / Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.network.timing import NetworkTiming
+from repro.protocols.base import ProtocolTiming
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one simulated target system.
+
+    The defaults reproduce the paper's evaluated configuration: 16 SPARC
+    nodes, 4 MB four-way level-two caches with 64-byte blocks, 1 GiB of
+    globally shared memory interleaved across the nodes, 4-BIPS blocking
+    processors, and the Table 2 network/controller latencies.
+    """
+
+    # Topology / scale.
+    num_nodes: int = 16
+    network: str = "butterfly"            # "butterfly" or "torus"
+
+    # Caches and memory (Section 4.2).
+    cache_size_bytes: int = 4 * 1024 * 1024
+    cache_associativity: int = 4
+    block_size_bytes: int = 64
+    memory_bytes: int = 1 << 30
+
+    # Protocol selection and options.
+    protocol: str = "ts-snoop"            # "ts-snoop", "dirclassic", "diropt"
+    prefetch_optimization: bool = True    # Section 3, optimisation 1
+    slack: int = 0                        # initial slack S of Section 2.2
+    detailed_address_network: bool = False
+
+    # Timing.
+    network_timing: NetworkTiming = field(default_factory=NetworkTiming)
+    protocol_timing: ProtocolTiming = field(default_factory=ProtocolTiming)
+    instructions_per_ns: int = 4
+
+    # Methodology (Section 4.3): perturbed replicas, minimum-of-runs.
+    perturbation_replicas: int = 1
+    perturbation_max_delay_ns: int = 5
+    seed: int = 42
+
+    # Consistency checking (slows runs slightly; on for tests, off for
+    # benchmarks by default).
+    enable_checker: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.perturbation_replicas <= 0:
+            raise ValueError("perturbation_replicas must be positive")
+        if self.slack < 0:
+            raise ValueError("slack must be non-negative")
+        if self.block_size_bytes <= 0 or self.block_size_bytes & (self.block_size_bytes - 1):
+            raise ValueError("block_size_bytes must be a power of two")
+
+    # ------------------------------------------------------------- variants
+    def with_protocol(self, protocol: str) -> "SystemConfig":
+        return replace(self, protocol=protocol)
+
+    def with_network(self, network: str) -> "SystemConfig":
+        return replace(self, network=network)
+
+    def with_options(self, **kwargs) -> "SystemConfig":
+        return replace(self, **kwargs)
+
+    @property
+    def label(self) -> str:
+        return f"{self.protocol}/{self.network}/{self.num_nodes}p"
+
+
+#: The exact configuration evaluated in the paper.
+PAPER_CONFIG = SystemConfig()

@@ -1,0 +1,95 @@
+"""Result records for runs and cross-protocol comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.message import TrafficCategory
+
+
+@dataclass
+class RunResult:
+    """Measured outcome of one workload run on one protocol and network."""
+
+    workload: str
+    protocol: str
+    network: str
+    runtime_ns: int
+    instructions: int
+    references: int
+    misses: int
+    cache_to_cache_misses: int
+    writebacks: int
+    nacks: int
+    retries: int
+    data_touched_mb: float
+    per_link_bytes: float
+    traffic_bytes_by_category: Dict[str, int] = field(default_factory=dict)
+    average_miss_latency_ns: float = 0.0
+    replicas: int = 1
+
+    @property
+    def cache_to_cache_fraction(self) -> float:
+        if self.misses == 0:
+            return 0.0
+        return self.cache_to_cache_misses / self.misses
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(self.traffic_bytes_by_category.values())
+
+    def traffic_fraction(self, category: TrafficCategory) -> float:
+        total = self.total_traffic_bytes
+        if total == 0:
+            return 0.0
+        return self.traffic_bytes_by_category.get(category.value, 0) / total
+
+    def summary(self) -> str:
+        return (f"{self.workload:<10} {self.protocol:<11} {self.network:<9} "
+                f"runtime={self.runtime_ns:>9} ns  misses={self.misses:>6} "
+                f"c2c={100 * self.cache_to_cache_fraction:5.1f}%  "
+                f"link={self.per_link_bytes:9.1f} B")
+
+
+@dataclass
+class ProtocolComparison:
+    """Figure 3 / Figure 4 style comparison normalised to a baseline."""
+
+    workload: str
+    network: str
+    baseline_protocol: str
+    results: Dict[str, RunResult] = field(default_factory=dict)
+
+    def add(self, result: RunResult) -> None:
+        self.results[result.protocol] = result
+
+    @property
+    def baseline(self) -> RunResult:
+        return self.results[self.baseline_protocol]
+
+    def normalized_runtime(self, protocol: str) -> float:
+        """Runtime of ``protocol`` divided by the baseline's (Figure 3)."""
+        return self.results[protocol].runtime_ns / self.baseline.runtime_ns
+
+    def normalized_traffic(self, protocol: str) -> float:
+        """Per-link traffic divided by the baseline's (Figure 4)."""
+        return (self.results[protocol].per_link_bytes
+                / self.baseline.per_link_bytes)
+
+    def speedup_of_baseline_over(self, protocol: str) -> float:
+        """"X is n% faster than Y" as defined in the paper's footnote 4.
+
+        Returns ``Time(protocol) / Time(baseline) - 1`` so that a positive
+        value means the baseline (TS-Snoop in the paper) is faster.
+        """
+        return (self.results[protocol].runtime_ns
+                / self.baseline.runtime_ns) - 1.0
+
+    def extra_traffic_of_baseline_over(self, protocol: str) -> float:
+        """Fractional extra per-link traffic the baseline uses vs ``protocol``."""
+        return (self.baseline.per_link_bytes
+                / self.results[protocol].per_link_bytes) - 1.0
+
+    def protocols(self) -> List[str]:
+        return list(self.results.keys())

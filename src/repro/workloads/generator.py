@@ -1,0 +1,74 @@
+"""Reference streams fed to the processors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.memory.coherence import AccessType
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One level-two reference issued by a processor.
+
+    ``think_instructions`` is the number of instructions the processor
+    executes (at 4 per ns) before issuing this reference; ``block`` is the
+    coherence-block number touched.
+    """
+
+    block: int
+    access_type: AccessType
+    think_instructions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block < 0:
+            raise ValueError("block must be non-negative")
+        if self.think_instructions < 0:
+            raise ValueError("think_instructions must be non-negative")
+
+
+class WorkloadGenerator:
+    """Builds per-processor reference streams from a workload profile.
+
+    The generator walks the profile's access-pattern mix: for each reference
+    it picks a pattern according to the profile weights and asks the pattern
+    for the concrete block / access type.  Streams are materialised eagerly
+    (lists) so that perturbed replicas of a run replay the *identical*
+    reference streams, as the paper's methodology requires.
+    """
+
+    def __init__(self, profile, num_nodes: int, rng) -> None:
+        self.profile = profile
+        self.num_nodes = num_nodes
+        self.rng = rng
+        self._patterns = profile.build_patterns(num_nodes, rng)
+        self._weights = [weight for weight, _pattern in self._patterns]
+        self._pattern_objects = [pattern for _weight, pattern in self._patterns]
+
+    def build_streams(self) -> List[List[Reference]]:
+        """One eager reference list per node (warm-up + measured phases)."""
+        total = self.profile.references_per_node
+        return [self._build_stream(node, total) for node in range(self.num_nodes)]
+
+    def _build_stream(self, node: int, length: int) -> List[Reference]:
+        stream: List[Reference] = []
+        node_rng = self.rng.fork(node + 1)
+        for _ in range(length):
+            pattern = node_rng.weighted_choice(self._pattern_objects,
+                                               self._weights)
+            block, access_type = pattern.next_access(node, node_rng)
+            think = node_rng.geometric(self.profile.mean_think_instructions)
+            stream.append(Reference(block=block, access_type=access_type,
+                                    think_instructions=think))
+        return stream
+
+    def footprint_blocks(self) -> int:
+        """Distinct blocks the profile can touch (reported in Table 3)."""
+        return sum(pattern.footprint_blocks()
+                   for pattern in self._pattern_objects)
+
+
+def stream_iterator(stream: Sequence[Reference]) -> Iterator[Reference]:
+    """Plain iterator over an eager stream (what the processor consumes)."""
+    return iter(stream)

@@ -1,0 +1,174 @@
+"""Sharing-pattern building blocks for the synthetic workloads.
+
+Commercial-workload memory behaviour, as characterised by Barroso et al. and
+by the paper's own Table 3, decomposes into a handful of reference patterns
+with very different coherence behaviour:
+
+* **private** data -- per-processor working set; cold/capacity misses are
+  satisfied from memory, everything else hits in the L2;
+* **read-mostly shared** data -- indices, code, configuration; misses are
+  satisfied from memory because clean-shared copies do not source data in an
+  MSI protocol;
+* **migratory** data -- records updated by one processor at a time
+  (read-modify-write); each handoff is a cache-to-cache transfer;
+* **producer/consumer** data -- one writer, several readers; consumer misses
+  are cache-to-cache transfers, producer re-writes come back from memory;
+* **locks** -- test-and-set style synchronisation with contention, another
+  cache-to-cache source (and, under a directory protocol with busy states, a
+  NACK source).
+
+A workload profile mixes these with weights chosen to land on the paper's
+per-benchmark cache-to-cache fraction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+from repro.memory.coherence import AccessType
+from repro.sim.randomness import DeterministicRandom
+
+
+class AccessPattern(ABC):
+    """One component of a workload's reference mix."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def next_access(self, node: int,
+                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+        """Return the next (block, access type) for ``node``."""
+
+    @abstractmethod
+    def footprint_blocks(self) -> int:
+        """Number of distinct blocks this pattern can touch."""
+
+
+class PrivatePattern(AccessPattern):
+    """Per-node private working set with Zipf-like reuse."""
+
+    name = "private"
+
+    def __init__(self, base_block: int, blocks_per_node: int, num_nodes: int,
+                 write_fraction: float = 0.3, locality_skew: float = 0.6) -> None:
+        if blocks_per_node <= 0:
+            raise ValueError("blocks_per_node must be positive")
+        self.base_block = base_block
+        self.blocks_per_node = blocks_per_node
+        self.num_nodes = num_nodes
+        self.write_fraction = write_fraction
+        self.locality_skew = locality_skew
+
+    def next_access(self, node: int,
+                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+        offset = rng.zipf_index(self.blocks_per_node, self.locality_skew)
+        block = self.base_block + node * self.blocks_per_node + offset
+        access = (AccessType.STORE if rng.random() < self.write_fraction
+                  else AccessType.LOAD)
+        return block, access
+
+    def footprint_blocks(self) -> int:
+        return self.blocks_per_node * self.num_nodes
+
+
+class ReadSharedPattern(AccessPattern):
+    """Read-only hot data shared by every node (indices, code, catalogs)."""
+
+    name = "read-shared"
+
+    def __init__(self, base_block: int, num_blocks: int,
+                 hot_skew: float = 0.7) -> None:
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        self.base_block = base_block
+        self.num_blocks = num_blocks
+        self.hot_skew = hot_skew
+
+    def next_access(self, node: int,
+                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+        offset = rng.zipf_index(self.num_blocks, self.hot_skew)
+        return self.base_block + offset, AccessType.LOAD
+
+    def footprint_blocks(self) -> int:
+        return self.num_blocks
+
+
+class MigratoryPattern(AccessPattern):
+    """Records updated by one processor at a time (read-modify-write).
+
+    Every access is an atomic read-modify-write of a randomly chosen record,
+    so whenever the record last lived in another processor's cache the miss
+    is a cache-to-cache transfer.
+    """
+
+    name = "migratory"
+
+    def __init__(self, base_block: int, num_blocks: int) -> None:
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        self.base_block = base_block
+        self.num_blocks = num_blocks
+
+    def next_access(self, node: int,
+                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+        offset = rng.uniform_int(0, self.num_blocks - 1)
+        return self.base_block + offset, AccessType.ATOMIC
+
+    def footprint_blocks(self) -> int:
+        return self.num_blocks
+
+
+class ProducerConsumerPattern(AccessPattern):
+    """One producer per buffer, read by the other nodes."""
+
+    name = "producer-consumer"
+
+    def __init__(self, base_block: int, num_buffers: int, num_nodes: int,
+                 produce_fraction: float = 0.4) -> None:
+        if num_buffers <= 0:
+            raise ValueError("num_buffers must be positive")
+        self.base_block = base_block
+        self.num_buffers = num_buffers
+        self.num_nodes = num_nodes
+        self.produce_fraction = produce_fraction
+
+    def next_access(self, node: int,
+                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+        buffer_index = rng.uniform_int(0, self.num_buffers - 1)
+        block = self.base_block + buffer_index
+        producer = buffer_index % self.num_nodes
+        if node == producer or rng.random() < self.produce_fraction / self.num_nodes:
+            return block, AccessType.STORE
+        return block, AccessType.LOAD
+
+    def footprint_blocks(self) -> int:
+        return self.num_buffers
+
+
+class LockPattern(AccessPattern):
+    """Contended test-and-set locks.
+
+    Lock acquisition is an atomic read-modify-write of one of a small number
+    of heavily contended blocks -- the pattern that generates cache-to-cache
+    transfers, and (for DirClassic) bursts of NACKs when several processors
+    collide on the same lock's home entry.
+    """
+
+    name = "locks"
+
+    def __init__(self, base_block: int, num_locks: int,
+                 hot_skew: float = 0.6) -> None:
+        if num_locks <= 0:
+            raise ValueError("num_locks must be positive")
+        self.base_block = base_block
+        self.num_locks = num_locks
+        self.hot_skew = hot_skew
+
+    def next_access(self, node: int,
+                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+        offset = rng.zipf_index(self.num_locks, self.hot_skew)
+        return self.base_block + offset, AccessType.ATOMIC
+
+    def footprint_blocks(self) -> int:
+        return self.num_locks

@@ -1,0 +1,94 @@
+"""Reference-trace recording and replay.
+
+The simulator normally generates its reference streams on the fly, but the
+same streams can be captured to a simple text format and replayed later --
+useful for debugging a protocol on a known-bad sequence, for sharing
+regression inputs, and for replaying the identical stream against all three
+protocols (the harness does the latter in memory).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.memory.coherence import AccessType
+from repro.workloads.generator import Reference
+
+
+_ACCESS_CODES = {
+    AccessType.LOAD: "L",
+    AccessType.STORE: "S",
+    AccessType.ATOMIC: "A",
+}
+_CODES_TO_ACCESS = {code: access for access, code in _ACCESS_CODES.items()}
+
+
+@dataclass(frozen=True)
+class TraceReference:
+    """One line of a trace file: which node issued which reference."""
+
+    node: int
+    reference: Reference
+
+    def to_line(self) -> str:
+        ref = self.reference
+        return (f"{self.node} {_ACCESS_CODES[ref.access_type]} "
+                f"{ref.block} {ref.think_instructions}")
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceReference":
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(f"malformed trace line: {line!r}")
+        node, code, block, think = parts
+        if code not in _CODES_TO_ACCESS:
+            raise ValueError(f"unknown access code {code!r} in {line!r}")
+        return cls(node=int(node),
+                   reference=Reference(block=int(block),
+                                       access_type=_CODES_TO_ACCESS[code],
+                                       think_instructions=int(think)))
+
+
+class TraceRecorder:
+    """Accumulates per-node reference streams and writes them to a file."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceReference] = []
+
+    def record_streams(self, streams: Sequence[Sequence[Reference]]) -> None:
+        for node, stream in enumerate(streams):
+            for reference in stream:
+                self.records.append(TraceReference(node, reference))
+
+    def write(self, destination: Union[str, Path, io.TextIOBase]) -> int:
+        """Write the trace; returns the number of lines written."""
+        lines = [record.to_line() for record in self.records]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if isinstance(destination, (str, Path)):
+            Path(destination).write_text(text)
+        else:
+            destination.write(text)
+        return len(lines)
+
+
+def replay_trace(source: Union[str, Path, Iterable[str]],
+                 num_nodes: int) -> List[List[Reference]]:
+    """Read a trace back into per-node reference streams."""
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    streams: List[List[Reference]] = [[] for _ in range(num_nodes)]
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        record = TraceReference.from_line(line)
+        if not 0 <= record.node < num_nodes:
+            raise ValueError(f"trace references node {record.node}, but the "
+                             f"system has {num_nodes} nodes")
+        streams[record.node].append(record.reference)
+    return streams

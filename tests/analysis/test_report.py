@@ -1,0 +1,72 @@
+"""Tests for report formatting helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_figure3,
+    format_figure4,
+    format_table,
+    normalize,
+)
+from repro.system.results import ProtocolComparison, RunResult
+
+
+def result(protocol, runtime, per_link):
+    return RunResult(workload="oltp", protocol=protocol, network="butterfly",
+                     runtime_ns=runtime, instructions=0, references=0,
+                     misses=10, cache_to_cache_misses=5, writebacks=0,
+                     nacks=0, retries=0, data_touched_mb=1.0,
+                     per_link_bytes=per_link,
+                     traffic_bytes_by_category={"Data": 60, "Request": 40})
+
+
+@pytest.fixture
+def comparisons():
+    comparison = ProtocolComparison(workload="oltp", network="butterfly",
+                                    baseline_protocol="ts-snoop")
+    comparison.add(result("ts-snoop", 100, 10.0))
+    comparison.add(result("dirclassic", 130, 8.0))
+    comparison.add(result("diropt", 110, 7.5))
+    return {"oltp": comparison}
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.50" in text
+        assert "x" in text
+
+    def test_column_widths_accommodate_long_cells(self):
+        text = format_table(["col"], [["averyveryverylongvalue"]])
+        assert "averyveryverylongvalue" in text
+
+
+class TestNormalize:
+    def test_divides_by_baseline(self):
+        values = normalize({"a": 10.0, "b": 20.0}, baseline="a")
+        assert values == {"a": 1.0, "b": 2.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize({"a": 1.0}, baseline="z")
+
+    def test_zero_baseline(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize({"a": 0.0}, baseline="a")
+
+
+class TestFigureFormatting:
+    def test_figure3_contains_normalised_ratios(self, comparisons):
+        text = format_figure3(comparisons, network="butterfly")
+        assert "Figure 3" in text
+        assert "1.30" in text
+        assert "1.10" in text
+
+    def test_figure4_lists_every_protocol(self, comparisons):
+        text = format_figure4(comparisons, network="butterfly")
+        for protocol in ("ts-snoop", "dirclassic", "diropt"):
+            assert protocol in text
+        assert "Data" in text and "Nack" in text

@@ -1,0 +1,57 @@
+"""The back-of-envelope traffic bound of Section 5."""
+
+import pytest
+
+from repro.analysis.traffic_model import (
+    broadcast_cost_scaling,
+    data_message_bytes,
+    per_miss_bytes,
+    traffic_bound,
+)
+from repro.network import make_topology
+from repro.network.butterfly import ButterflyTopology
+from repro.network.torus import TorusTopology
+
+
+class TestPaperNumbers:
+    def test_butterfly_384_vs_240_bytes(self):
+        """Section 5: snooping 384 B/miss vs directory 240 B/miss."""
+        bound = per_miss_bytes(make_topology("butterfly"), block_bytes=64)
+        assert bound.snooping_bytes_per_miss == 384
+        assert bound.directory_bytes_per_miss == 240
+
+    def test_sixty_percent_bound(self):
+        """'the extra bandwidth used by timestamp snooping cannot exceed 60%'."""
+        assert traffic_bound(make_topology("butterfly")) == pytest.approx(0.60)
+
+    def test_directories_use_at_least_63_percent(self):
+        bound = per_miss_bytes(make_topology("butterfly"))
+        assert bound.directory_fraction_of_snooping == pytest.approx(0.625,
+                                                                     abs=0.01)
+
+    def test_doubling_block_size_reduces_bound_to_33_percent(self):
+        """'Doubling the block size ... reduces the upper limit ... to 33%'."""
+        assert traffic_bound(make_topology("butterfly"),
+                             block_bytes=128) == pytest.approx(1 / 3, abs=0.01)
+
+    def test_data_message_bytes(self):
+        assert data_message_bytes(64) == 72
+        assert data_message_bytes(128) == 136
+
+
+class TestScalingClaims:
+    def test_more_processors_raise_broadcast_cost(self):
+        """Section 5: 'Increasing the number of processors increases the cost
+        of broadcasting each transaction.'"""
+        scaling = broadcast_cost_scaling(
+            lambda n: TorusTopology.for_endpoints(n), [4, 16, 64])
+        assert scaling[4] < scaling[16] < scaling[64]
+
+    def test_torus_bound_positive(self):
+        assert traffic_bound(make_topology("torus")) > 0
+
+    def test_bound_applies_per_source(self):
+        butterfly = ButterflyTopology()
+        for source in (0, 7, 15):
+            bound = per_miss_bytes(butterfly, source=source)
+            assert bound.extra_fraction == pytest.approx(0.60)

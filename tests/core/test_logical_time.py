@@ -1,0 +1,79 @@
+"""Unit tests for OT/GT/slack arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.logical_time import (
+    LogicalTimestamp,
+    SlackRules,
+    order_key,
+    ordering_time,
+)
+
+
+class TestOrderingTime:
+    def test_formula(self):
+        """OT = GT_source + Dmax + S (Section 2.2)."""
+        assert ordering_time(10, 3, 0) == 13
+        assert ordering_time(10, 4, 2) == 16
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ordering_time(0, -1, 0)
+        with pytest.raises(ValueError):
+            ordering_time(0, 3, -1)
+
+
+class TestOrderKey:
+    def test_ot_dominates(self):
+        assert order_key(5, 9) < order_key(6, 0)
+
+    def test_source_breaks_ties(self):
+        assert order_key(5, 2) < order_key(5, 7)
+
+    def test_total_order_over_timestamps(self):
+        timestamps = [LogicalTimestamp(3, 1), LogicalTimestamp(2, 9),
+                      LogicalTimestamp(3, 0)]
+        ordered = sorted(timestamps)
+        assert ordered[0].ordering_time == 2
+        assert ordered[1] == LogicalTimestamp(3, 0)
+
+    def test_invalid_timestamp(self):
+        with pytest.raises(ValueError):
+            LogicalTimestamp(-1, 0)
+        with pytest.raises(ValueError):
+            LogicalTimestamp(0, -1)
+
+
+class TestSlackRules:
+    def test_rule1_entering_switch(self):
+        assert SlackRules.on_enter_switch(1, 0) == 1
+        assert SlackRules.on_enter_switch(1, 2) == 3
+
+    def test_rule2_token_passes(self):
+        assert SlackRules.on_token_passes(2) == 1
+
+    def test_rule2_zero_slack_blocks_token(self):
+        """The S >= 0 invariant prohibits tokens passing zero-slack
+        transactions."""
+        with pytest.raises(ValueError):
+            SlackRules.on_token_passes(0)
+
+    def test_rule3_branch_delta(self):
+        assert SlackRules.on_branch(1, 0) == 1
+        assert SlackRules.on_branch(1, 2) == 3
+
+    def test_invariant_checker(self):
+        SlackRules.check_invariant(0)
+        with pytest.raises(AssertionError):
+            SlackRules.check_invariant(-1)
+
+    @given(st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=5),
+           st.integers(min_value=0, max_value=5))
+    def test_rules_never_produce_negative_slack(self, slack, tokens, delta):
+        after_enter = SlackRules.on_enter_switch(slack, tokens)
+        after_branch = SlackRules.on_branch(after_enter, delta)
+        assert after_branch >= 0
+        if after_branch > 0:
+            assert SlackRules.on_token_passes(after_branch) >= 0

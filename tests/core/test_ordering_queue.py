@@ -1,0 +1,85 @@
+"""Unit tests for the endpoint ordering queue."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ordering_queue import OrderingQueue
+
+
+class TestOrderingQueue:
+    def test_strict_release_rule(self):
+        """A transaction with slack s inserted at GT g is released when GT
+        reaches g + s + 1 (strictly after its ordering time)."""
+        queue = OrderingQueue(endpoint=0)
+        queue.insert("a", slack=0, source=1)
+        assert queue.release_current() == []
+        released = queue.on_token()
+        assert [entry.payload for entry in released] == ["a"]
+
+    def test_releases_in_maturity_then_source_order(self):
+        queue = OrderingQueue(endpoint=0)
+        queue.insert("late", slack=1, source=0)
+        queue.insert("tie-high-source", slack=0, source=9)
+        queue.insert("tie-low-source", slack=0, source=2)
+        first_drain = [e.payload for e in queue.on_token()]
+        assert first_drain == ["tie-low-source", "tie-high-source"]
+        second_drain = [e.payload for e in queue.on_token()]
+        assert second_drain == ["late"]
+
+    def test_sequence_breaks_source_ties(self):
+        queue = OrderingQueue(endpoint=0)
+        queue.insert("second", slack=0, source=3, sequence=2)
+        queue.insert("first", slack=0, source=3, sequence=1)
+        assert [e.payload for e in queue.on_token()] == ["first", "second"]
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            OrderingQueue(0).insert("x", slack=-1, source=0)
+
+    def test_occupancy_statistics(self):
+        queue = OrderingQueue(endpoint=0)
+        for index in range(5):
+            queue.insert(index, slack=2, source=index)
+        assert len(queue) == 5
+        assert queue.max_occupancy == 5
+        queue.on_token()
+        queue.on_token()
+        queue.on_token()
+        assert queue.released == 5
+        assert len(queue) == 0
+
+    def test_pending_slack_reporting(self):
+        queue = OrderingQueue(endpoint=0)
+        queue.insert("a", slack=3, source=0)
+        queue.insert("b", slack=1, source=1)
+        assert queue.pending_slack() == [1, 3]
+        queue.on_token()
+        assert queue.pending_slack() == [0, 2]
+
+    def test_peek_returns_earliest(self):
+        queue = OrderingQueue(endpoint=0)
+        assert queue.peek() is None
+        queue.insert("later", slack=4, source=0)
+        queue.insert("sooner", slack=1, source=0)
+        assert queue.peek().payload == "sooner"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=6),
+                              st.integers(min_value=0, max_value=15)),
+                    min_size=1, max_size=40))
+    def test_release_order_is_total_order(self, inserts):
+        """Whatever the insertion order, releases follow (maturity, source)."""
+        queue = OrderingQueue(endpoint=0)
+        for sequence, (slack, source) in enumerate(inserts):
+            queue.insert((slack, source, sequence), slack=slack, source=source,
+                         sequence=sequence)
+        released = []
+        guard = 0
+        while len(queue) and guard < 100:
+            released.extend(entry.payload for entry in queue.on_token())
+            guard += 1
+        assert len(released) == len(inserts)
+        maturities = [slack for slack, _source, _seq in released]
+        keys = [(slack, source, seq) for slack, source, seq in released]
+        assert keys == sorted(keys)
+        assert maturities == sorted(maturities)

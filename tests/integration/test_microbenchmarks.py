@@ -1,0 +1,102 @@
+"""Microbenchmarks with known results (the paper's validation methodology).
+
+Section 4.3: "We validated our memory system simulator by ... simulating
+microbenchmarks with known results."  Here the known results are the
+unloaded latencies of Table 2 and simple derived quantities; each
+microbenchmark isolates one transfer type and checks the measured latency
+against the closed-form model.
+"""
+
+import pytest
+
+from repro.analysis.latency_model import table2_latencies
+from repro.protocols.base import MissSource
+
+from tests.conftest import build_and_run, empty_streams, ref
+
+
+TABLE2 = table2_latencies()
+
+
+class TestButterflyLatencies:
+    """On the butterfly every node pair is equidistant, so the measured
+    latencies must equal Table 2 exactly."""
+
+    def test_snooping_memory_fetch(self):
+        streams = empty_streams()
+        streams[2] = [ref(0, "load")]
+        system = build_and_run("ts-snoop", streams, network="butterfly")
+        assert (system.controllers[2].miss_records[0].latency
+                == TABLE2["butterfly"].block_from_memory_ns)
+
+    def test_snooping_cache_to_cache(self):
+        streams = empty_streams()
+        streams[1] = [ref(0, "store")]
+        streams[2] = [ref(0, "load", think=40_000)]
+        system = build_and_run("ts-snoop", streams, network="butterfly")
+        assert (system.controllers[2].miss_records[0].latency
+                == TABLE2["butterfly"].block_from_cache_snooping_ns)
+
+    @pytest.mark.parametrize("protocol", ["dirclassic", "diropt"])
+    def test_directory_three_hop(self, protocol):
+        streams = empty_streams()
+        streams[1] = [ref(0, "store")]
+        streams[2] = [ref(0, "load", think=40_000)]
+        system = build_and_run(protocol, streams, network="butterfly")
+        assert (system.controllers[2].miss_records[0].latency
+                == TABLE2["butterfly"].block_from_cache_directory_ns)
+
+    @pytest.mark.parametrize("protocol", ["dirclassic", "diropt"])
+    def test_directory_memory_fetch(self, protocol):
+        streams = empty_streams()
+        streams[2] = [ref(0, "load")]
+        system = build_and_run(protocol, streams, network="butterfly")
+        assert (system.controllers[2].miss_records[0].latency
+                == TABLE2["butterfly"].block_from_memory_ns)
+
+
+class TestTorusLatencies:
+    """On the torus latency depends on placement; check the derived claims
+    rather than single numbers."""
+
+    def test_snooping_cache_to_cache_beats_directory(self):
+        streams = empty_streams()
+        streams[1] = [ref(0, "store")]
+        streams[2] = [ref(0, "load", think=40_000)]
+        snoop = build_and_run("ts-snoop", streams, network="torus")
+        directory = build_and_run("diropt", streams, network="torus")
+        snoop_latency = snoop.controllers[2].miss_records[0].latency
+        dir_latency = directory.controllers[2].miss_records[0].latency
+        assert snoop_latency < dir_latency
+        # "roughly half" (Section 4.2) -- allow generous slack for placement.
+        assert snoop_latency < 0.75 * dir_latency
+
+    def test_memory_fetch_identical_across_protocols(self):
+        streams = empty_streams()
+        streams[6] = [ref(3, "load")]
+        latencies = set()
+        for protocol in ("ts-snoop", "dirclassic", "diropt"):
+            system = build_and_run(protocol, streams, network="torus")
+            record = system.controllers[6].miss_records[0]
+            assert record.source is MissSource.MEMORY
+            latencies.add(record.latency)
+        # All protocols fetch from memory through the same unloaded network;
+        # TS-Snoop may add a small ordering wait but never saves time.
+        assert max(latencies) - min(latencies) <= 30
+
+
+class TestDerivedRatios:
+    def test_cache_to_cache_is_70_percent_of_memory_on_butterfly(self):
+        streams_memory = empty_streams()
+        streams_memory[2] = [ref(0, "load")]
+        memory_system = build_and_run("ts-snoop", streams_memory,
+                                      network="butterfly")
+        streams_c2c = empty_streams()
+        streams_c2c[1] = [ref(0, "store")]
+        streams_c2c[2] = [ref(0, "load", think=40_000)]
+        c2c_system = build_and_run("ts-snoop", streams_c2c,
+                                   network="butterfly")
+        memory_latency = memory_system.controllers[2].miss_records[0].latency
+        c2c_latency = c2c_system.controllers[2].miss_records[0].latency
+        assert c2c_latency / memory_latency == pytest.approx(123 / 178,
+                                                             abs=0.02)

@@ -1,0 +1,100 @@
+"""Integration tests that lock down the paper's qualitative results.
+
+These are the statements the abstract and Section 5 make; the full-scale
+versions live in ``benchmarks/``, while these run at reduced scale so the
+test suite stays fast.
+"""
+
+import pytest
+
+from repro import api
+from repro.analysis.tables import headline_summary, table3
+from repro.workloads.profiles import PROFILES
+
+
+SCALE = 0.35
+
+
+@pytest.fixture(scope="module")
+def butterfly_sweep():
+    return api.sweep_workloads(network="butterfly", scale=SCALE,
+                               workloads=["oltp", "dss", "barnes"])
+
+
+@pytest.fixture(scope="module")
+def torus_sweep():
+    return api.sweep_workloads(network="torus", scale=SCALE,
+                               workloads=["oltp", "apache"])
+
+
+class TestFigure3Shape:
+    def test_ts_snoop_fastest_on_butterfly(self, butterfly_sweep):
+        for workload, comparison in butterfly_sweep.items():
+            assert comparison.normalized_runtime("dirclassic") > 1.0, workload
+            assert comparison.normalized_runtime("diropt") > 1.0, workload
+
+    def test_ts_snoop_fastest_on_torus(self, torus_sweep):
+        for workload, comparison in torus_sweep.items():
+            assert comparison.normalized_runtime("dirclassic") > 1.0, workload
+            assert comparison.normalized_runtime("diropt") > 1.0, workload
+
+    def test_diropt_beats_dirclassic(self, butterfly_sweep):
+        """Figure 3: the NACK-free directory is never slower than Origin-style."""
+        for workload, comparison in butterfly_sweep.items():
+            assert (comparison.normalized_runtime("diropt")
+                    <= comparison.normalized_runtime("dirclassic")), workload
+
+    def test_dss_is_pathological_under_dirclassic(self, butterfly_sweep):
+        """The paper omits DSS/DirClassic because it ran >2x slower."""
+        dss = butterfly_sweep["dss"]
+        assert dss.normalized_runtime("dirclassic") > 1.5
+        assert dss.results["dirclassic"].nacks > dss.results["diropt"].nacks
+
+    def test_speedups_are_in_a_plausible_band(self, butterfly_sweep):
+        summary = headline_summary(butterfly_sweep, "butterfly")
+        low, high = summary.speedup_range()
+        assert low > 0.0
+        assert high < 1.0
+
+
+class TestFigure4Shape:
+    def test_ts_snoop_uses_more_link_bandwidth(self, butterfly_sweep,
+                                               torus_sweep):
+        for sweep in (butterfly_sweep, torus_sweep):
+            for workload, comparison in sweep.items():
+                assert comparison.normalized_traffic("dirclassic") < 1.0
+                assert comparison.normalized_traffic("diropt") < 1.0
+
+    def test_extra_traffic_below_section5_bound(self, butterfly_sweep):
+        """Measured extra bandwidth must stay below the 60% analytic bound."""
+        for workload, comparison in butterfly_sweep.items():
+            extra = comparison.extra_traffic_of_baseline_over("diropt")
+            assert extra < 0.60 + 0.05, workload
+
+    def test_data_dominates_traffic_for_directories(self, butterfly_sweep):
+        from repro.network.message import TrafficCategory
+        for comparison in butterfly_sweep.values():
+            directory = comparison.results["diropt"]
+            assert directory.traffic_fraction(TrafficCategory.DATA) > 0.5
+
+    def test_only_dirclassic_produces_nack_traffic(self, butterfly_sweep):
+        for comparison in butterfly_sweep.values():
+            assert comparison.results["diropt"].nacks == 0
+            assert comparison.results["ts-snoop"].nacks == 0
+
+
+class TestTable3Calibration:
+    def test_cache_to_cache_fractions_match_paper(self):
+        """Simulated Table 3 c2c fractions land near the paper's values."""
+        rows = table3(scale=0.6, network="butterfly")
+        for row in rows:
+            assert abs(row.three_hop_percent
+                       - row.paper_three_hop_percent) < 15.0, row.workload
+
+    def test_footprint_ordering_matches_paper(self):
+        rows = table3(scale=0.4, network="butterfly")
+        measured = {row.workload: row.data_touched_mb for row in rows}
+        paper = {name: PROFILES[name].paper_data_touched_mb
+                 for name in measured}
+        assert max(measured, key=measured.get) == max(paper, key=paper.get)
+        assert min(measured, key=measured.get) == min(paper, key=paper.get)

@@ -1,0 +1,62 @@
+"""Unit tests for messages and their Figure 4 byte accounting."""
+
+from repro.network.message import (
+    CONTROL_MESSAGE_BYTES,
+    DATA_MESSAGE_BYTES,
+    Message,
+    MessageKind,
+    TrafficCategory,
+)
+
+
+class TestMessageKinds:
+    def test_paper_byte_sizes(self):
+        assert DATA_MESSAGE_BYTES == 72
+        assert CONTROL_MESSAGE_BYTES == 8
+        assert MessageKind.DATA.size_bytes == 72
+        assert MessageKind.GETS.size_bytes == 8
+
+    def test_figure4_categories(self):
+        assert MessageKind.DATA.category is TrafficCategory.DATA
+        assert MessageKind.WRITEBACK_DATA.category is TrafficCategory.DATA
+        assert MessageKind.GETS.category is TrafficCategory.REQUEST
+        assert MessageKind.GETM.category is TrafficCategory.REQUEST
+        assert MessageKind.NACK.category is TrafficCategory.NACK
+        assert MessageKind.INVALIDATE.category is TrafficCategory.MISC
+        assert MessageKind.INV_ACK.category is TrafficCategory.MISC
+        assert MessageKind.FORWARD_GETS.category is TrafficCategory.MISC
+
+    def test_token_is_free(self):
+        assert MessageKind.TOKEN.size_bytes == 0
+
+    def test_is_data_and_request_flags(self):
+        assert MessageKind.DATA.is_data
+        assert not MessageKind.DATA.is_request
+        assert MessageKind.GETS.is_request
+
+
+class TestMessage:
+    def test_broadcast_detection(self):
+        broadcast = Message(MessageKind.GETS, src=1, dst=None, block=7)
+        unicast = Message(MessageKind.DATA, src=1, dst=2, block=7)
+        assert broadcast.is_broadcast
+        assert not unicast.is_broadcast
+
+    def test_unique_ids(self):
+        a = Message(MessageKind.GETS, 0, None, 1)
+        b = Message(MessageKind.GETS, 0, None, 1)
+        assert a.msg_id != b.msg_id
+
+    def test_reply_targets_original_sender(self):
+        request = Message(MessageKind.GETS, src=3, dst=8, block=42)
+        reply = request.reply(MessageKind.DATA, src=8, version=5)
+        assert reply.dst == 3
+        assert reply.src == 8
+        assert reply.block == 42
+        assert reply.payload["version"] == 5
+
+    def test_payload_is_per_message(self):
+        a = Message(MessageKind.DATA, 0, 1, 2)
+        b = Message(MessageKind.DATA, 0, 1, 2)
+        a.payload["x"] = 1
+        assert "x" not in b.payload

@@ -1,0 +1,99 @@
+"""Unit tests for the coherence checker."""
+
+from repro.memory.cache import CacheArray
+from repro.memory.coherence import CacheState
+from repro.processor.consistency import CoherenceChecker, check_swmr_invariant
+
+
+class TestCoherenceChecker:
+    def test_clean_history_stays_clean(self):
+        checker = CoherenceChecker()
+        checker.record_write(0, 10, version=1, time=100)
+        checker.record_read(1, 10, version=1, time=200)
+        checker.record_write(1, 10, version=2, time=300)
+        checker.record_read(0, 10, version=2, time=400)
+        assert checker.clean
+        checker.assert_clean()
+
+    def test_duplicate_write_version_flagged(self):
+        checker = CoherenceChecker()
+        checker.record_write(0, 10, version=1, time=100)
+        checker.record_write(1, 10, version=1, time=150)
+        assert not checker.clean
+        assert checker.violations[0].kind == "write-serialisation"
+
+    def test_decreasing_write_version_flagged(self):
+        checker = CoherenceChecker()
+        checker.record_write(0, 10, version=5, time=100)
+        checker.record_write(1, 10, version=3, time=150)
+        assert not checker.clean
+
+    def test_read_from_future_flagged(self):
+        checker = CoherenceChecker()
+        checker.record_write(0, 10, version=1, time=100)
+        checker.record_read(1, 10, version=7, time=150)
+        assert any(v.kind == "read-from-future" for v in checker.violations)
+
+    def test_read_going_backward_flagged(self):
+        checker = CoherenceChecker()
+        checker.record_write(0, 10, version=3, time=50)
+        checker.record_read(1, 10, version=3, time=100)
+        checker.record_read(1, 10, version=1, time=200)
+        assert any(v.kind == "read-went-backward" for v in checker.violations)
+
+    def test_blocks_are_independent(self):
+        checker = CoherenceChecker()
+        checker.record_write(0, 10, version=1, time=100)
+        checker.record_write(0, 11, version=1, time=100)
+        assert checker.clean
+
+    def test_assert_clean_raises_with_summary(self):
+        checker = CoherenceChecker()
+        checker.record_write(0, 1, version=1, time=0)
+        checker.record_write(0, 1, version=1, time=1)
+        try:
+            checker.assert_clean()
+        except AssertionError as error:
+            assert "write-serialisation" in str(error)
+        else:
+            raise AssertionError("expected assert_clean to raise")
+
+    def test_writes_to_returns_history(self):
+        checker = CoherenceChecker()
+        checker.record_write(2, 10, version=1, time=100)
+        checker.record_write(3, 10, version=2, time=200)
+        assert checker.writes_to(10) == [(100, 2, 1), (200, 3, 2)]
+
+
+class _FakeController:
+    def __init__(self):
+        self.cache = CacheArray(size_bytes=8 * 1024, associativity=4)
+
+
+class TestSWMRInvariant:
+    def test_single_writer_is_fine(self):
+        a, b = _FakeController(), _FakeController()
+        a.cache.install(10, CacheState.MODIFIED)
+        b.cache.install(11, CacheState.SHARED)
+        assert check_swmr_invariant([a, b]) == []
+
+    def test_two_writers_flagged(self):
+        a, b = _FakeController(), _FakeController()
+        a.cache.install(10, CacheState.MODIFIED)
+        b.cache.install(10, CacheState.MODIFIED)
+        problems = check_swmr_invariant([a, b])
+        assert len(problems) == 1
+        assert "multiple writers" in problems[0]
+
+    def test_writer_plus_sharer_flagged(self):
+        a, b = _FakeController(), _FakeController()
+        a.cache.install(10, CacheState.MODIFIED)
+        b.cache.install(10, CacheState.SHARED)
+        problems = check_swmr_invariant([a, b])
+        assert any("coexists" in problem for problem in problems)
+
+    def test_many_sharers_are_fine(self):
+        controllers = [_FakeController() for _ in range(4)]
+        for controller in controllers:
+            controller.cache.install(10, CacheState.SHARED)
+        assert check_swmr_invariant(controllers) == []

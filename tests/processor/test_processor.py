@@ -1,0 +1,106 @@
+"""Unit tests for the blocking processor model."""
+
+import pytest
+
+from repro.memory.coherence import AccessType
+from repro.processor.processor import Processor, ProcessorConfig
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.workloads.generator import Reference
+
+from tests.conftest import ref
+
+
+class FakeController(Component):
+    """A cache controller stub with a fixed access latency."""
+
+    def __init__(self, sim, latency=50):
+        super().__init__(sim, "fake-l2")
+        self.latency = latency
+        self.accesses = []
+
+    def access(self, block, access_type, done):
+        self.accesses.append((self.sim.now, block, access_type))
+        self.schedule(self.latency, done)
+
+
+class TestProcessorConfig:
+    def test_compute_time_rounds_up(self):
+        config = ProcessorConfig(instructions_per_ns=4)
+        assert config.compute_time(0) == 0
+        assert config.compute_time(1) == 1
+        assert config.compute_time(8) == 2
+        assert config.compute_time(9) == 3
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(instructions_per_ns=0)
+
+
+class TestProcessor:
+    def test_blocking_execution_interleaves_compute_and_memory(self):
+        sim = Simulator()
+        controller = FakeController(sim, latency=50)
+        stream = [ref(1, "load", think=40), ref(2, "store", think=40)]
+        cpu = Processor(sim, 0, controller, iter(stream))
+        cpu.start()
+        sim.run()
+        # 10 ns compute + access, then 50 ns stall, repeated.
+        assert [t for t, _b, _a in controller.accesses] == [10, 70]
+        assert cpu.finished
+        assert cpu.finish_time == 120
+        assert cpu.instructions_executed == 80
+        assert cpu.references_issued == 2
+
+    def test_counts_reads_and_writes(self):
+        sim = Simulator()
+        controller = FakeController(sim)
+        stream = [ref(1, "load"), ref(2, "store"), ref(3, "atomic")]
+        cpu = Processor(sim, 0, controller, iter(stream))
+        cpu.start()
+        sim.run()
+        assert cpu.stats.counter("reads").value == 1
+        assert cpu.stats.counter("writes").value == 2
+
+    def test_on_finish_callback(self):
+        sim = Simulator()
+        controller = FakeController(sim)
+        finished = []
+        cpu = Processor(sim, 3, controller, iter([ref(1)]),
+                        on_finish=finished.append)
+        cpu.start()
+        sim.run()
+        assert finished == [cpu]
+
+    def test_phase_barrier_stalls_until_resumed(self):
+        sim = Simulator()
+        controller = FakeController(sim, latency=10)
+        stream = [ref(i) for i in range(6)]
+        reached = []
+        cpu = Processor(sim, 0, controller, iter(stream),
+                        on_phase=reached.append, phase_boundary=3)
+        cpu.start()
+        sim.run()
+        assert reached == [cpu]
+        assert cpu.waiting_at_phase_barrier
+        assert cpu.references_issued == 3
+        assert not cpu.finished
+        cpu.resume()
+        sim.run()
+        assert cpu.finished
+        assert cpu.references_issued == 6
+
+    def test_cannot_start_twice(self):
+        sim = Simulator()
+        cpu = Processor(sim, 0, FakeController(sim), iter([]))
+        cpu.start()
+        with pytest.raises(RuntimeError):
+            cpu.start()
+
+    def test_empty_stream_finishes_immediately(self):
+        sim = Simulator()
+        cpu = Processor(sim, 0, FakeController(sim), iter([]))
+        cpu.start()
+        sim.run()
+        assert cpu.finished
+        assert cpu.finish_time == 0

@@ -1,0 +1,61 @@
+"""Unit tests for protocol-independent plumbing."""
+
+import pytest
+
+from repro.memory.coherence import AccessType
+from repro.protocols import make_protocol
+from repro.protocols.base import (
+    MissRecord,
+    MissSource,
+    ProtocolName,
+    ProtocolTiming,
+)
+from repro.protocols.dir_classic import DIR_CLASSIC_POLICY
+from repro.protocols.dir_opt import DIR_OPT_POLICY
+
+
+class TestProtocolTiming:
+    def test_paper_defaults(self):
+        timing = ProtocolTiming()
+        assert timing.cache_access_ns == 25
+        assert timing.memory_access_ns == 80
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolTiming(cache_access_ns=-1)
+
+
+class TestMissRecord:
+    def test_latency_and_classification(self):
+        record = MissRecord(node=1, block=2, access=AccessType.LOAD,
+                            issue_time=100, complete_time=223,
+                            source=MissSource.CACHE)
+        assert record.latency == 123
+        assert record.is_cache_to_cache
+        memory = MissRecord(node=1, block=2, access=AccessType.LOAD,
+                            issue_time=0, complete_time=178,
+                            source=MissSource.MEMORY)
+        assert not memory.is_cache_to_cache
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_protocol("ts-snoop").name is ProtocolName.TS_SNOOP
+        assert make_protocol("DirClassic").name is ProtocolName.DIR_CLASSIC
+        assert make_protocol("dir_opt").name is ProtocolName.DIR_OPT
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_protocol("mesi-bus")
+
+
+class TestPolicies:
+    def test_dirclassic_uses_nacks_and_unordered_forwards(self):
+        assert DIR_CLASSIC_POLICY.nack_when_busy
+        assert not DIR_CLASSIC_POLICY.ordered_forward_network
+        assert DIR_CLASSIC_POLICY.requires_transfer_ack
+
+    def test_diropt_is_nack_free_with_ordered_forwards(self):
+        assert not DIR_OPT_POLICY.nack_when_busy
+        assert DIR_OPT_POLICY.ordered_forward_network
+        assert not DIR_OPT_POLICY.requires_transfer_ack

@@ -1,0 +1,74 @@
+"""Unit tests for directory entries and banks."""
+
+from repro.protocols.directory_state import (
+    DirectoryBank,
+    DirectoryEntry,
+    DirectoryState,
+)
+
+
+class TestDirectoryEntry:
+    def test_starts_uncached(self):
+        entry = DirectoryEntry()
+        assert entry.state is DirectoryState.UNCACHED
+        assert entry.owner is None
+        assert not entry.sharers
+
+    def test_make_modified(self):
+        entry = DirectoryEntry()
+        entry.make_modified(5)
+        assert entry.state is DirectoryState.MODIFIED
+        assert entry.owner == 5
+        assert entry.sharers == {5}
+
+    def test_make_shared(self):
+        entry = DirectoryEntry()
+        entry.make_shared({1, 2})
+        assert entry.state is DirectoryState.SHARED
+        assert entry.owner is None
+        assert entry.sharers == {1, 2}
+
+    def test_add_sharer_promotes_uncached(self):
+        entry = DirectoryEntry()
+        entry.add_sharer(3)
+        assert entry.state is DirectoryState.SHARED
+        assert entry.sharers == {3}
+
+    def test_invalidation_targets_exclude_requester(self):
+        entry = DirectoryEntry()
+        entry.make_shared({1, 2, 3})
+        assert entry.invalidation_targets(2) == {1, 3}
+
+    def test_reset(self):
+        entry = DirectoryEntry()
+        entry.make_modified(4)
+        entry.reset_to_uncached()
+        assert entry.state is DirectoryState.UNCACHED
+        assert entry.owner is None
+
+    def test_busy_states_flagged(self):
+        assert DirectoryState.BUSY_SHARED.is_busy
+        assert DirectoryState.BUSY_MODIFIED.is_busy
+        assert not DirectoryState.SHARED.is_busy
+
+
+class TestDirectoryBank:
+    def test_entries_created_lazily(self):
+        bank = DirectoryBank(home_node=3)
+        assert bank.peek(10) is None
+        entry = bank.entry(10)
+        assert bank.peek(10) is entry
+        assert len(bank) == 1
+
+    def test_busy_and_owned_queries(self):
+        bank = DirectoryBank(0)
+        bank.entry(1).make_modified(4)
+        bank.entry(2).state = DirectoryState.BUSY_SHARED
+        assert bank.blocks_owned_by_caches() == {1}
+        assert bank.busy_blocks() == {2}
+
+    def test_iteration(self):
+        bank = DirectoryBank(0)
+        bank.entry(1)
+        bank.entry(2)
+        assert {block for block, _entry in bank.entries()} == {1, 2}

@@ -1,0 +1,28 @@
+"""Unit tests for the Component base class."""
+
+from repro.sim.component import Component
+
+
+class TestComponent:
+    def test_schedule_uses_simulator(self, sim):
+        component = Component(sim, "widget")
+        fired = []
+        component.schedule(5, lambda: fired.append(component.now))
+        sim.run()
+        assert fired == [5]
+
+    def test_trace_hook_receives_messages(self, sim):
+        component = Component(sim, "widget")
+        lines = []
+        component.set_trace_hook(lambda t, name, msg: lines.append((t, name, msg)))
+        component.trace("hello")
+        assert lines == [(0, "widget", "hello")]
+
+    def test_trace_without_hook_is_noop(self, sim):
+        Component(sim, "widget").trace("ignored")
+
+    def test_stats_group_is_per_component(self, sim):
+        a = Component(sim, "a")
+        b = Component(sim, "b")
+        a.stats.counter("x").increment()
+        assert b.stats.counter("x").value == 0

@@ -1,0 +1,159 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(30, lambda: order.append("c"))
+        queue.push(10, lambda: order.append("a"))
+        queue.push(20, lambda: order.append("b"))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.push(5, lambda l=label: order.append(l))
+        while queue:
+            queue.pop().callback()
+        assert order == list("abcde")
+
+    def test_priority_breaks_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5, lambda: order.append("low"), priority=1)
+        queue.push(5, lambda: order.append("high"), priority=0)
+        while queue:
+            queue.pop().callback()
+        assert order == ["high", "low"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        ran = []
+        event = queue.push(1, lambda: ran.append("cancelled"))
+        queue.push(2, lambda: ran.append("kept"))
+        event.cancel()
+        results = []
+        while queue:
+            results.append(queue.pop())
+        assert ran == []
+        assert len(results) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1, lambda: None)
+        queue.push(7, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 7
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        a = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        assert len(queue) == 2
+        # Cancellation is lazy: the entry is discarded when it is reached, so
+        # popping past the cancelled event drains the queue completely.
+        a.cancel()
+        event = queue.pop()
+        assert event.time == 2
+        assert len(queue) == 0
+
+
+class TestSimulator:
+    def test_time_advances_with_events(self, sim):
+        times = []
+        sim.schedule(10, lambda: times.append(sim.now))
+        sim.schedule(25, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [10, 25]
+        assert sim.now == 25
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run(until=50)
+        assert fired == [10]
+        assert sim.now == 50
+        assert sim.pending_events == 1
+
+    def test_max_events_bounds_work(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_nested_scheduling(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(5, lambda: fired.append("second"))
+
+        sim.schedule(1, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 6
+
+    def test_stop_requests_halt(self, sim):
+        fired = []
+        sim.schedule(1, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        assert sim.pending_events == 1
+
+    def test_step_processes_one_event(self, sim):
+        fired = []
+        sim.schedule(3, lambda: fired.append("x"))
+        assert sim.step() is True
+        assert fired == ["x"]
+        assert sim.step() is False
+
+    def test_drain_until_quiescent_raises_on_runaway(self, sim):
+        def reschedule():
+            sim.schedule(1, reschedule)
+
+        sim.schedule(1, reschedule)
+        with pytest.raises(SimulationError):
+            sim.drain_until_quiescent(max_events=100)
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_reset_clears_state(self, sim):
+        sim.schedule(5, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0
+        assert sim.pending_events == 0
+
+    def test_iterate_events_yields_times(self, sim):
+        sim.schedule(2, lambda: None)
+        sim.schedule(4, lambda: None)
+        assert list(sim.iterate_events()) == [2, 4]

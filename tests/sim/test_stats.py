@@ -1,0 +1,133 @@
+"""Unit tests for the statistics containers."""
+
+import pytest
+
+from repro.sim.stats import (
+    ByteCounter,
+    Counter,
+    Histogram,
+    StatGroup,
+    merge_byte_counters,
+)
+
+
+class TestCounter:
+    def test_increment_default(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter("x", value=7)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_int_conversion(self):
+        assert int(Counter("x", 3)) == 3
+
+
+class TestByteCounter:
+    def test_records_by_category(self):
+        counter = ByteCounter("traffic")
+        counter.record("Data", 72)
+        counter.record("Data", 72, count=2)
+        counter.record("Request", 8)
+        assert counter.bytes_for("Data") == 72 * 3
+        assert counter.messages["Data"] == 3
+        assert counter.total_bytes() == 72 * 3 + 8
+        assert counter.total_messages() == 4
+
+    def test_merge(self):
+        a = ByteCounter("a")
+        b = ByteCounter("b")
+        a.record("Data", 10)
+        b.record("Data", 5)
+        b.record("Nack", 8)
+        a.merge(b)
+        assert a.bytes_for("Data") == 15
+        assert a.bytes_for("Nack") == 8
+
+    def test_merge_byte_counters_helper(self):
+        counters = []
+        for i in range(3):
+            c = ByteCounter(f"c{i}")
+            c.record("Misc.", 8)
+            counters.append(c)
+        merged = merge_byte_counters(counters)
+        assert merged.bytes_for("Misc.") == 24
+
+    def test_reset(self):
+        counter = ByteCounter("x")
+        counter.record("Data", 72)
+        counter.reset()
+        assert counter.total_bytes() == 0
+
+
+class TestHistogram:
+    def test_mean_and_extremes(self):
+        histogram = Histogram("lat", bin_width=10)
+        for value in (10, 20, 30):
+            histogram.record(value)
+        assert histogram.mean == 20
+        assert histogram.minimum == 10
+        assert histogram.maximum == 30
+        assert histogram.count == 3
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").record(-1)
+
+    def test_overflow_bin(self):
+        histogram = Histogram("lat", bin_width=10, max_bins=5)
+        histogram.record(1000)
+        assert histogram.overflow == 1
+
+    def test_percentile_monotone(self):
+        histogram = Histogram("lat", bin_width=10)
+        for value in range(0, 200, 5):
+            histogram.record(value)
+        assert histogram.percentile(0.1) <= histogram.percentile(0.5)
+        assert histogram.percentile(0.5) <= histogram.percentile(0.9)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(1.5)
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bin_width=0)
+
+    def test_reset(self):
+        histogram = Histogram("lat")
+        histogram.record(5)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.minimum is None
+
+
+class TestStatGroup:
+    def test_counters_are_memoised(self):
+        group = StatGroup("owner")
+        group.counter("misses").increment()
+        group.counter("misses").increment()
+        assert group.counter("misses").value == 2
+
+    def test_snapshot_includes_histograms(self):
+        group = StatGroup("owner")
+        group.counter("misses").increment(3)
+        group.histogram("latency").record(50)
+        snapshot = group.snapshot()
+        assert snapshot["misses"] == 3
+        assert snapshot["latency.count"] == 1
+        assert snapshot["latency.total"] == 50
+
+    def test_reset_clears_everything(self):
+        group = StatGroup("owner")
+        group.counter("misses").increment()
+        group.histogram("latency").record(10)
+        group.byte_counter("traffic").record("Data", 72)
+        group.reset()
+        assert group.counter("misses").value == 0
+        assert group.histogram("latency").count == 0
+        assert group.byte_counter("traffic").total_bytes() == 0

@@ -1,0 +1,96 @@
+"""Unit tests for the sharing-pattern building blocks."""
+
+import pytest
+
+from repro.memory.coherence import AccessType
+from repro.sim.randomness import DeterministicRandom
+from repro.workloads.patterns import (
+    LockPattern,
+    MigratoryPattern,
+    PrivatePattern,
+    ProducerConsumerPattern,
+    ReadSharedPattern,
+)
+
+
+@pytest.fixture
+def pattern_rng():
+    return DeterministicRandom(77)
+
+
+class TestPrivatePattern:
+    def test_blocks_are_disjoint_per_node(self, pattern_rng):
+        pattern = PrivatePattern(base_block=100, blocks_per_node=50,
+                                 num_nodes=4)
+        for node in range(4):
+            for _ in range(100):
+                block, _access = pattern.next_access(node, pattern_rng)
+                assert 100 + node * 50 <= block < 100 + (node + 1) * 50
+
+    def test_write_fraction_respected(self, pattern_rng):
+        pattern = PrivatePattern(0, 50, 4, write_fraction=1.0)
+        accesses = [pattern.next_access(0, pattern_rng)[1] for _ in range(50)]
+        assert all(access is AccessType.STORE for access in accesses)
+
+    def test_footprint(self):
+        assert PrivatePattern(0, 50, 4).footprint_blocks() == 200
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            PrivatePattern(0, 0, 4)
+
+
+class TestReadSharedPattern:
+    def test_read_only_and_in_range(self, pattern_rng):
+        pattern = ReadSharedPattern(base_block=500, num_blocks=20)
+        for node in range(8):
+            block, access = pattern.next_access(node, pattern_rng)
+            assert access is AccessType.LOAD
+            assert 500 <= block < 520
+
+    def test_footprint(self):
+        assert ReadSharedPattern(0, 20).footprint_blocks() == 20
+
+
+class TestMigratoryPattern:
+    def test_every_access_is_atomic(self, pattern_rng):
+        pattern = MigratoryPattern(base_block=1000, num_blocks=10)
+        for _ in range(50):
+            block, access = pattern.next_access(3, pattern_rng)
+            assert access is AccessType.ATOMIC
+            assert 1000 <= block < 1010
+
+
+class TestProducerConsumerPattern:
+    def test_producer_always_writes_its_buffer(self, pattern_rng):
+        pattern = ProducerConsumerPattern(base_block=0, num_buffers=4,
+                                          num_nodes=4, produce_fraction=0.0)
+        writes = 0
+        for _ in range(200):
+            block, access = pattern.next_access(block_producer := 2,
+                                                pattern_rng)
+            if block % 4 == 2:
+                assert access is AccessType.STORE
+                writes += 1
+        assert writes > 0
+
+    def test_consumers_mostly_read(self, pattern_rng):
+        pattern = ProducerConsumerPattern(0, num_buffers=16, num_nodes=16,
+                                          produce_fraction=0.0)
+        accesses = [pattern.next_access(0, pattern_rng) for _ in range(300)]
+        loads = sum(1 for block, access in accesses
+                    if access is AccessType.LOAD)
+        assert loads > 200
+
+
+class TestLockPattern:
+    def test_atomic_and_in_range(self, pattern_rng):
+        pattern = LockPattern(base_block=2000, num_locks=4)
+        for _ in range(40):
+            block, access = pattern.next_access(1, pattern_rng)
+            assert access is AccessType.ATOMIC
+            assert 2000 <= block < 2004
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            LockPattern(0, 0)
