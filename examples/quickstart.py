@@ -8,9 +8,14 @@ Figure 3 / Figure 4 style comparison.
 
 Usage::
 
-    python examples/quickstart.py [workload] [network] [scale]
+    python examples/quickstart.py [workload] [network] [scale] [jobs]
 
-e.g. ``python examples/quickstart.py dss torus 0.5``.
+e.g. ``python examples/quickstart.py dss torus 0.5 4``.
+
+``jobs`` fans the (protocol x replica) simulations out over that many worker
+processes (0 = one per CPU).  The comparison is bit-identical whatever the
+value -- parallelism only changes wall-clock time, never results (see the
+:mod:`repro.parallel` docstring for the determinism guarantee).
 """
 
 import sys
@@ -23,11 +28,12 @@ def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "oltp"
     network = sys.argv[2] if len(sys.argv) > 2 else "butterfly"
     scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.4
+    jobs = int(sys.argv[4]) if len(sys.argv) > 4 else 1
 
     print(f"Simulating {workload!r} on the {network} network "
-          f"(scale={scale}) ...")
+          f"(scale={scale}, jobs={jobs}) ...")
     comparison = api.compare_protocols(workload=workload, network=network,
-                                       scale=scale)
+                                       scale=scale, jobs=jobs)
 
     rows = []
     for protocol in comparison.protocols():

@@ -13,6 +13,8 @@ SMPs" (ASPLOS 2000).  The package provides:
 * ``repro.processor`` -- the blocking processor model and consistency checker.
 * ``repro.workloads`` -- synthetic commercial-workload reference generators.
 * ``repro.system`` -- system configuration, builder and simulation runner.
+* ``repro.parallel`` -- process-pool experiment orchestration (the ``jobs=``
+  knob); parallel sweeps are bit-identical to serial ones.
 * ``repro.analysis`` -- closed-form latency/traffic models and report helpers.
 
 Quickstart::

@@ -11,61 +11,83 @@ Most users only need two calls::
     # The Figure 3 / Figure 4 comparison for one workload and network.
     comparison = api.compare_protocols(workload="oltp", network="torus")
     print(comparison.normalized_runtime("dirclassic"))
+
+Every entry point accepts ``jobs=`` to fan the underlying simulations out
+over a process pool (1 = serial, N = N workers, 0 = one per CPU).  Results
+are bit-identical regardless of ``jobs`` -- see :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.system.builder import build_streams
+from repro.parallel.sweep import run_matrix
 from repro.system.config import SystemConfig
 from repro.system.results import ProtocolComparison, RunResult
 from repro.system.simulation import SimulationRunner
-from repro.workloads.profiles import get_profile, workload_names
+from repro.workloads.profiles import (
+    WorkloadProfile,
+    get_profile,
+    workload_names,
+)
 
 
 #: Paper order of the protocols in Figures 3 and 4.
 DEFAULT_PROTOCOLS = ("ts-snoop", "dirclassic", "diropt")
 
 
+def _scaled_profile(workload: str, scale: float) -> WorkloadProfile:
+    profile = get_profile(workload)
+    return profile if scale == 1.0 else profile.scaled(scale)
+
+
+def _effective_jobs(jobs: Optional[int], config: SystemConfig) -> int:
+    """An explicit ``jobs=`` argument wins over the config knob."""
+    return config.jobs if jobs is None else jobs
+
+
 def run_experiment(workload: str = "oltp", protocol: str = "ts-snoop",
                    network: str = "butterfly", scale: float = 1.0,
                    config: Optional[SystemConfig] = None,
+                   jobs: Optional[int] = None,
                    **overrides) -> RunResult:
     """Run one workload on one protocol/network and return its RunResult.
 
     ``scale`` multiplies the length of the reference streams (1.0 is the
-    library default of a few thousand references per processor).  Additional
-    keyword arguments override :class:`~repro.system.config.SystemConfig`
-    fields, e.g. ``perturbation_replicas=3`` or ``slack=2``.
+    library default of a few thousand references per processor).  ``jobs``
+    parallelises the perturbation replicas across worker processes.
+    Additional keyword arguments override
+    :class:`~repro.system.config.SystemConfig` fields, e.g.
+    ``perturbation_replicas=3`` or ``slack=2``.
     """
     base = config or SystemConfig()
     run_config = base.with_options(protocol=protocol, network=network,
                                    **overrides)
-    profile = get_profile(workload)
-    if scale != 1.0:
-        profile = profile.scaled(scale)
-    return SimulationRunner(run_config, profile).run()
+    profile = _scaled_profile(workload, scale)
+    return SimulationRunner(run_config, profile).run(
+        jobs=_effective_jobs(jobs, run_config))
 
 
 def compare_protocols(workload: str = "oltp", network: str = "butterfly",
                       protocols: Sequence[str] = DEFAULT_PROTOCOLS,
                       scale: float = 1.0,
                       config: Optional[SystemConfig] = None,
+                      jobs: Optional[int] = None,
                       **overrides) -> ProtocolComparison:
-    """Run every protocol on the identical reference streams (Figures 3/4)."""
+    """Run every protocol on the identical reference streams (Figures 3/4).
+
+    With ``jobs > 1`` the (protocol x replica) grid runs on one shared
+    process pool; the comparison is bit-identical to a serial run.
+    """
     base = config or SystemConfig()
-    profile = get_profile(workload)
-    if scale != 1.0:
-        profile = profile.scaled(scale)
-    streams_config = base.with_options(network=network, **overrides)
-    streams = build_streams(profile, streams_config)
+    profile = _scaled_profile(workload, scale)
+    entries = [(base.with_options(protocol=protocol, network=network,
+                                  **overrides), profile)
+               for protocol in protocols]
+    results = run_matrix(entries, jobs=_effective_jobs(jobs, entries[0][0]))
     comparison = ProtocolComparison(workload=profile.name, network=network,
                                     baseline_protocol=protocols[0])
-    for protocol in protocols:
-        run_config = base.with_options(protocol=protocol, network=network,
-                                       **overrides)
-        result = SimulationRunner(run_config, profile).run(streams)
+    for result in results:
         comparison.add(result)
     return comparison
 
@@ -74,11 +96,36 @@ def sweep_workloads(network: str = "butterfly",
                     workloads: Optional[Iterable[str]] = None,
                     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
                     scale: float = 1.0,
+                    config: Optional[SystemConfig] = None,
+                    jobs: Optional[int] = None,
                     **overrides) -> Dict[str, ProtocolComparison]:
-    """Figure 3 / Figure 4 data: every workload on one network."""
+    """Figure 3 / Figure 4 data: every workload on one network.
+
+    The full (workload x protocol x replica) matrix is flattened into one
+    job pool, so ``jobs=N`` keeps all N workers busy across workload
+    boundaries instead of parallelising each comparison separately.
+    """
+    base = config or SystemConfig()
+    names = list(workloads or workload_names())
+    if not names:
+        return {}
+    entries: List[Tuple[SystemConfig, WorkloadProfile]] = []
+    for workload in names:
+        profile = _scaled_profile(workload, scale)
+        for protocol in protocols:
+            entries.append((base.with_options(protocol=protocol,
+                                              network=network, **overrides),
+                            profile))
+    results = run_matrix(entries, jobs=_effective_jobs(jobs, entries[0][0]))
+
     comparisons: Dict[str, ProtocolComparison] = {}
-    for workload in (workloads or workload_names()):
-        comparisons[workload] = compare_protocols(
-            workload=workload, network=network, protocols=protocols,
-            scale=scale, **overrides)
+    index = 0
+    for workload in names:
+        comparison = ProtocolComparison(
+            workload=entries[index][1].name, network=network,
+            baseline_protocol=protocols[0])
+        for _protocol in protocols:
+            comparison.add(results[index])
+            index += 1
+        comparisons[workload] = comparison
     return comparisons

@@ -1,0 +1,71 @@
+"""Parallel experiment orchestration (the ``jobs=`` API).
+
+The paper's methodology (Section 4.3) reports the *minimum* runtime over a
+set of perturbed replicas, replayed across three protocols, two networks and
+five workloads -- an embarrassingly parallel sweep.  This package fans those
+(workload x protocol x network x replica) simulations out over a process
+pool:
+
+* :mod:`repro.parallel.jobs` -- picklable :class:`ReplicaJob` specs, the
+  module-level worker entry point, and a per-process stream-building cache
+  so identical reference streams are built once per (profile, config) and
+  shared across protocol runs and replicas;
+* :mod:`repro.parallel.executor` -- the :mod:`concurrent.futures` pool with
+  a serial in-process fallback when ``jobs=1``;
+* :mod:`repro.parallel.sweep` -- matrix expansion and deterministic
+  minimum-replica merging.
+
+The ``jobs=`` knob
+==================
+
+Every layer accepts the same knob: :class:`repro.system.config.SystemConfig`
+carries ``jobs`` as configuration, ``SimulationRunner.run`` parallelises its
+perturbation replicas, and the high-level :mod:`repro.api` entry points
+(:func:`~repro.api.run_experiment`, :func:`~repro.api.compare_protocols`,
+:func:`~repro.api.sweep_workloads`) forward ``jobs=`` down to one shared job
+pool spanning the whole sweep.  ``jobs=1`` (the default) is strictly serial
+in-process execution; ``jobs=N`` uses N worker processes; ``jobs=0`` uses
+one worker per host CPU.
+
+Determinism guarantee
+=====================
+
+``jobs`` never changes results, only wall-clock time.  Three properties make
+parallel execution bit-identical to serial:
+
+1. every job is self-contained and deterministic -- the simulated system is
+   rebuilt inside the worker from the job's (config, profile, replica seed),
+   and reference streams are a pure function of (profile, num_nodes, seed);
+2. the executor returns results in submission order regardless of how the
+   pool interleaved the work;
+3. the minimum-replica merge replays the serial loop's exact selection rule,
+   including its tie-break toward the lowest replica index.
+
+``tests/parallel/test_parallel_sweep.py`` pins this guarantee by comparing
+``compare_protocols(jobs=4)`` field-for-field against ``jobs=1``.
+"""
+
+from repro.parallel.executor import resolve_jobs, run_replica_jobs
+from repro.parallel.jobs import (
+    ReplicaJob,
+    build_streams_cached,
+    clear_stream_cache,
+    execute_replica_job,
+)
+from repro.parallel.sweep import (
+    expand_entry,
+    run_matrix,
+    select_minimum_replica,
+)
+
+__all__ = [
+    "ReplicaJob",
+    "build_streams_cached",
+    "clear_stream_cache",
+    "execute_replica_job",
+    "expand_entry",
+    "resolve_jobs",
+    "run_matrix",
+    "run_replica_jobs",
+    "select_minimum_replica",
+]

@@ -32,14 +32,32 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False,
+                                           repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when it is popped."""
+        """Cancel the event.
+
+        The heap entry is discarded lazily when it reaches the front, but the
+        owning queue's live count drops immediately so ``len()`` /
+        ``Simulator.pending_events`` stay truthful.  Cancelling twice, or
+        cancelling an event that already ran, is a no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+            self._queue = None
 
 
 class EventQueue:
-    """A min-heap of :class:`Event` objects."""
+    """A min-heap of :class:`Event` objects.
+
+    ``len()`` counts *live* events only: entries that have been neither
+    popped nor cancelled.  Cancelled entries stay in the heap until they
+    surface (lazy deletion) but are never counted.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -56,19 +74,25 @@ class EventQueue:
              priority: int = 0, label: str = "") -> Event:
         """Insert a new event and return it (so callers may cancel it)."""
         event = Event(time=time, priority=priority, seq=self._seq,
-                      callback=callback, label=label)
+                      callback=callback, label=label, _queue=self)
         self._seq += 1
         self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is still queued."""
+        self._live -= 1
+
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            self._live -= 1
             if event.cancelled:
+                # Already uncounted when it was cancelled.
                 continue
+            self._live -= 1
+            event._queue = None
             return event
         raise SimulationError("pop from an empty event queue")
 
@@ -76,12 +100,13 @@ class EventQueue:
         """Return the time of the earliest pending event, or ``None``."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
-            self._live -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
     def clear(self) -> None:
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
         self._live = 0
 
@@ -141,27 +166,41 @@ class Simulator:
         Returns the number of events processed during this call.  ``until``
         is an inclusive simulated-time bound; ``max_events`` bounds the work
         done by this call (useful for watchdogs in tests).
+
+        Clock semantics: when ``until`` is given and the call covers the full
+        interval -- every event at or before ``until`` ran, whether the queue
+        drained first or later events remain -- the clock lands exactly on
+        ``until``.  Early exits (:meth:`stop` or the ``max_events`` budget)
+        leave the clock at the last processed event, since the interval was
+        not fully simulated.  The clock never moves backwards.
         """
         processed = 0
+        completed = True
         self._running = True
         self._stop_requested = False
         try:
             while self._queue:
                 if self._stop_requested:
+                    completed = False
                     break
                 next_time = self._queue.peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
-                    self._now = until
                     break
                 if max_events is not None and processed >= max_events:
+                    completed = False
                     break
                 event = self._queue.pop()
                 self._now = event.time
                 event.callback()
                 processed += 1
                 self._events_processed += 1
+            if (completed and not self._stop_requested
+                    and until is not None and until > self._now):
+                # stop() on the final event drains the queue, but it is
+                # still an early exit: leave the clock on that event.
+                self._now = until
         finally:
             self._running = False
         return processed
@@ -195,18 +234,25 @@ class Simulator:
 
         Convenience generator used by interactive examples and a handful of
         tests that want to observe the simulation advancing.
+
+        Matches :meth:`run`'s clock semantics: once the generator is
+        exhausted (queue drained or no event at or before ``until`` remains),
+        the clock lands on ``until``.  Abandoning the generator early leaves
+        the clock at the last processed event.
         """
         while self._queue:
             next_time = self._queue.peek_time()
             if next_time is None:
-                return
+                break
             if until is not None and next_time > until:
-                return
+                break
             event = self._queue.pop()
             self._now = event.time
             event.callback()
             self._events_processed += 1
             yield self._now
+        if until is not None and until > self._now:
+            self._now = until
 
     def reset(self) -> None:
         """Discard all pending events and rewind the clock to zero."""

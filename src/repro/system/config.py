@@ -45,6 +45,11 @@ class SystemConfig:
     perturbation_max_delay_ns: int = 5
     seed: int = 42
 
+    # Host-side parallelism: worker processes used to fan out replica /
+    # sweep jobs (see :mod:`repro.parallel`).  1 = serial, 0 = one worker
+    # per host CPU.  Results are bit-identical regardless of the value.
+    jobs: int = 1
+
     # Consistency checking (slows runs slightly; on for tests, off for
     # benchmarks by default).
     enable_checker: bool = False
@@ -56,6 +61,8 @@ class SystemConfig:
             raise ValueError("perturbation_replicas must be positive")
         if self.slack < 0:
             raise ValueError("slack must be non-negative")
+        if self.jobs < 0:
+            raise ValueError("jobs must be non-negative (0 = auto)")
         if self.block_size_bytes <= 0 or self.block_size_bytes & (self.block_size_bytes - 1):
             raise ValueError("block_size_bytes must be a power of two")
 

@@ -12,7 +12,7 @@ Methodology follows Section 4.3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.sim.kernel import SimulationError
@@ -29,12 +29,8 @@ class _PhaseBookkeeping:
     """Per-run bookkeeping for the warm-up / measurement boundary."""
 
     measure_start_ns: int = 0
-    instructions_at_boundary: Dict[int, int] = None
-    references_at_boundary: Dict[int, int] = None
-
-    def __post_init__(self) -> None:
-        self.instructions_at_boundary = {}
-        self.references_at_boundary = {}
+    instructions_at_boundary: Dict[int, int] = field(default_factory=dict)
+    references_at_boundary: Dict[int, int] = field(default_factory=dict)
 
 
 class SimulationRunner:
@@ -50,23 +46,38 @@ class SimulationRunner:
                         else profile)
 
     # ------------------------------------------------------------------ run
-    def run(self, streams: Optional[Sequence[Sequence[Reference]]] = None
-            ) -> RunResult:
-        """Run all perturbation replicas and return the minimum-runtime one."""
+    def run(self, streams: Optional[Sequence[Sequence[Reference]]] = None,
+            *, jobs: Optional[int] = None) -> RunResult:
+        """Run all perturbation replicas and return the minimum-runtime one.
+
+        ``jobs`` controls replica-level parallelism (default: the config's
+        ``jobs`` knob; 1 = serial, 0 = one worker per CPU).  Parallel runs
+        are bit-identical to serial ones -- see :mod:`repro.parallel`.
+        """
+        from repro.parallel.executor import resolve_jobs, run_replica_jobs
+        from repro.parallel.sweep import expand_entry, select_minimum_replica
+
+        workers = resolve_jobs(self.config.jobs if jobs is None else jobs)
+        if workers > 1 and self.config.perturbation_replicas > 1:
+            specs = expand_entry(self.config, self.profile, streams=streams)
+            return select_minimum_replica(run_replica_jobs(specs,
+                                                           jobs=workers))
+
         if streams is None:
             streams = build_streams(self.profile, self.config)
-        best: Optional[RunResult] = None
-        replicas = list(PerturbationModel.replicas(
+        replicas = PerturbationModel.replicas(
             self.config.seed, self.config.perturbation_replicas,
-            self.config.perturbation_max_delay_ns))
-        for perturbation in replicas:
-            result = self._run_once(streams, perturbation)
-            if best is None or result.runtime_ns < best.runtime_ns:
-                best = result
-        best.replicas = len(replicas)
-        return best
+            self.config.perturbation_max_delay_ns)
+        return select_minimum_replica(
+            [self._run_once(streams, perturbation)
+             for perturbation in replicas])
 
     # ------------------------------------------------------------- one run
+    def run_replica(self, streams: Sequence[Sequence[Reference]],
+                    perturbation: PerturbationModel) -> RunResult:
+        """Run exactly one perturbation replica (the parallel worker path)."""
+        return self._run_once(streams, perturbation)
+
     def _run_once(self, streams: Sequence[Sequence[Reference]],
                   perturbation: PerturbationModel) -> RunResult:
         profile = self.profile

@@ -62,12 +62,57 @@ class TestEventQueue:
         a = queue.push(1, lambda: None)
         queue.push(2, lambda: None)
         assert len(queue) == 2
-        # Cancellation is lazy: the entry is discarded when it is reached, so
-        # popping past the cancelled event drains the queue completely.
+        # The heap entry is discarded lazily, but the live count drops the
+        # moment the event is cancelled.
         a.cancel()
+        assert len(queue) == 1
         event = queue.pop()
         assert event.time == 2
         assert len(queue) == 0
+
+    def test_cancel_decrements_immediately(self):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in (1, 2, 3)]
+        events[1].cancel()
+        assert len(queue) == 2
+        assert bool(queue) is True
+        events[0].cancel()
+        events[2].cancel()
+        assert len(queue) == 0
+        assert bool(queue) is False
+
+    def test_cancel_twice_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_is_noop(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        assert queue.pop() is event
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop().time == 2
+
+    def test_cancel_after_clear_is_noop(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.clear()
+        event.cancel()
+        assert len(queue) == 0
+
+    def test_peek_time_keeps_count_truthful(self):
+        queue = EventQueue()
+        first = queue.push(1, lambda: None)
+        queue.push(7, lambda: None)
+        first.cancel()
+        assert len(queue) == 1
+        assert queue.peek_time() == 7
+        assert len(queue) == 1
 
 
 class TestSimulator:
@@ -157,3 +202,56 @@ class TestSimulator:
         sim.schedule(2, lambda: None)
         sim.schedule(4, lambda: None)
         assert list(sim.iterate_events()) == [2, 4]
+
+    # ------------------------------------------------- until clock semantics
+    def test_run_until_advances_clock_when_queue_drains(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run(until=50)
+        assert sim.now == 50
+
+    def test_run_until_advances_clock_on_empty_queue(self, sim):
+        sim.run(until=25)
+        assert sim.now == 25
+
+    def test_run_until_never_moves_clock_backwards(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.now == 10
+        sim.run(until=5)
+        assert sim.now == 10
+
+    def test_run_until_not_advanced_on_max_events_exit(self, sim):
+        for t in (1, 2, 3):
+            sim.schedule(t, lambda: None)
+        sim.run(until=100, max_events=2)
+        assert sim.now == 2
+
+    def test_run_until_not_advanced_on_stop(self, sim):
+        sim.schedule(1, sim.stop)
+        sim.schedule(2, lambda: None)
+        sim.run(until=100)
+        assert sim.now == 1
+
+    def test_run_until_not_advanced_when_stop_drains_queue(self, sim):
+        sim.schedule(1, sim.stop)
+        sim.run(until=100)
+        assert sim.now == 1
+
+    def test_cancelled_events_do_not_stall_run(self, sim):
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 0
+        sim.run(until=20)
+        assert sim.now == 20
+
+    def test_iterate_events_until_advances_clock(self, sim):
+        sim.schedule(2, lambda: None)
+        sim.schedule(40, lambda: None)
+        assert list(sim.iterate_events(until=30)) == [2]
+        assert sim.now == 30
+        assert sim.pending_events == 1
+
+    def test_iterate_events_until_advances_clock_when_drained(self, sim):
+        sim.schedule(2, lambda: None)
+        assert list(sim.iterate_events(until=9)) == [2]
+        assert sim.now == 9
