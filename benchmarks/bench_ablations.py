@@ -10,7 +10,6 @@
   scaled-down reference streams).
 """
 
-import pytest
 
 from repro import api
 from repro.analysis.report import format_table

@@ -5,7 +5,6 @@ the 60% extra-bandwidth bound, its reduction to 33% at 128-byte blocks, and
 the growth of the broadcast cost with system size.
 """
 
-import pytest
 
 from repro.analysis.report import format_table
 from repro.analysis.traffic_model import broadcast_cost_scaling, per_miss_bytes

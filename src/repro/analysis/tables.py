@@ -15,8 +15,8 @@ from repro.analysis.latency_model import LatencyModel, UnloadedLatencies, table2
 from repro.analysis.traffic_model import TrafficBound, per_miss_bytes
 from repro.network import make_topology
 from repro.system.config import SystemConfig
-from repro.system.results import ProtocolComparison, RunResult
-from repro.workloads.profiles import PROFILES, get_profile, workload_names
+from repro.system.results import ProtocolComparison
+from repro.workloads.profiles import PROFILES, workload_names
 
 
 #: Paper values used for side-by-side reporting in EXPERIMENTS.md.

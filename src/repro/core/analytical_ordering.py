@@ -66,6 +66,9 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         self._ordered_handlers: Dict[int, OrderedHandler] = {}
         self._early_handlers: Dict[int, EarlyHandler] = {}
         self._logical_counter = 0
+        # Pre-bound counter handles for the per-broadcast fast path.
+        self._ctr_broadcasts = self.stats.counter("broadcasts")
+        self._ctr_deliveries = self.stats.counter("deliveries")
 
     # -------------------------------------------------------------- plumbing
     def attach(self, endpoint: int, ordered_handler: OrderedHandler,
@@ -87,7 +90,7 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         tree = self.topology.broadcast_tree(source)
         if self.accountant is not None:
             self.accountant.record(message, tree.link_count())
-        self.stats.counter("broadcasts").increment()
+        self._ctr_broadcasts.increment()
 
         jitter = 0
         if self.perturbation is not None and self.perturbation.enabled:
@@ -121,7 +124,7 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
                                                     ordered_time, logical_time),
                       priority=message.src,
                       label="ordered")
-        self.stats.counter("deliveries").increment(self.topology.num_endpoints)
+        self._ctr_deliveries.increment(self.topology.num_endpoints)
 
     def _deliver_ordered(self, message: Message, tree, injected_at: int,
                          ordered_time: int, logical_time: int) -> None:

@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class PendingTransaction:
     """Heap entry: matures when the endpoint GT reaches ``maturity``."""
 

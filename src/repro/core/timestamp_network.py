@@ -50,7 +50,7 @@ _MESSAGE_PRIORITY = 0
 _TOKEN_PRIORITY = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class OrderedDelivery:
     """What an endpoint's protocol controller receives for each transaction."""
 
@@ -133,6 +133,10 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             ep: _EndpointPort(ep) for ep in topology.endpoints()
         }
         self._trees: Dict[int, BroadcastTree] = {}
+        # Pre-bound counter handles for the per-hop fast path.
+        self._ctr_broadcasts = self.stats.counter("broadcasts")
+        self._ctr_deliveries = self.stats.counter("deliveries")
+        self._ctr_held = self.stats.counter("held_transactions")
 
     # -------------------------------------------------------------- plumbing
     def attach(self, endpoint: int, ordered_handler: OrderedHandler,
@@ -161,7 +165,7 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         message.sent_at = self.now
         if self.accountant is not None:
             self.accountant.record(message, tree.link_count())
-        self.stats.counter("broadcasts").increment()
+        self._ctr_broadcasts.increment()
         self._sequence += 1
         transaction = BufferedTransaction(payload=message, slack=slack,
                                           source=source,
@@ -212,7 +216,7 @@ class TimestampAddressNetwork(AddressNetworkInterface):
                 and self.rng.random() < self.hold_probability:
             # Emulated contention: keep the transaction buffered for one
             # switch traversal time, then forward it.
-            self.stats.counter("held_transactions").increment()
+            self._ctr_held.increment()
             self.schedule(self.timing.switch_ns,
                           lambda: self._forward(node, transaction, tree),
                           priority=_MESSAGE_PRIORITY, label="release-held")
@@ -228,13 +232,23 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         branches = tree.branches_from(node)
         outputs = switch.release_transaction(
             transaction, [(child, delta) for child, delta in branches])
-        for child, copy in outputs:
+        if outputs:
+            # All copies of one forwarding step traverse their links in the
+            # same Dswitch interval, so they ride a single batched event;
+            # the batch body preserves the branch (seq) order the individual
+            # events would have had.
             self.schedule(self.timing.switch_ns,
-                          lambda c=child, cp=copy, n=node:
-                              self._arrive(c, n, cp, tree),
+                          lambda outs=outputs, n=node:
+                              self._arrive_batch(n, outs, tree),
                           priority=_MESSAGE_PRIORITY, label="hop")
         # Forwarding may have unblocked token propagation (zero-slack rule).
         self._try_propagate(node)
+
+    def _arrive_batch(self, node: NodeId,
+                      outputs: List[Tuple[NodeId, BufferedTransaction]],
+                      tree: BroadcastTree) -> None:
+        for child, copy in outputs:
+            self._arrive(child, node, copy, tree)
 
     def _deliver_local(self, node: NodeId, transaction: BufferedTransaction,
                        tree: BroadcastTree, pad: int) -> None:
@@ -247,7 +261,7 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             port.early_handler(message, self.now)
         port.queue.insert(message, padded_slack, transaction.source,
                           transaction.sequence)
-        self.stats.counter("deliveries").increment()
+        self._ctr_deliveries.increment()
         # Zero-slack arrivals are processable immediately.
         self._release(port, port.queue.release_current())
 
@@ -256,6 +270,11 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         self.switches[node].receive_token(input_port)
         self._try_propagate(node)
 
+    def _receive_token_batch(self, source: NodeId,
+                             downstream: List[NodeId]) -> None:
+        for node in downstream:
+            self._receive_token(node, source)
+
     def _try_propagate(self, node: NodeId) -> None:
         switch = self.switches[node]
         while switch.can_propagate():
@@ -263,10 +282,14 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             if is_endpoint(node):
                 port = self.ports[endpoint_index(node)]
                 self._release(port, port.queue.on_token())
-            for downstream in outputs:
+            if outputs:
+                # One token wave fans out over every output link during the
+                # same Dswitch interval: deliver the whole wave with one
+                # batched event (the batch body keeps the per-output order
+                # the individual events would have had).
                 self.schedule(self.timing.switch_ns,
-                              lambda d=downstream, n=node:
-                                  self._receive_token(d, n),
+                              lambda outs=outputs, n=node:
+                                  self._receive_token_batch(n, outs),
                               priority=_TOKEN_PRIORITY, label="token")
 
     def _release(self, port: _EndpointPort,

@@ -20,13 +20,13 @@ Switch behaviour:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.logical_time import SlackRules
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferedTransaction:
     """A transaction held in a switch buffer (or endpoint queue).
 

@@ -9,7 +9,7 @@ verify that reads observe the latest write in the global order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.memory.coherence import CacheState

@@ -43,6 +43,9 @@ class DataNetwork(Component):
         self.accountant = accountant
         self.perturbation = perturbation
         self._receivers: dict[int, DeliveryCallback] = {}
+        # Pre-bound stat handles for the per-message fast path.
+        self._ctr_messages = self.stats.counter("messages")
+        self._ctr_bytes = self.stats.counter("bytes")
 
     # -------------------------------------------------------------- receivers
     def attach(self, node: int, handler: DeliveryCallback) -> None:
@@ -77,8 +80,8 @@ class DataNetwork(Component):
         if self.perturbation is not None and self.perturbation.enabled:
             latency += self.perturbation.response_delay()
         self.accountant.record(message, traversals)
-        self.stats.counter("messages").increment()
-        self.stats.counter("bytes").increment(message.size_bytes)
+        self._ctr_messages.increment()
+        self._ctr_bytes.increment(message.size_bytes)
         delivery_time = self.now + latency
         self.schedule(latency, lambda: handler(message),
                       label=f"deliver:{message.kind.label}")

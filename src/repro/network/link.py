@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.network.message import Message, TrafficCategory
 from repro.sim.stats import ByteCounter
@@ -24,6 +24,25 @@ class Link:
 
     def carry(self, message: Message) -> None:
         self.counter.record(message.category.value, message.size_bytes)
+
+    def carry_batch(self, messages: Iterable[Message]) -> None:
+        """Account a same-tick batch of messages with one pass per category.
+
+        The detailed network forwards whole waves of copies in a single
+        event; accounting them together folds the per-message dict updates
+        into one :meth:`ByteCounter.record` call per traffic category.
+        """
+        totals: Dict[str, list] = {}
+        for message in messages:
+            key = message.category.value
+            entry = totals.get(key)
+            if entry is None:
+                totals[key] = [1, message.size_bytes]
+            else:
+                entry[0] += 1
+                entry[1] += message.size_bytes
+        for key, (count, num_bytes) in totals.items():
+            self.counter.record_total(key, num_bytes, count)
 
     @property
     def total_bytes(self) -> int:
@@ -48,14 +67,21 @@ class TrafficAccountant:
     link_traversals: int = 0
 
     def record(self, message: Message, traversals: int) -> None:
+        """Account one message crossing ``traversals`` links.
+
+        A broadcast is recorded with ``traversals=tree.link_count()`` --
+        one call for the whole same-tick delivery wave rather than one per
+        copy (the try/except favours the hot established-category path).
+        """
         if traversals < 0:
             raise ValueError("traversals must be non-negative")
         category = message.category.value
-        self.bytes_by_category[category] = (
-            self.bytes_by_category.get(category, 0)
-            + message.size_bytes * traversals)
-        self.messages_by_category[category] = (
-            self.messages_by_category.get(category, 0) + 1)
+        try:
+            self.bytes_by_category[category] += message.size_bytes * traversals
+            self.messages_by_category[category] += 1
+        except KeyError:
+            self.bytes_by_category[category] = message.size_bytes * traversals
+            self.messages_by_category[category] = 1
         self.link_traversals += traversals
 
     def record_raw(self, category: TrafficCategory, size_bytes: int,

@@ -73,7 +73,7 @@ class MessageKind(Enum):
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One protocol message.
 

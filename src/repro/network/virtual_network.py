@@ -12,7 +12,7 @@ paper charges all virtual networks to the same physical links.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.network.data_network import DataNetwork, DeliveryCallback
 from repro.network.link import TrafficAccountant
@@ -49,6 +49,7 @@ class PointToPointOrderedNetwork(VirtualNetwork):
         super().__init__(sim, topology, timing, accountant,
                          perturbation=perturbation, name=name)
         self._last_delivery: Dict[Tuple[int, int], int] = {}
+        self._ctr_ordering_stalls = self.stats.counter("ordering_stalls")
 
     def send(self, message: Message,
              on_deliver: Optional[DeliveryCallback] = None) -> int:
@@ -60,15 +61,15 @@ class PointToPointOrderedNetwork(VirtualNetwork):
         if self.perturbation is not None and self.perturbation.enabled:
             latency += self.perturbation.response_delay()
         self.accountant.record(message, traversals)
-        self.stats.counter("messages").increment()
-        self.stats.counter("bytes").increment(message.size_bytes)
+        self._ctr_messages.increment()
+        self._ctr_bytes.increment(message.size_bytes)
 
         pair = (message.src, message.dst)
         natural_delivery = self.now + latency
         ordered_delivery = max(natural_delivery,
                                self._last_delivery.get(pair, 0))
         if ordered_delivery > natural_delivery:
-            self.stats.counter("ordering_stalls").increment()
+            self._ctr_ordering_stalls.increment()
         self._last_delivery[pair] = ordered_delivery
         self.schedule_at(ordered_delivery, lambda: handler(message),
                          label=f"deliver:{message.kind.label}")

@@ -1,0 +1,19 @@
+"""Machine-readable performance harness.
+
+``repro.perf`` turns performance measurement into a first-class, versioned
+artifact.  The harness runs a named suite of scenarios (kernel microbench,
+Figure 3 runtime, Figure 4 traffic, parallel sweep) and emits
+schema-versioned ``BENCH_kernel.json`` / ``BENCH_figures.json`` files; the
+compare entrypoint diffs two such files and exits nonzero past a regression
+threshold, which is what CI enforces on every push.
+
+Usage::
+
+    python -m repro.perf.harness --suite smoke --output-dir .
+    python -m repro.perf.compare benchmarks/baselines/BENCH_kernel.json \
+        BENCH_kernel.json --threshold 0.25
+"""
+
+from repro.perf.schema import SCHEMA_VERSION, validate_report
+
+__all__ = ["SCHEMA_VERSION", "validate_report"]

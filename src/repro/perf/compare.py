@@ -1,0 +1,143 @@
+"""Diff two ``BENCH_*.json`` reports and gate on runtime regressions.
+
+Usage::
+
+    python -m repro.perf.compare BASELINE.json NEW.json --threshold 0.25
+
+Exit status: 0 when no scenario regressed past the threshold, 1 when at
+least one did, 2 on malformed input.
+
+Runtimes are normalised by each report's embedded ``calibration_s`` (wall
+time of a fixed pure-Python workload) so a slower CI host is not mistaken
+for a code regression; pass ``--no-calibration`` to compare raw wall times.
+Scenarios faster than ``--min-runtime`` in the baseline are reported but
+never fail the gate -- at sub-50 ms scales timer noise dominates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.perf.schema import SchemaError, validate_report
+
+
+def load_report(path: Path) -> Dict[str, Any]:
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SchemaError(f"{path}: cannot read report ({error})") from error
+    try:
+        validate_report(report)
+    except SchemaError as error:
+        raise SchemaError(f"{path}: {error}") from error
+    return report
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = 0.25,
+    min_runtime_s: float = 0.05,
+    use_calibration: bool = True,
+) -> List[Dict[str, Any]]:
+    """Return one comparison row per scenario present in both reports."""
+    speed_factor = 1.0
+    if use_calibration:
+        base_cal = baseline.get("calibration_s") or 0.0
+        new_cal = new.get("calibration_s") or 0.0
+        if base_cal > 0 and new_cal > 0:
+            # >1 means the new host is slower; divide it out of new runtimes.
+            speed_factor = new_cal / base_cal
+
+    baseline_by_name = {s["name"]: s for s in baseline["scenarios"]}
+    rows: List[Dict[str, Any]] = []
+    for scenario in new["scenarios"]:
+        name = scenario["name"]
+        base = baseline_by_name.get(name)
+        if base is None:
+            continue
+        base_runtime = float(base["runtime_s"])
+        new_runtime = float(scenario["runtime_s"]) / speed_factor
+        if base_runtime > 0:
+            ratio = new_runtime / base_runtime
+        else:
+            ratio = 1.0
+        gated = base_runtime >= min_runtime_s
+        row = {
+            "name": name,
+            "baseline_s": base_runtime,
+            "new_s": new_runtime,
+            "ratio": ratio,
+            "regressed": gated and ratio > 1.0 + threshold,
+            "gated": gated,
+        }
+        rows.append(row)
+    return rows
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.compare",
+        description="Diff two BENCH_*.json reports; exit 1 past the threshold.",
+    )
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional runtime regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-runtime",
+        type=float,
+        default=0.05,
+        help="baseline runtimes below this many seconds never fail the gate",
+    )
+    parser.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="compare raw wall times without host-speed normalisation",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_report(args.baseline)
+        new = load_report(args.new)
+    except SchemaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    rows = compare_reports(
+        baseline,
+        new,
+        threshold=args.threshold,
+        min_runtime_s=args.min_runtime,
+        use_calibration=not args.no_calibration,
+    )
+    if not rows:
+        print("error: the reports share no scenarios", file=sys.stderr)
+        return 2
+
+    failed = False
+    print(f"{'scenario':<24} {'baseline':>10} {'new':>10} {'ratio':>7}  verdict")
+    for row in rows:
+        if row["regressed"]:
+            verdict = f"REGRESSED (> +{args.threshold:.0%})"
+            failed = True
+        elif not row["gated"]:
+            verdict = "ignored (below --min-runtime)"
+        else:
+            verdict = "ok"
+        line = f"{row['name']:<24} {row['baseline_s']:>9.3f}s"
+        line += f" {row['new_s']:>9.3f}s {row['ratio']:>6.2f}x  {verdict}"
+        print(line)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""The measured scenarios of the perf harness.
+
+Each scenario function runs one workload shape and returns a
+schema-conformant scenario record (see :mod:`repro.perf.schema`).  Scenario
+wall time is measured with ``perf_counter``; ``peak_rss_kb`` is the
+process-wide peak RSS after the scenario finished.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+from typing import Any, Dict
+
+from repro import api
+from repro.perf.schema import make_scenario
+from repro.sim.kernel import Simulator
+
+
+def peak_rss_kb() -> int:
+    """Process-wide peak resident set size in KiB (ru_maxrss is KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        rss //= 1024
+    return int(rss)
+
+
+def calibrate(iterations: int = 2_000_000) -> float:
+    """Wall time of a fixed pure-Python workload.
+
+    Reports embed this so :mod:`repro.perf.compare` can normalise runtimes
+    measured on hosts of different speeds.
+    """
+    start = time.perf_counter()
+    acc = 0
+    for i in range(iterations):
+        acc += i & 7
+    return time.perf_counter() - start
+
+
+def _run_scheduler_churn(scheduler: str, chains: int, events: int) -> tuple:
+    """Event churn shaped like the simulator's hot path.
+
+    ``chains`` concurrent hop chains each fan eight same-tick deliveries
+    plus one token-priority event per wave -- the dense near-future
+    distribution that link/switch hops produce and the calendar queue is
+    tuned for.
+    """
+    sim = Simulator(scheduler=scheduler)
+    fanout = 8
+    count = 0
+
+    def wave() -> None:
+        nonlocal count
+        count += 1
+        if count * (fanout + 1) >= events:
+            return
+        for _ in range(fanout):
+            sim.schedule(15, _noop, priority=0)
+        sim.schedule(15, wave, priority=1)
+
+    for chain in range(chains):
+        sim.schedule(chain % 7, wave)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_processed, elapsed
+
+
+def _noop() -> None:
+    return None
+
+
+def kernel_microbench(scale: float = 1.0) -> Dict[str, Any]:
+    """Calendar-vs-heapq scheduler microbenchmark (the tentpole metric).
+
+    The headline ``runtime_s`` / ``events_per_sec`` are the calendar
+    queue's; the reference heapq numbers and the speedup ride along in
+    ``metrics``.
+    """
+    chains = max(50, int(600 * scale))
+    events = max(20_000, int(400_000 * scale))
+    # Best-of-N absorbs one-off host noise (GC pause, container throttle).
+    heapq_events, heapq_s = min(
+        (_run_scheduler_churn("heapq", chains, events) for _ in range(2)),
+        key=lambda pair: pair[1],
+    )
+    calendar_events, calendar_s = min(
+        (_run_scheduler_churn("calendar", chains, events) for _ in range(2)),
+        key=lambda pair: pair[1],
+    )
+    assert heapq_events == calendar_events, "schedulers processed different work"
+    heapq_eps = heapq_events / heapq_s if heapq_s else 0.0
+    calendar_eps = calendar_events / calendar_s if calendar_s else 0.0
+    return make_scenario(
+        name="kernel_microbench",
+        runtime_s=calendar_s,
+        peak_rss_kb=peak_rss_kb(),
+        events=calendar_events,
+        metrics={
+            "chains": chains,
+            "heapq_runtime_s": heapq_s,
+            "heapq_events_per_sec": heapq_eps,
+            "calendar_events_per_sec": calendar_eps,
+            "speedup": calendar_eps / heapq_eps if heapq_eps else 0.0,
+        },
+    )
+
+
+def figure3_runtime(scale: float = 0.3) -> Dict[str, Any]:
+    """Figure 3: the three-protocol runtime comparison on one workload."""
+    start = time.perf_counter()
+    comparison = api.compare_protocols(workload="barnes", scale=scale)
+    elapsed = time.perf_counter() - start
+    events = sum(result.sim_events for result in comparison.results.values())
+    metrics: Dict[str, Any] = {"scale": scale}
+    for protocol, result in comparison.results.items():
+        metrics[f"runtime_ns_{protocol}"] = result.runtime_ns
+    return make_scenario(
+        name="figure3_runtime",
+        runtime_s=elapsed,
+        peak_rss_kb=peak_rss_kb(),
+        events=events,
+        metrics=metrics,
+    )
+
+
+def figure4_traffic(scale: float = 0.3) -> Dict[str, Any]:
+    """Figure 4: per-link traffic accounting on the torus network."""
+    start = time.perf_counter()
+    comparison = api.compare_protocols(workload="apache", network="torus", scale=scale)
+    elapsed = time.perf_counter() - start
+    events = sum(result.sim_events for result in comparison.results.values())
+    metrics: Dict[str, Any] = {"scale": scale}
+    for protocol, result in comparison.results.items():
+        metrics[f"per_link_bytes_{protocol}"] = result.per_link_bytes
+    return make_scenario(
+        name="figure4_traffic",
+        runtime_s=elapsed,
+        peak_rss_kb=peak_rss_kb(),
+        events=events,
+        metrics=metrics,
+    )
+
+
+def parallel_sweep(scale: float = 0.2, jobs: int = 2) -> Dict[str, Any]:
+    """The (protocol x replica) grid on a small process pool."""
+    start = time.perf_counter()
+    comparison = api.compare_protocols(
+        workload="oltp",
+        scale=scale,
+        perturbation_replicas=2,
+        jobs=jobs,
+    )
+    elapsed = time.perf_counter() - start
+    events = sum(result.sim_events for result in comparison.results.values())
+    return make_scenario(
+        name="parallel_sweep",
+        runtime_s=elapsed,
+        peak_rss_kb=peak_rss_kb(),
+        events=events,
+        metrics={"scale": scale, "jobs": jobs},
+    )

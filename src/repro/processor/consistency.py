@@ -20,7 +20,7 @@ states directly and asserts the single-writer / multiple-reader property.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from repro.memory.coherence import CacheState

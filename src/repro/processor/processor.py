@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
-from repro.memory.coherence import AccessType
 from repro.protocols.base import CacheControllerBase
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
@@ -65,6 +64,11 @@ class Processor(Component):
         self._started = False
         self._stalled_at_phase = False
         self._phase_passed = False
+        # Pre-bound counter handles: the per-reference path must not pay
+        # for a dict lookup per increment.
+        self._ctr_references = self.stats.counter("references")
+        self._ctr_writes = self.stats.counter("writes")
+        self._ctr_reads = self.stats.counter("reads")
 
     # ------------------------------------------------------------------ run
     def start(self) -> None:
@@ -105,11 +109,11 @@ class Processor(Component):
 
     def _issue(self, reference: Reference) -> None:
         self.references_issued += 1
-        self.stats.counter("references").increment()
+        self._ctr_references.increment()
         if reference.access_type.needs_write_permission:
-            self.stats.counter("writes").increment()
+            self._ctr_writes.increment()
         else:
-            self.stats.counter("reads").increment()
+            self._ctr_reads.increment()
         self.controller.access(reference.block, reference.access_type,
                                self._next_reference)
 

@@ -150,6 +150,15 @@ class CacheControllerBase(Component, ABC):
         #: optional CoherenceChecker; concrete protocols overwrite this with
         #: the checker handed to them by the system builder.
         self.checker = None
+        # Pre-bound stat handles for the per-access fast path.
+        self._ctr_misses = self.stats.counter("misses")
+        self._ctr_write_misses = self.stats.counter("write_misses")
+        self._ctr_read_misses = self.stats.counter("read_misses")
+        self._ctr_hits = self.stats.counter("hits")
+        self._ctr_c2c_misses = self.stats.counter("cache_to_cache_misses")
+        self._ctr_memory_misses = self.stats.counter("memory_misses")
+        self._hist_miss_latency = self.stats.histogram("miss_latency",
+                                                       bin_width=20)
 
     # ------------------------------------------------------------ processor
     def access(self, block: int, access_type: AccessType,
@@ -159,11 +168,11 @@ class CacheControllerBase(Component, ABC):
         if self._is_hit(state, access_type):
             self._complete_hit(block, access_type, done)
             return
-        self.stats.counter("misses").increment()
+        self._ctr_misses.increment()
         if access_type.needs_write_permission:
-            self.stats.counter("write_misses").increment()
+            self._ctr_write_misses.increment()
         else:
-            self.stats.counter("read_misses").increment()
+            self._ctr_read_misses.increment()
         self._start_miss(block, access_type, done)
 
     def _is_hit(self, state: CacheState, access_type: AccessType) -> bool:
@@ -173,7 +182,7 @@ class CacheControllerBase(Component, ABC):
 
     def _complete_hit(self, block: int, access_type: AccessType,
                       done: DoneCallback) -> None:
-        self.stats.counter("hits").increment()
+        self._ctr_hits.increment()
         self.cache.touch(block)
         if access_type.needs_write_permission:
             line = self.cache.lookup(block)
@@ -193,11 +202,11 @@ class CacheControllerBase(Component, ABC):
     # ------------------------------------------------------------ accounting
     def record_miss(self, record: MissRecord) -> None:
         self.miss_records.append(record)
-        self.stats.histogram("miss_latency", bin_width=20).record(record.latency)
+        self._hist_miss_latency.record(record.latency)
         if record.is_cache_to_cache:
-            self.stats.counter("cache_to_cache_misses").increment()
+            self._ctr_c2c_misses.increment()
         elif record.source is MissSource.MEMORY:
-            self.stats.counter("memory_misses").increment()
+            self._ctr_memory_misses.increment()
 
     def next_version(self) -> int:
         self._version_counter += 1

@@ -87,6 +87,19 @@ class DirectoryCacheController(CacheControllerBase):
         self.writeback_buffer: Dict[int, int] = {}
         forward_network.attach(node, self._on_forward)
         response_network.attach(node, self._on_response)
+        # Pre-bound counter handles for the protocol hot path.
+        self._ctr_deferred_forwards = self.stats.counter("deferred_forwards")
+        self._ctr_dirty_evictions = self.stats.counter("dirty_evictions")
+        self._ctr_forwarded_responses = self.stats.counter("forwarded_responses")
+        self._ctr_invalidations_received = self.stats.counter("invalidations_received")
+        self._ctr_nacks_received = self.stats.counter("nacks_received")
+        self._ctr_orphan_data = self.stats.counter("orphan_data")
+        self._ctr_orphan_inv_ack = self.stats.counter("orphan_inv_ack")
+        self._ctr_owner_nacks_sent = self.stats.counter("owner_nacks_sent")
+        self._ctr_requests_sent = self.stats.counter("requests_sent")
+        self._ctr_retries_sent = self.stats.counter("retries_sent")
+        self._ctr_unexpected_response = self.stats.counter("unexpected_response")
+        self._ctr_unexpected_transfer = self.stats.counter("unexpected_transfer")
 
     # ------------------------------------------------------------------ miss
     def _start_miss(self, block: int, access_type: AccessType,
@@ -115,7 +128,7 @@ class DirectoryCacheController(CacheControllerBase):
         home = self.address_space.home_node(block)
         request = Message(kind=kind, src=self.node, dst=home, block=block)
         self.request_network.send(request)
-        self.stats.counter("requests_sent").increment()
+        self._ctr_requests_sent.increment()
 
     # -------------------------------------------------------------- forwards
     def _on_forward(self, message: Message) -> None:
@@ -142,7 +155,7 @@ class DirectoryCacheController(CacheControllerBase):
             # become) the owner the directory believes us to be.  Defer the
             # forward and service it right after the fill completes.
             entry.metadata["deferred_forwards"].append(message)
-            self.stats.counter("deferred_forwards").increment()
+            self._ctr_deferred_forwards.increment()
             return
 
         if entry is None and self.cache.state_of(block) is CacheState.MODIFIED:
@@ -157,7 +170,7 @@ class DirectoryCacheController(CacheControllerBase):
         nack = Message(kind=MessageKind.NACK, src=self.node, dst=requester,
                        block=block, payload={"from": "owner"})
         self.response_network.send(nack)
-        self.stats.counter("owner_nacks_sent").increment()
+        self._ctr_owner_nacks_sent.increment()
 
     def _service_forward(self, block: int, requester: int, exclusive: bool,
                          version: int,
@@ -172,7 +185,7 @@ class DirectoryCacheController(CacheControllerBase):
         self.schedule(max(0, send_time - self.now),
                       lambda: self.response_network.send(data),
                       label="fwd-data")
-        self.stats.counter("forwarded_responses").increment()
+        self._ctr_forwarded_responses.increment()
 
         home = self.address_space.home_node(block)
         if exclusive:
@@ -218,7 +231,7 @@ class DirectoryCacheController(CacheControllerBase):
             state = self.cache.state_of(block)
             if state is not CacheState.INVALID:
                 self.cache.set_state(block, CacheState.INVALID)
-        self.stats.counter("invalidations_received").increment()
+        self._ctr_invalidations_received.increment()
         ack = Message(kind=MessageKind.INV_ACK, src=self.node, dst=requester,
                       block=block)
         self.response_network.send(ack)
@@ -237,14 +250,14 @@ class DirectoryCacheController(CacheControllerBase):
         elif kind is MessageKind.TRANSFER:
             # Only memory controllers consume TRANSFER; receiving one here
             # indicates a routing bug, which tests assert never happens.
-            self.stats.counter("unexpected_transfer").increment()
+            self._ctr_unexpected_transfer.increment()
         else:
-            self.stats.counter("unexpected_response").increment()
+            self._ctr_unexpected_response.increment()
 
     def _on_data(self, message: Message) -> None:
         entry = self.mshrs.get(message.block)
         if entry is None:
-            self.stats.counter("orphan_data").increment()
+            self._ctr_orphan_data.increment()
             return
         entry.data_received = True
         entry.metadata["data_version"] = message.payload.get("version", 0)
@@ -258,7 +271,7 @@ class DirectoryCacheController(CacheControllerBase):
     def _on_inv_ack(self, message: Message) -> None:
         entry = self.mshrs.get(message.block)
         if entry is None:
-            self.stats.counter("orphan_inv_ack").increment()
+            self._ctr_orphan_inv_ack.increment()
             return
         entry.acks_received += 1
         self._maybe_complete(message.block)
@@ -268,7 +281,7 @@ class DirectoryCacheController(CacheControllerBase):
         if entry is None:
             return
         entry.retries += 1
-        self.stats.counter("nacks_received").increment()
+        self._ctr_nacks_received.increment()
         kind: MessageKind = entry.metadata["kind"]
         self.schedule(self.timing.nack_retry_ns,
                       lambda: self._retry(message.block, kind),
@@ -277,7 +290,7 @@ class DirectoryCacheController(CacheControllerBase):
     def _retry(self, block: int, kind: MessageKind) -> None:
         if block not in self.mshrs:
             return
-        self.stats.counter("retries_sent").increment()
+        self._ctr_retries_sent.increment()
         self._send_request(block, kind)
 
     # ------------------------------------------------------------ completion
@@ -346,7 +359,7 @@ class DirectoryCacheController(CacheControllerBase):
                             dst=home, block=block,
                             payload={"version": version, "sharing": False})
         self.response_network.send(writeback)
-        self.stats.counter("dirty_evictions").increment()
+        self._ctr_dirty_evictions.increment()
 
 
 class DirectoryMemoryController(Component):
@@ -369,6 +382,15 @@ class DirectoryMemoryController(Component):
         #: responses waiting for an in-flight writeback's data
         self._deferred_data: Dict[int, List[Message]] = {}
         request_network.attach(node, self._on_request)
+        # Pre-bound counter handles for the directory hot path.
+        self._ctr_deferred_memory_responses = self.stats.counter("deferred_memory_responses")
+        self._ctr_forwards_sent = self.stats.counter("forwards_sent")
+        self._ctr_invalidations_sent = self.stats.counter("invalidations_sent")
+        self._ctr_memory_responses = self.stats.counter("memory_responses")
+        self._ctr_nacks_sent = self.stats.counter("nacks_sent")
+        self._ctr_stale_writebacks = self.stats.counter("stale_writebacks")
+        self._ctr_transfers_received = self.stats.counter("transfers_received")
+        self._ctr_writeback_data_received = self.stats.counter("writeback_data_received")
 
     # -------------------------------------------------------------- requests
     def _on_request(self, message: Message) -> None:
@@ -429,7 +451,7 @@ class DirectoryMemoryController(Component):
             self.schedule(self.timing.memory_access_ns,
                           lambda m=invalidate: self.forward_network.send(m),
                           label="invalidate")
-            self.stats.counter("invalidations_sent").increment()
+            self._ctr_invalidations_sent.increment()
         self._send_data(message, entry, exclusive=True,
                         acks_expected=len(targets))
         entry.make_modified(requester)
@@ -446,7 +468,7 @@ class DirectoryMemoryController(Component):
             entry.awaiting_data = entry.early_data_from != requester
             entry.early_data_from = None
         if stale:
-            self.stats.counter("stale_writebacks").increment()
+            self._ctr_stale_writebacks.increment()
         ack = Message(kind=MessageKind.WRITEBACK_ACK, src=self.node,
                       dst=requester, block=message.block)
         self.schedule(self.timing.memory_access_ns,
@@ -461,7 +483,7 @@ class DirectoryMemoryController(Component):
         self.schedule(self.timing.memory_access_ns,
                       lambda: self.response_network.send(nack),
                       label="nack")
-        self.stats.counter("nacks_sent").increment()
+        self._ctr_nacks_sent.increment()
 
     def _forward(self, message: Message, owner: int, exclusive: bool) -> None:
         kind = MessageKind.FORWARD_GETM if exclusive else MessageKind.FORWARD_GETS
@@ -471,7 +493,7 @@ class DirectoryMemoryController(Component):
         self.schedule(self.timing.memory_access_ns,
                       lambda: self.forward_network.send(forward),
                       label="forward")
-        self.stats.counter("forwards_sent").increment()
+        self._ctr_forwards_sent.increment()
 
     def _send_data(self, message: Message, entry: DirectoryEntry,
                    exclusive: bool, acks_expected: int) -> None:
@@ -482,12 +504,12 @@ class DirectoryMemoryController(Component):
                                 "acks_expected": acks_expected})
         if entry.awaiting_data:
             self._deferred_data.setdefault(message.block, []).append(data)
-            self.stats.counter("deferred_memory_responses").increment()
+            self._ctr_deferred_memory_responses.increment()
             return
         self.schedule(self.timing.memory_access_ns,
                       lambda: self.response_network.send(data),
                       label="mem-data")
-        self.stats.counter("memory_responses").increment()
+        self._ctr_memory_responses.increment()
 
     # ------------------------------------------------------- writeback plane
     def on_writeback_data(self, message: Message) -> None:
@@ -511,7 +533,7 @@ class DirectoryMemoryController(Component):
                 if entry.owner is not None:
                     sharers.add(entry.owner)
                 entry.make_shared(sharers)
-        self.stats.counter("writeback_data_received").increment()
+        self._ctr_writeback_data_received.increment()
         pending = self._deferred_data.pop(message.block, [])
         for data in pending:
             data.payload["version"] = entry.version
@@ -524,7 +546,7 @@ class DirectoryMemoryController(Component):
         entry = self.directory.entry(message.block)
         if entry.state is DirectoryState.BUSY_MODIFIED:
             entry.make_modified(message.payload["new_owner"])
-        self.stats.counter("transfers_received").increment()
+        self._ctr_transfers_received.increment()
 
 
 class _HomeResponseRouter(Component):

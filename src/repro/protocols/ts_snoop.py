@@ -36,7 +36,6 @@ from repro.memory.cache import CacheArray
 from repro.memory.coherence import AccessType, CacheState
 from repro.network.data_network import DataNetwork
 from repro.network.message import Message, MessageKind
-from repro.network.timing import NetworkTiming
 from repro.protocols.base import (
     CacheControllerBase,
     CoherenceProtocol,
@@ -99,6 +98,19 @@ class TSSnoopNode(CacheControllerBase):
         self.writeback_buffer: Dict[int, _WritebackEntry] = {}
         address_network.attach(node, self._on_ordered)
         data_network.attach(node, self._on_data_message)
+        # Pre-bound counter handles for the protocol hot path.
+        self._ctr_address_broadcasts = self.stats.counter("address_broadcasts")
+        self._ctr_cache_data_responses = self.stats.counter("cache_data_responses")
+        self._ctr_dirty_evictions = self.stats.counter("dirty_evictions")
+        self._ctr_invalidations_observed = self.stats.counter("invalidations_observed")
+        self._ctr_memory_data_responses = self.stats.counter("memory_data_responses")
+        self._ctr_memory_deferred_responses = self.stats.counter("memory_deferred_responses")
+        self._ctr_orphan_data = self.stats.counter("orphan_data")
+        self._ctr_owed_responses = self.stats.counter("owed_responses")
+        self._ctr_stale_putm = self.stats.counter("stale_putm")
+        self._ctr_writeback_buffer_responses = self.stats.counter("writeback_buffer_responses")
+        self._ctr_writeback_data_received = self.stats.counter("writeback_data_received")
+        self._ctr_writebacks_sent = self.stats.counter("writebacks_sent")
 
     # ------------------------------------------------------------------ miss
     def _start_miss(self, block: int, access_type: AccessType,
@@ -122,7 +134,7 @@ class TSSnoopNode(CacheControllerBase):
         })
         request = Message(kind=kind, src=self.node, dst=None, block=block)
         self.address_network.broadcast(request)
-        self.stats.counter("address_broadcasts").increment()
+        self._ctr_address_broadcasts.increment()
 
     # ------------------------------------------------- ordered address stream
     def _on_ordered(self, delivery: OrderedDelivery) -> None:
@@ -162,7 +174,7 @@ class TSSnoopNode(CacheControllerBase):
             else:
                 # Stale writeback: ownership already moved on (a request was
                 # ordered ahead of the PUTM).  Ignore it.
-                self.stats.counter("stale_putm").increment()
+                self._ctr_stale_putm.increment()
 
     def _memory_respond(self, delivery: OrderedDelivery,
                         state: _HomeBlockState, exclusive: bool) -> None:
@@ -178,7 +190,7 @@ class TSSnoopNode(CacheControllerBase):
             # The writeback carrying the current data has not arrived yet;
             # remember the response and send it when it does.
             state.deferred.append((requester, exclusive, ready))
-            self.stats.counter("memory_deferred_responses").increment()
+            self._ctr_memory_deferred_responses.increment()
             return
         ready = max(ready, state.data_ready_time)
         self._send_memory_data(requester, message.block, state.version,
@@ -192,13 +204,13 @@ class TSSnoopNode(CacheControllerBase):
         delay = max(0, send_time - self.now)
         self.schedule(delay, lambda: self.data_network.send(data),
                       label="mem-data")
-        self.stats.counter("memory_data_responses").increment()
+        self._ctr_memory_data_responses.increment()
 
     def _on_writeback_data(self, message: Message) -> None:
         """WRITEBACK_DATA arrived at this (home) memory controller."""
         block = message.block
         state = self.home_blocks.setdefault(block, _HomeBlockState())
-        self.stats.counter("writeback_data_received").increment()
+        self._ctr_writeback_data_received.increment()
         if not state.awaiting_data and state.owner is not None:
             if state.owner == message.src:
                 # Eviction data racing ahead of its PUTM: remember that the
@@ -253,7 +265,7 @@ class TSSnoopNode(CacheControllerBase):
             self._respond_from_cache(delivery, requester, exclusive)
         elif state is CacheState.SHARED and exclusive:
             self.cache.set_state(block, CacheState.INVALID)
-            self.stats.counter("invalidations_observed").increment()
+            self._ctr_invalidations_observed.increment()
 
     def _snoop_against_mshr(self, entry, requester: int,
                             exclusive: bool) -> None:
@@ -263,10 +275,10 @@ class TSSnoopNode(CacheControllerBase):
             entry.metadata["owed"].append((requester, exclusive))
             entry.metadata["logical_state"] = (
                 CacheState.INVALID if exclusive else CacheState.SHARED)
-            self.stats.counter("owed_responses").increment()
+            self._ctr_owed_responses.increment()
         elif logical is CacheState.SHARED and exclusive:
             entry.metadata["logical_state"] = CacheState.INVALID
-            self.stats.counter("invalidations_observed").increment()
+            self._ctr_invalidations_observed.increment()
 
     def _respond_from_cache(self, delivery: OrderedDelivery, requester: int,
                             exclusive: bool) -> None:
@@ -290,7 +302,7 @@ class TSSnoopNode(CacheControllerBase):
         wb_entry = self.writeback_buffer.pop(block)
         send_time = self._cache_response_time(delivery)
         self._send_cache_data(requester, block, wb_entry.version, send_time)
-        self.stats.counter("writeback_buffer_responses").increment()
+        self._ctr_writeback_buffer_responses.increment()
         # The WRITEBACK_DATA sent at eviction time is already on its way to
         # memory, so no second copy is needed for the non-exclusive case.
 
@@ -308,7 +320,7 @@ class TSSnoopNode(CacheControllerBase):
         delay = max(0, send_time - self.now)
         self.schedule(delay, lambda: self.data_network.send(data),
                       label="cache-data")
-        self.stats.counter("cache_data_responses").increment()
+        self._ctr_cache_data_responses.increment()
 
     def _send_writeback_data(self, block: int, version: int,
                              send_time: int) -> None:
@@ -319,7 +331,7 @@ class TSSnoopNode(CacheControllerBase):
         delay = max(0, send_time - self.now)
         self.schedule(delay, lambda: self.data_network.send(writeback),
                       label="wb-data")
-        self.stats.counter("writebacks_sent").increment()
+        self._ctr_writebacks_sent.increment()
 
     # --------------------------------------------------- own request ordered
     def _own_transaction_ordered(self, delivery: OrderedDelivery) -> None:
@@ -353,7 +365,7 @@ class TSSnoopNode(CacheControllerBase):
         if entry is None:
             # Data for a miss that no longer exists should not happen in this
             # protocol; count it so tests can assert it never does.
-            self.stats.counter("orphan_data").increment()
+            self._ctr_orphan_data.increment()
             return
         entry.data_received = True
         entry.metadata["data_version"] = message.payload.get("version", 0)
@@ -432,7 +444,7 @@ class TSSnoopNode(CacheControllerBase):
                        block=block)
         self.address_network.broadcast(putm)
         self._send_writeback_data(block, version, self.now)
-        self.stats.counter("dirty_evictions").increment()
+        self._ctr_dirty_evictions.increment()
 
 
 class TSSnoopProtocol(CoherenceProtocol):

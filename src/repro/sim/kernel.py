@@ -4,20 +4,35 @@ Times are integer nanoseconds throughout the library.  Using integers keeps
 event ordering exact and makes runs reproducible bit-for-bit, which the
 perturbation methodology of the paper (Section 4.3) relies on: perturbed
 replicas differ *only* in the injected random delays.
+
+Two interchangeable schedulers back the kernel:
+
+* :class:`EventQueue` -- the reference binary-heap scheduler.  Simple,
+  obviously correct, O(log n) per operation.
+* :class:`CalendarQueue` -- a bucket (calendar) scheduler tuned for the
+  dense near-future event distribution this library produces: link and
+  switch hops land whole *waves* of events on identical ticks, so the
+  queue keys buckets by exact timestamp and keeps a FIFO lane per
+  priority inside each bucket.  Most pushes and pops are then O(1) dict
+  and deque operations; only the (much smaller) set of *distinct*
+  timestamps goes through a heap.
+
+Both produce the exact same pop order -- ``(time, priority, seq)`` -- which
+is asserted by property tests and by whole-run bit-identity tests.  Pick one
+with ``Simulator(scheduler=...)`` or ``SystemConfig.scheduler``.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional, Type
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (scheduling in the past, etc.)."""
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -26,20 +41,32 @@ class Event:
     for events with identical time and priority.
     """
 
-    time: int
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _queue: Optional["EventQueue"] = field(default=None, compare=False,
-                                           repr=False)
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled",
+                 "_queue")
+
+    def __init__(self, time: int, priority: int, seq: int,
+                 callback: Callable[[], None], label: str = "",
+                 queue: Optional["EventQueueBase"] = None) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self._queue = queue
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Cancel the event.
 
-        The heap entry is discarded lazily when it reaches the front, but the
-        owning queue's live count drops immediately so ``len()`` /
+        The queue entry is discarded lazily when it reaches the front, but
+        the owning queue's live count drops immediately so ``len()`` /
         ``Simulator.pending_events`` stay truthful.  Cancelling twice, or
         cancelling an event that already ran, is a no-op.
         """
@@ -47,20 +74,29 @@ class Event:
             return
         self.cancelled = True
         if self._queue is not None:
-            self._queue._note_cancelled()
+            self._queue._note_cancelled(self)
             self._queue = None
 
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return (f"<Event t={self.time} prio={self.priority} "
+                f"seq={self.seq} {self.label!r}{state}>")
 
-class EventQueue:
-    """A min-heap of :class:`Event` objects.
+
+class EventQueueBase:
+    """Interface shared by the pluggable event schedulers.
 
     ``len()`` counts *live* events only: entries that have been neither
-    popped nor cancelled.  Cancelled entries stay in the heap until they
-    surface (lazy deletion) but are never counted.
+    popped nor cancelled.  Cancelled entries stay queued until they surface
+    (lazy deletion) but are never counted.
     """
 
+    __slots__ = ("_seq", "_live")
+
+    #: Registry name; filled in by subclasses.
+    name = "abstract"
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
         self._seq = 0
         self._live = 0
 
@@ -70,19 +106,54 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    def _note_cancelled(self, event: Event) -> None:
+        """Called by :meth:`Event.cancel` while the event is still queued."""
+        self._live -= 1
+
+    # Subclass API -------------------------------------------------------
+    def push(self, time: int, callback: Callable[[], None], *,
+             priority: int = 0, label: str = "") -> Event:
+        raise NotImplementedError
+
+    def pop(self) -> Event:
+        raise NotImplementedError
+
+    def pop_due(self, limit: Optional[int]) -> Optional[Event]:
+        """Pop the earliest live event if its time is <= ``limit``.
+
+        Returns ``None`` when the queue is empty or the earliest live event
+        lies beyond ``limit`` (``limit=None`` means no bound).  This fuses
+        ``peek_time`` + ``pop`` so the simulator's run loop touches the
+        queue's internal structure once per event.
+        """
+        raise NotImplementedError
+
+    def peek_time(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class EventQueue(EventQueueBase):
+    """The reference scheduler: a min-heap of :class:`Event` objects."""
+
+    __slots__ = ("_heap",)
+
+    name = "heapq"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: List[Event] = []
+
     def push(self, time: int, callback: Callable[[], None], *,
              priority: int = 0, label: str = "") -> Event:
         """Insert a new event and return it (so callers may cancel it)."""
-        event = Event(time=time, priority=priority, seq=self._seq,
-                      callback=callback, label=label, _queue=self)
+        event = Event(time, priority, self._seq, callback, label, self)
         self._seq += 1
         self._live += 1
         heapq.heappush(self._heap, event)
         return event
-
-    def _note_cancelled(self) -> None:
-        """Called by :meth:`Event.cancel` while the event is still queued."""
-        self._live -= 1
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event."""
@@ -95,6 +166,21 @@ class EventQueue:
             event._queue = None
             return event
         raise SimulationError("pop from an empty event queue")
+
+    def pop_due(self, limit: Optional[int]) -> Optional[Event]:
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if limit is not None and event.time > limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            event._queue = None
+            return event
+        return None
 
     def peek_time(self) -> Optional[int]:
         """Return the time of the earliest pending event, or ``None``."""
@@ -111,6 +197,161 @@ class EventQueue:
         self._live = 0
 
 
+class CalendarQueue(EventQueueBase):
+    """A bucket scheduler keyed by exact timestamp.
+
+    The simulated networks schedule events in dense same-tick waves (every
+    hop of a broadcast tree, every token exchange of a wave lands on one
+    timestamp), so buckets are keyed by the *exact* event time.  Each bucket
+    holds one FIFO lane per priority; because ``seq`` increases monotonically
+    with pushes, FIFO order within a ``(time, priority)`` lane *is* seq
+    order, and no sorting is ever needed.  A small heap of distinct
+    timestamps finds the next bucket.
+
+    Pop order is identical to :class:`EventQueue`:
+    ``(time, priority, seq)`` -- verified by property tests.
+    """
+
+    __slots__ = ("_buckets", "_times")
+
+    name = "calendar"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # time -> [live_count, {priority: deque[Event]}].  A time appears in
+        # the _times heap exactly once for as long as its bucket exists;
+        # buckets are dropped (and the time popped) once their live count
+        # reaches zero and they surface at the front.
+        self._buckets: Dict[int, list] = {}
+        self._times: List[int] = []
+
+    def push(self, time: int, callback: Callable[[], None], *,
+             priority: int = 0, label: str = "") -> Event:
+        """Insert a new event and return it (so callers may cancel it)."""
+        event = Event(time, priority, self._seq, callback, label, self)
+        self._seq += 1
+        self._live += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [1, {priority: deque((event,))}]
+            heapq.heappush(self._times, time)
+        else:
+            bucket[0] += 1
+            lanes = bucket[1]
+            lane = lanes.get(priority)
+            if lane is None:
+                lanes[priority] = deque((event,))
+            else:
+                lane.append(event)
+        return event
+
+    def _note_cancelled(self, event: Event) -> None:
+        self._live -= 1
+        bucket = self._buckets.get(event.time)
+        if bucket is not None:
+            bucket[0] -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event."""
+        buckets = self._buckets
+        times = self._times
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            live = bucket[0]
+            if live > 0:
+                lanes = bucket[1]
+                while True:
+                    priority = min(lanes)
+                    lane = lanes[priority]
+                    while lane:
+                        event = lane.popleft()
+                        if event.cancelled:
+                            # Already uncounted when it was cancelled.
+                            continue
+                        if not lane:
+                            del lanes[priority]
+                        bucket[0] = live - 1
+                        self._live -= 1
+                        event._queue = None
+                        return event
+                    del lanes[priority]
+            del buckets[time]
+            heapq.heappop(times)
+        raise SimulationError("pop from an empty event queue")
+
+    def pop_due(self, limit: Optional[int]) -> Optional[Event]:
+        buckets = self._buckets
+        times = self._times
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            live = bucket[0]
+            if live > 0:
+                if limit is not None and time > limit:
+                    return None
+                lanes = bucket[1]
+                while True:
+                    priority = min(lanes)
+                    lane = lanes[priority]
+                    while lane:
+                        event = lane.popleft()
+                        if event.cancelled:
+                            continue
+                        if not lane:
+                            del lanes[priority]
+                        bucket[0] = live - 1
+                        self._live -= 1
+                        event._queue = None
+                        return event
+                    del lanes[priority]
+            del buckets[time]
+            heapq.heappop(times)
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Return the time of the earliest pending event, or ``None``."""
+        buckets = self._buckets
+        times = self._times
+        while times:
+            time = times[0]
+            if buckets[time][0] > 0:
+                return time
+            del buckets[time]
+            heapq.heappop(times)
+        return None
+
+    def clear(self) -> None:
+        for bucket in self._buckets.values():
+            for lane in bucket[1].values():
+                for event in lane:
+                    event._queue = None
+        self._buckets.clear()
+        self._times.clear()
+        self._live = 0
+
+
+#: Scheduler registry used by :class:`Simulator` and ``SystemConfig``.
+SCHEDULERS: Dict[str, Type[EventQueueBase]] = {
+    EventQueue.name: EventQueue,
+    CalendarQueue.name: CalendarQueue,
+}
+
+#: The default scheduler.  The calendar queue is the fast path; ``heapq``
+#: remains available as the reference (results are bit-identical).
+DEFAULT_SCHEDULER = CalendarQueue.name
+
+
+def make_event_queue(scheduler: str = DEFAULT_SCHEDULER) -> EventQueueBase:
+    """Instantiate a scheduler by registry name."""
+    try:
+        return SCHEDULERS[scheduler]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduler {scheduler!r}; "
+            f"choose one of {sorted(SCHEDULERS)}") from None
+
+
 class Simulator:
     """The event-driven simulation engine.
 
@@ -118,10 +359,13 @@ class Simulator:
     components call :meth:`schedule` / :meth:`schedule_at` to arrange future
     work; :meth:`run` drains events until the queue empties, a time limit is
     hit, or an event budget is exhausted.
+
+    ``scheduler`` selects the event-queue implementation (see
+    :data:`SCHEDULERS`); every scheduler yields bit-identical simulations.
     """
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, scheduler: str = DEFAULT_SCHEDULER) -> None:
+        self._queue = make_event_queue(scheduler)
         self._now = 0
         self._events_processed = 0
         self._running = False
@@ -140,6 +384,11 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    @property
+    def scheduler(self) -> str:
+        """Registry name of the event-queue implementation in use."""
+        return self._queue.name
 
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: int, callback: Callable[[], None], *,
@@ -178,20 +427,23 @@ class Simulator:
         completed = True
         self._running = True
         self._stop_requested = False
+        queue = self._queue
         try:
-            while self._queue:
+            while queue:
                 if self._stop_requested:
                     completed = False
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
                 if max_events is not None and processed >= max_events:
-                    completed = False
+                    # The budget only makes this an early exit if an
+                    # eligible event was actually left unprocessed.
+                    next_time = queue.peek_time()
+                    if next_time is not None and (until is None
+                                                  or next_time <= until):
+                        completed = False
                     break
-                event = self._queue.pop()
+                event = queue.pop_due(until)
+                if event is None:
+                    break
                 self._now = event.time
                 event.callback()
                 processed += 1

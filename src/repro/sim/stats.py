@@ -7,7 +7,15 @@ from typing import Dict, Iterable, List, Optional
 
 
 class Counter:
-    """A named monotonically increasing counter."""
+    """A named monotonically increasing counter.
+
+    Hot components bind the :class:`Counter` object once at construction
+    time (``self._hits = self.stats.counter("hits")``) and call
+    :meth:`increment` on the pre-bound handle, so the per-event path does no
+    dict lookups.
+    """
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str, value: int = 0) -> None:
         self.name = name
@@ -33,6 +41,8 @@ class ByteCounter:
     Request, Nack, Misc).
     """
 
+    __slots__ = ("name", "messages", "bytes")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.messages: Dict[str, int] = {}
@@ -41,6 +51,17 @@ class ByteCounter:
     def record(self, category: str, num_bytes: int, count: int = 1) -> None:
         self.messages[category] = self.messages.get(category, 0) + count
         self.bytes[category] = self.bytes.get(category, 0) + num_bytes * count
+
+    def record_total(self, category: str, total_bytes: int,
+                     count: int) -> None:
+        """Account ``count`` messages summing to ``total_bytes`` in one call.
+
+        The batched form used by same-tick delivery waves: unlike
+        :meth:`record` the byte total is *not* multiplied by ``count``, so
+        mixed-size batches can be folded into a single update.
+        """
+        self.messages[category] = self.messages.get(category, 0) + count
+        self.bytes[category] = self.bytes.get(category, 0) + total_bytes
 
     def total_bytes(self) -> int:
         return sum(self.bytes.values())
@@ -64,6 +85,9 @@ class ByteCounter:
 
 class Histogram:
     """A latency histogram with fixed-width bins plus running moments."""
+
+    __slots__ = ("name", "bin_width", "max_bins", "bins", "overflow",
+                 "count", "total", "minimum", "maximum")
 
     def __init__(self, name: str, bin_width: int = 10,
                  max_bins: int = 200) -> None:

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.network.timing import NetworkTiming
 from repro.protocols.base import ProtocolTiming
+from repro.sim.kernel import DEFAULT_SCHEDULER, SCHEDULERS
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,12 @@ class SystemConfig:
     # per host CPU.  Results are bit-identical regardless of the value.
     jobs: int = 1
 
+    # Event-queue implementation driving the simulation kernel (see
+    # ``repro.sim.kernel.SCHEDULERS``): "calendar" is the fast bucket
+    # scheduler, "heapq" the reference heap.  Results are bit-identical
+    # regardless of the choice (verified by test).
+    scheduler: str = DEFAULT_SCHEDULER
+
     # Consistency checking (slows runs slightly; on for tests, off for
     # benchmarks by default).
     enable_checker: bool = False
@@ -63,6 +69,10 @@ class SystemConfig:
             raise ValueError("slack must be non-negative")
         if self.jobs < 0:
             raise ValueError("jobs must be non-negative (0 = auto)")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose one of {sorted(SCHEDULERS)}")
         if self.block_size_bytes <= 0 or self.block_size_bytes & (self.block_size_bytes - 1):
             raise ValueError("block_size_bytes must be a power of two")
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.network.message import TrafficCategory
 
@@ -28,6 +28,9 @@ class RunResult:
     traffic_bytes_by_category: Dict[str, int] = field(default_factory=dict)
     average_miss_latency_ns: float = 0.0
     replicas: int = 1
+    #: host-side kernel events processed by the replica that produced this
+    #: result (deterministic; used by the perf harness for events/sec).
+    sim_events: int = 0
 
     @property
     def cache_to_cache_fraction(self) -> float:

@@ -182,6 +182,7 @@ class SimulationRunner:
             per_link_bytes=accountant.per_link_bytes(),
             traffic_bytes_by_category=dict(accountant.bytes_by_category),
             average_miss_latency_ns=(latency_total / misses) if misses else 0.0,
+            sim_events=system.sim.events_processed,
         )
 
     def _data_touched_mb(self, system: BuiltSystem) -> float:

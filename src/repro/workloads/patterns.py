@@ -24,7 +24,7 @@ per-benchmark cache-to-cache fraction.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.memory.coherence import AccessType
 from repro.sim.randomness import DeterministicRandom

@@ -15,7 +15,7 @@ run; protocol comparisons are ratio-based and insensitive to the factor
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Tuple
 
 from repro.sim.randomness import DeterministicRandom

@@ -1,0 +1,57 @@
+"""Whole-run bit-identity across event schedulers (the tentpole guarantee).
+
+The calendar-queue scheduler must not change a single bit of any protocol
+result relative to the reference heapq scheduler -- on the analytical
+address network, on the detailed token-passing network, and under
+perturbation replicas.
+"""
+
+import pytest
+
+from repro import api
+from repro.system.config import SystemConfig
+
+
+PROTOCOLS = ("ts-snoop", "dirclassic", "diropt")
+
+
+def _run_all(scheduler, **overrides):
+    comparison = api.compare_protocols(
+        workload="barnes", scale=0.05, scheduler=scheduler, **overrides)
+    return {protocol: comparison.results[protocol] for protocol in PROTOCOLS}
+
+
+class TestSchedulerBitIdentity:
+    def test_analytical_network_results_identical(self):
+        heapq_results = _run_all("heapq")
+        calendar_results = _run_all("calendar")
+        for protocol in PROTOCOLS:
+            assert heapq_results[protocol] == calendar_results[protocol]
+
+    def test_detailed_token_network_results_identical(self):
+        heapq_results = _run_all("heapq", detailed_address_network=True)
+        calendar_results = _run_all("calendar", detailed_address_network=True)
+        for protocol in PROTOCOLS:
+            assert heapq_results[protocol] == calendar_results[protocol]
+
+    def test_perturbed_replicas_identical(self):
+        heapq_results = _run_all("heapq", perturbation_replicas=2)
+        calendar_results = _run_all("calendar", perturbation_replicas=2)
+        for protocol in PROTOCOLS:
+            assert heapq_results[protocol] == calendar_results[protocol]
+
+    def test_detailed_network_with_slack_identical(self):
+        kwargs = dict(workload="oltp", protocol="ts-snoop", scale=0.05,
+                      detailed_address_network=True, slack=2)
+        first = api.run_experiment(scheduler="heapq", **kwargs)
+        second = api.run_experiment(scheduler="calendar", **kwargs)
+        assert first == second
+
+
+class TestSchedulerConfig:
+    def test_default_is_calendar(self):
+        assert SystemConfig().scheduler == "calendar"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(scheduler="splay")

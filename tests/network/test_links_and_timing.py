@@ -33,6 +33,24 @@ class TestLink:
         link.carry(Message(MessageKind.GETS, 0, 1, 5))
         assert link.total_bytes == 72 + 8
 
+    def test_carry_batch_matches_individual_carries(self):
+        batch = [Message(MessageKind.DATA, 0, 1, 5),
+                 Message(MessageKind.GETS, 0, 1, 5),
+                 Message(MessageKind.DATA, 1, 0, 6),
+                 Message(MessageKind.NACK, 2, 0, 7)]
+        one_by_one = Link("a", "b")
+        for message in batch:
+            one_by_one.carry(message)
+        batched = Link("a", "b")
+        batched.carry_batch(batch)
+        assert batched.counter.messages == one_by_one.counter.messages
+        assert batched.counter.bytes == one_by_one.counter.bytes
+
+    def test_carry_batch_empty_is_noop(self):
+        link = Link("a", "b")
+        link.carry_batch([])
+        assert link.total_bytes == 0
+
 
 class TestTrafficAccountant:
     def test_record_message_traversals(self):

@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.memory.coherence import AccessType
 from repro.processor.processor import Processor, ProcessorConfig
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
-from repro.workloads.generator import Reference
 
 from tests.conftest import ref
 

@@ -5,7 +5,6 @@ import pytest
 from repro.memory.coherence import CacheState
 from repro.processor.consistency import check_swmr_invariant
 from repro.protocols.base import MissSource
-from repro.protocols.directory_state import DirectoryState
 
 from tests.conftest import build_and_run, empty_streams, ref
 
@@ -118,7 +117,8 @@ class TestNackBehaviour:
         assert nacks == 0
 
     def test_dirclassic_directory_not_left_busy(self):
-        system = build_and_run("dirclassic", self._contended_streams())
+        # keep the system alive while scanning gc-tracked objects below
+        _system = build_and_run("dirclassic", self._contended_streams())
         import gc
         from repro.protocols.directory import DirectoryMemoryController
         for obj in gc.get_objects():

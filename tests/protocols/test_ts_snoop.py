@@ -1,6 +1,5 @@
 """Behavioural tests for the TS-Snoop protocol on hand-crafted streams."""
 
-import pytest
 
 from repro.memory.coherence import CacheState
 from repro.processor.consistency import check_swmr_invariant

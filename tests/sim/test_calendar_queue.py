@@ -1,0 +1,204 @@
+"""Property tests: the calendar queue matches the heapq reference exactly.
+
+The calendar (bucket) scheduler must be observationally identical to the
+reference heap scheduler for every interleaving of push / pop / cancel and
+every tie pattern, and ``Simulator(until=)`` clock landing must not depend
+on the scheduler.  Randomised schedules are driven by hypothesis.
+"""
+
+import pytest
+
+from repro.sim.kernel import (
+    DEFAULT_SCHEDULER,
+    SCHEDULERS,
+    CalendarQueue,
+    EventQueue,
+    SimulationError,
+    Simulator,
+    make_event_queue,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+# ---------------------------------------------------------------- unit tests
+class TestCalendarQueueBasics:
+    def test_orders_by_time_priority_seq(self):
+        queue = CalendarQueue()
+        order = []
+        queue.push(30, lambda: order.append("d"))
+        queue.push(10, lambda: order.append("b"), priority=1)
+        queue.push(10, lambda: order.append("a"))
+        queue.push(20, lambda: order.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_fifo_within_time_and_priority(self):
+        queue = CalendarQueue()
+        order = []
+        for label in "abcde":
+            queue.push(5, lambda x=label: order.append(x))
+        while queue:
+            queue.pop().callback()
+        assert order == list("abcde")
+
+    def test_cancel_drops_live_count_immediately(self):
+        queue = CalendarQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.peek_time() == 2
+        assert queue.pop().time == 2
+        assert not queue
+
+    def test_cancel_twice_counts_once(self):
+        queue = CalendarQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            CalendarQueue().pop()
+
+    def test_pop_due_respects_limit(self):
+        queue = CalendarQueue()
+        queue.push(5, lambda: None)
+        assert queue.pop_due(4) is None
+        assert queue.pop_due(5).time == 5
+        assert queue.pop_due(None) is None
+
+    def test_clear_disowns_events(self):
+        queue = CalendarQueue()
+        event = queue.push(1, lambda: None)
+        queue.clear()
+        event.cancel()  # must be a no-op, not a double-decrement
+        assert len(queue) == 0
+
+    def test_reviving_a_drained_bucket(self):
+        queue = CalendarQueue()
+        queue.push(5, lambda: None)
+        assert queue.pop().time == 5
+        queue.push(5, lambda: None)  # same timestamp again
+        assert queue.peek_time() == 5
+        assert queue.pop().time == 5
+
+    def test_registry(self):
+        assert set(SCHEDULERS) == {"heapq", "calendar"}
+        assert DEFAULT_SCHEDULER in SCHEDULERS
+        assert isinstance(make_event_queue("heapq"), EventQueue)
+        assert isinstance(make_event_queue("calendar"), CalendarQueue)
+        with pytest.raises(SimulationError):
+            make_event_queue("splay")
+
+
+# ---------------------------------------------------------- property testing
+# One operation per element: push at a (small, tie-heavy) time/priority,
+# pop the front, cancel a previously pushed event, or peek.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 12), st.integers(0, 2)),
+        st.tuples(st.just("pop"), st.just(0), st.just(0)),
+        st.tuples(st.just("cancel"), st.integers(0, 40), st.just(0)),
+        st.tuples(st.just("peek"), st.just(0), st.just(0)),
+    ),
+    max_size=120,
+)
+
+
+def _apply(queue, ops):
+    """Run an op script against a queue; return an observation trace."""
+    trace = []
+    pushed = []
+    for op, a, b in ops:
+        if op == "push":
+            pushed.append(queue.push(a, lambda: None, priority=b))
+        elif op == "pop":
+            if queue:
+                event = queue.pop()
+                trace.append(("pop", event.time, event.priority, event.seq))
+            else:
+                trace.append(("empty",))
+        elif op == "cancel":
+            if pushed:
+                pushed[a % len(pushed)].cancel()
+        elif op == "peek":
+            trace.append(("peek", queue.peek_time()))
+        trace.append(("len", len(queue)))
+    while queue:
+        event = queue.pop()
+        trace.append(("drain", event.time, event.priority, event.seq))
+    return trace
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=_ops)
+def test_calendar_matches_heapq_reference(ops):
+    assert _apply(CalendarQueue(), ops) == _apply(EventQueue(), ops)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    delays=st.lists(st.tuples(st.integers(0, 30), st.integers(0, 2)), max_size=60),
+    until=st.one_of(st.none(), st.integers(0, 40)),
+    cancel_every=st.integers(2, 7),
+)
+def test_simulator_until_landing_matches_across_schedulers(
+    delays, until, cancel_every
+):
+    """run(until=) clock landing and event order are scheduler-independent."""
+    observations = {}
+    for scheduler in SCHEDULERS:
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        events = []
+        for index, (delay, priority) in enumerate(delays):
+            events.append(
+                sim.schedule(
+                    delay,
+                    lambda i=index: fired.append((i, sim.now)),
+                    priority=priority,
+                )
+            )
+        for index in range(0, len(events), cancel_every):
+            events[index].cancel()
+        processed = sim.run(until=until)
+        observations[scheduler] = (fired, processed, sim.now, sim.pending_events)
+    assert observations["calendar"] == observations["heapq"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(st.integers(0, 20), min_size=1, max_size=40),
+    budget=st.integers(1, 20),
+)
+def test_simulator_max_events_matches_across_schedulers(delays, budget):
+    observations = {}
+    for scheduler in SCHEDULERS:
+        sim = Simulator(scheduler=scheduler)
+        fired = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, lambda i=index: fired.append(i))
+        processed = sim.run(until=15, max_events=budget)
+        observations[scheduler] = (fired, processed, sim.now, sim.pending_events)
+    assert observations["calendar"] == observations["heapq"]
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_ops)
+def test_calendar_live_count_never_negative(ops):
+    queue = CalendarQueue()
+    pushed = []
+    for op, a, b in ops:
+        if op == "push":
+            pushed.append(queue.push(a, lambda: None, priority=b))
+        elif op == "pop" and queue:
+            queue.pop()
+        elif op == "cancel" and pushed:
+            pushed[a % len(pushed)].cancel()
+        assert len(queue) >= 0

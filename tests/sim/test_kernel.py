@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.kernel import EventQueue, SimulationError, Simulator
+from repro.sim.kernel import EventQueue, SimulationError
 
 
 class TestEventQueue:
@@ -20,7 +20,7 @@ class TestEventQueue:
         queue = EventQueue()
         order = []
         for label in "abcde":
-            queue.push(5, lambda l=label: order.append(l))
+            queue.push(5, lambda x=label: order.append(x))
         while queue:
             queue.pop().callback()
         assert order == list("abcde")

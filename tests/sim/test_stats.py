@@ -38,6 +38,14 @@ class TestByteCounter:
         assert counter.total_bytes() == 72 * 3 + 8
         assert counter.total_messages() == 4
 
+    def test_record_total_folds_mixed_size_batches(self):
+        counter = ByteCounter("traffic")
+        # 3 messages of 72 + 8 + 0 bytes folded into one update.
+        counter.record_total("Misc.", 80, count=3)
+        counter.record_total("Misc.", 8, count=1)
+        assert counter.bytes_for("Misc.") == 88
+        assert counter.messages["Misc."] == 4
+
     def test_merge(self):
         a = ByteCounter("a")
         b = ByteCounter("b")

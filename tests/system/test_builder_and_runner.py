@@ -7,7 +7,7 @@ from repro.system.config import SystemConfig
 from repro.system.simulation import SimulationRunner, run_workload
 from repro.workloads.profiles import get_profile
 
-from tests.conftest import empty_streams, ref
+from tests.conftest import empty_streams
 
 
 class TestSystemBuilder:
