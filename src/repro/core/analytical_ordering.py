@@ -35,7 +35,7 @@ from repro.core.timestamp_network import (
     OrderedHandler,
 )
 from repro.network.link import TrafficAccountant
-from repro.network.message import Message
+from repro.network.message import Message, MessagePool
 from repro.network.timing import NetworkTiming
 from repro.network.topology import Topology
 from repro.sim.kernel import Simulator
@@ -57,14 +57,32 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
                  accountant: Optional[TrafficAccountant] = None,
                  default_slack: int = 0,
                  perturbation: Optional[PerturbationModel] = None,
+                 message_pool: Optional[MessagePool] = None,
                  name: str = "ts-network-analytic") -> None:
         super().__init__(sim, name, default_slack)
         self.topology = topology
         self.timing = timing or NetworkTiming()
         self.accountant = accountant
-        self.perturbation = perturbation
+        #: Single source of truth for jitter; enablement is fixed at
+        #: construction (see DataNetwork).
+        self._active_perturbation = (perturbation if perturbation is not None
+                                     and perturbation.enabled else None)
+        #: When set, broadcast shells are recycled here after the last
+        #: ordered handler has run (TS-Snoop handlers copy what they keep).
+        self.message_pool = message_pool
         self._ordered_handlers: Dict[int, OrderedHandler] = {}
         self._early_handlers: Dict[int, EarlyHandler] = {}
+        #: (endpoint, handler) pairs in endpoint order, rebuilt lazily after
+        #: attach(); avoids a handler dict lookup per endpoint per broadcast
+        #: on the ordered fan-out path.
+        self._delivery_rows: Optional[list] = None
+        #: broadcast trees are a pure function of the source; memoised
+        #: exactly as the detailed network does.
+        self._trees: Dict[int, object] = {}
+        self._delivery_scratch = OrderedDelivery(
+            message=None, endpoint=0, arrival_time=0, ordered_time=0,
+            logical_time=0)
+        self._ordering_delay_cache: Dict[tuple, int] = {}
         self._logical_counter = 0
         # Pre-bound counter handles for the per-broadcast fast path.
         self._ctr_broadcasts = self.stats.counter("broadcasts")
@@ -78,6 +96,7 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         self._ordered_handlers[endpoint] = ordered_handler
         if early_handler is not None:
             self._early_handlers[endpoint] = early_handler
+        self._delivery_rows = None
 
     # ------------------------------------------------------------- broadcast
     def broadcast(self, message: Message, slack: Optional[int] = None) -> None:
@@ -87,17 +106,26 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
             raise ValueError("slack must be non-negative")
         source = message.src
         message.sent_at = self.now
-        tree = self.topology.broadcast_tree(source)
+        tree = self._trees.get(source)
+        if tree is None:
+            tree = self.topology.broadcast_tree(source)
+            self._trees[source] = tree
         if self.accountant is not None:
             self.accountant.record(message, tree.link_count())
         self._ctr_broadcasts.increment()
 
         jitter = 0
-        if self.perturbation is not None and self.perturbation.enabled:
-            jitter = self.perturbation.response_delay()
+        perturbation = self._active_perturbation
+        if perturbation is not None:
+            jitter = perturbation.response_delay()
 
-        ordered_delay = (self.timing.ordering_latency(
-            tree.depth, slack + self.ORDERING_MARGIN) + jitter)
+        key = (tree.depth, slack)
+        base_delay = self._ordering_delay_cache.get(key)
+        if base_delay is None:
+            base_delay = self.timing.ordering_latency(
+                tree.depth, slack + self.ORDERING_MARGIN)
+            self._ordering_delay_cache[key] = base_delay
+        ordered_delay = base_delay + jitter
         ordered_time = self.now + ordered_delay
         self._logical_counter += 1
         logical_time = self._logical_counter
@@ -119,21 +147,47 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         # endpoint order.  Transactions whose ordering instants coincide are
         # tie-broken by source id (the event priority), exactly as the
         # detailed token network and the paper's Section 2.2 prescribe.
-        self.schedule(ordered_delay,
-                      lambda: self._deliver_ordered(message, tree, injected_at,
-                                                    ordered_time, logical_time),
-                      priority=message.src,
-                      label="ordered")
+        self.sim.schedule(ordered_delay,
+                          lambda: self._deliver_ordered(message, tree,
+                                                        injected_at,
+                                                        ordered_time,
+                                                        logical_time),
+                          priority=message.src,
+                          label="ordered")
         self._ctr_deliveries.increment(self.topology.num_endpoints)
 
     def _deliver_ordered(self, message: Message, tree, injected_at: int,
                          ordered_time: int, logical_time: int) -> None:
-        for endpoint in self.topology.endpoints():
-            handler = self._ordered_handlers.get(endpoint)
-            if handler is None:
-                continue
-            arrival_time = (injected_at + self.timing.overhead_ns
-                            + tree.arrival_hops[endpoint] * self.timing.switch_ns)
+        rows = self._delivery_rows
+        if rows is None:
+            rows = self._delivery_rows = [
+                (endpoint, self._ordered_handlers[endpoint])
+                for endpoint in self.topology.endpoints()
+                if endpoint in self._ordered_handlers]
+        base = injected_at + self.timing.overhead_ns
+        switch_ns = self.timing.switch_ns
+        arrival_hops = tree.arrival_hops
+        pool = self.message_pool
+        if pool is not None and pool.enabled:
+            # Pooled builds come with a no-retention contract (TS-Snoop
+            # handlers copy the scalars they keep), so one OrderedDelivery
+            # shell is mutated across the whole fan-out and the message
+            # shell is recycled once the last endpoint has processed it.
+            # The reference data path (pooling disabled) keeps the
+            # one-delivery-per-endpoint allocation below.
+            delivery = self._delivery_scratch
+            delivery.message = message
+            delivery.ordered_time = ordered_time
+            delivery.logical_time = logical_time
+            for endpoint, handler in rows:
+                delivery.endpoint = endpoint
+                delivery.arrival_time = base + arrival_hops[endpoint] * switch_ns
+                handler(delivery)
+            delivery.message = None
+            pool.release(message)
+            return
+        for endpoint, handler in rows:
+            arrival_time = base + arrival_hops[endpoint] * switch_ns
             handler(OrderedDelivery(message=message, endpoint=endpoint,
                                     arrival_time=arrival_time,
                                     ordered_time=ordered_time,

@@ -133,6 +133,10 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             ep: _EndpointPort(ep) for ep in topology.endpoints()
         }
         self._trees: Dict[int, BroadcastTree] = {}
+        #: Retired hop-copy shells, reused by :meth:`_copy_factory` so the
+        #: per-hop fan-out stops allocating one BufferedTransaction per
+        #: branch per switch.
+        self._txn_free: List[BufferedTransaction] = []
         # Pre-bound counter handles for the per-hop fast path.
         self._ctr_broadcasts = self.stats.counter("broadcasts")
         self._ctr_deliveries = self.stats.counter("deliveries")
@@ -167,15 +171,34 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             self.accountant.record(message, tree.link_count())
         self._ctr_broadcasts.increment()
         self._sequence += 1
-        transaction = BufferedTransaction(payload=message, slack=slack,
-                                          source=source,
-                                          sequence=self._sequence)
+        transaction = self._copy_factory(payload=message, slack=slack,
+                                         source=source,
+                                         sequence=self._sequence)
         root = endpoint_node(source)
         # The transaction enters the network after the entry overhead and is
         # then at the root of its broadcast tree.
         self.schedule(self.timing.overhead_ns,
                       lambda: self._arrive(root, None, transaction, tree),
                       priority=_MESSAGE_PRIORITY, label="inject")
+
+    # -------------------------------------------------------- hop-copy reuse
+    def _copy_factory(self, payload=None, slack: int = 0, source: int = 0,
+                      sequence: int = 0) -> BufferedTransaction:
+        """Build a hop copy, reusing a retired shell when one is free."""
+        free = self._txn_free
+        if not free:
+            return BufferedTransaction(payload=payload, slack=slack,
+                                       source=source, sequence=sequence)
+        txn = free.pop()
+        txn.payload = payload
+        txn.slack = slack
+        txn.source = source
+        txn.sequence = sequence
+        return txn
+
+    def _retire_txn(self, txn: BufferedTransaction) -> None:
+        txn.payload = None
+        self._txn_free.append(txn)
 
     # ----------------------------------------------------- transaction events
     def _arrive(self, node: NodeId, input_port: Optional[NodeId],
@@ -209,6 +232,7 @@ class TimestampAddressNetwork(AddressNetworkInterface):
 
         if is_returned_source_copy:
             switch.buffer.remove(transaction)
+            self._retire_txn(transaction)
             self._try_propagate(node)
             return
 
@@ -231,7 +255,11 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             return
         branches = tree.branches_from(node)
         outputs = switch.release_transaction(
-            transaction, [(child, delta) for child, delta in branches])
+            transaction, [(child, delta) for child, delta in branches],
+            factory=self._copy_factory)
+        # The parent shell dies here: its copies (if any) carry the payload
+        # onward and nothing else references it.
+        self._retire_txn(transaction)
         if outputs:
             # All copies of one forwarding step traverse their links in the
             # same Dswitch interval, so they ride a single batched event;

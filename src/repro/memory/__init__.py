@@ -9,7 +9,15 @@ from repro.memory.coherence import (
     can_write,
     owns_data,
 )
-from repro.memory.cache import CacheArray, CacheLine, EvictionResult
+from repro.memory.cache import (
+    CACHE_ARRAYS,
+    DEFAULT_CACHE_ARRAY,
+    CacheArray,
+    CacheLine,
+    EvictionResult,
+    PackedCacheArray,
+    make_cache_array,
+)
 from repro.memory.mshr import MSHRFile, MSHREntry, MSHRFullError
 
 __all__ = [
@@ -22,6 +30,10 @@ __all__ = [
     "can_write",
     "owns_data",
     "CacheArray",
+    "PackedCacheArray",
+    "CACHE_ARRAYS",
+    "DEFAULT_CACHE_ARRAY",
+    "make_cache_array",
     "CacheLine",
     "EvictionResult",
     "MSHRFile",

@@ -89,6 +89,14 @@ class AddressSpace:
         self._check_block(block_number)
         return block_number % self.num_nodes
 
+    def home_of(self, block_number: int) -> int:
+        """Unchecked :meth:`home_node` for per-message hot paths.
+
+        The single definition of the interleaving: controllers pre-bind this
+        so changing the homing scheme changes every call site at once.
+        """
+        return block_number % self.num_nodes
+
     def blocks_homed_at(self, node: int, limit: int) -> list[int]:
         """The first ``limit`` block numbers homed at ``node`` (for tests)."""
         if not 0 <= node < self.num_nodes:

@@ -25,6 +25,15 @@ class CacheState(Enum):
         return self.value
 
 
+#: Dense integer codes for packed (array-backed) cache storage.  INVALID is
+#: 0 so a zero-initialised state column reads as an empty way.
+STATE_FROM_CODE = (CacheState.INVALID, CacheState.SHARED, CacheState.EXCLUSIVE,
+                   CacheState.OWNED, CacheState.MODIFIED)
+for _code, _state in enumerate(STATE_FROM_CODE):
+    _state.code = _code
+del _code, _state
+
+
 class AccessType(Enum):
     """Processor-side access categories."""
 
@@ -32,9 +41,15 @@ class AccessType(Enum):
     STORE = auto()
     ATOMIC = auto()   # read-modify-write (test-and-set style)
 
-    @property
-    def needs_write_permission(self) -> bool:
-        return self in (AccessType.STORE, AccessType.ATOMIC)
+
+#: Dense integer codes for packed reference streams.
+ACCESS_FROM_CODE = (AccessType.LOAD, AccessType.STORE, AccessType.ATOMIC)
+# ``needs_write_permission`` is read on every reference and every protocol
+# message; a plain member attribute avoids a property call on the hot path.
+for _code, _access in enumerate(ACCESS_FROM_CODE):
+    _access.code = _code
+    _access.needs_write_permission = _access is not AccessType.LOAD
+del _code, _access
 
 
 _STABLE = frozenset(CacheState)

@@ -17,7 +17,7 @@ class MSHRFullError(RuntimeError):
     """Raised when a controller tries to exceed its outstanding-miss limit."""
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """State of one in-flight transaction for a single block."""
 
@@ -52,6 +52,9 @@ class MSHRFile:
         self.capacity = capacity
         self.name = name
         self._entries: Dict[int, MSHREntry] = {}
+        #: Bound ``dict.get`` over the entry table -- the per-message lookup
+        #: is hot enough that controllers pre-bind this to skip a call layer.
+        self.get_entry = self._entries.get
         self.peak_occupancy = 0
         self.total_allocations = 0
 

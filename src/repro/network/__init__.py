@@ -7,6 +7,8 @@ traffic accounting for Figure 4, an unordered point-to-point data network and
 the virtual networks used by the directory protocols.
 """
 
+import math
+
 from repro.network.message import Message, MessageKind, TrafficCategory
 from repro.network.topology import Topology, BroadcastTree
 from repro.network.butterfly import ButterflyTopology
@@ -41,10 +43,18 @@ def make_topology(name: str, num_endpoints: int = 16) -> Topology:
     """Factory for the two evaluated topologies by name.
 
     ``name`` is one of ``"butterfly"`` or ``"torus"`` (case-insensitive).
+    The two-stage butterfly requires a perfect-square endpoint count (the
+    radix follows as its square root: 16 nodes -> radix 4 as in the paper,
+    64 -> radix 8, 256 -> radix 16 for the ``scale`` perf suite).
     """
     key = name.strip().lower()
     if key in ("butterfly", "bfly", "indirect"):
-        return ButterflyTopology(num_endpoints=num_endpoints)
+        radix = math.isqrt(num_endpoints)
+        if radix * radix != num_endpoints:
+            raise ValueError(
+                "the two-stage butterfly requires a perfect-square endpoint "
+                f"count, got {num_endpoints}")
+        return ButterflyTopology(num_endpoints=num_endpoints, radix=radix)
     if key in ("torus", "2d-torus", "direct"):
         return TorusTopology.for_endpoints(num_endpoints)
     raise ValueError(f"unknown topology {name!r}; expected 'butterfly' or 'torus'")

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.network.link import TrafficAccountant
-from repro.network.message import Message
+from repro.network.message import Message, MessageKind
 from repro.network.timing import NetworkTiming
 from repro.network.topology import Topology
 from repro.sim.component import Component
@@ -23,6 +23,10 @@ from repro.sim.randomness import PerturbationModel
 
 
 DeliveryCallback = Callable[[Message], None]
+
+#: Event labels per message kind, precomputed so the send fast path does not
+#: build an f-string per delivery.
+DELIVER_LABELS = {kind: f"deliver:{kind.label}" for kind in MessageKind}
 
 
 class DataNetwork(Component):
@@ -41,28 +45,58 @@ class DataNetwork(Component):
         self.topology = topology
         self.timing = timing
         self.accountant = accountant
-        self.perturbation = perturbation
+        #: The single source of truth for jitter: ``None`` unless the model
+        #: is live.  Enablement is fixed at construction (a replica's
+        #: ``PerturbationModel`` never changes ``max_delay_ns`` after init),
+        #: so the send path skips the ``enabled`` property per message.
+        self._active_perturbation = (perturbation if perturbation is not None
+                                     and perturbation.enabled else None)
         self._receivers: dict[int, DeliveryCallback] = {}
+        #: (src, dst) -> (latency, traversals); unloaded routes are static,
+        #: so each pair is computed once per run.
+        self._routes: dict[tuple[int, int], tuple[int, int]] = {}
         # Pre-bound stat handles for the per-message fast path.
         self._ctr_messages = self.stats.counter("messages")
         self._ctr_bytes = self.stats.counter("bytes")
+        self._record_traffic = accountant.record
 
     # -------------------------------------------------------------- receivers
     def attach(self, node: int, handler: DeliveryCallback) -> None:
         """Register the delivery handler for endpoint ``node``."""
         self._receivers[node] = handler
 
-    def _handler_for(self, message: Message,
-                     on_deliver: Optional[DeliveryCallback]) -> DeliveryCallback:
-        if on_deliver is not None:
-            return on_deliver
-        handler = self._receivers.get(message.dst)
-        if handler is None:
-            raise ValueError(
-                f"{self.name}: no receiver attached for node {message.dst}")
-        return handler
-
     # ----------------------------------------------------------------- sends
+    def _prepare_send(self, message: Message,
+                      on_deliver: Optional[DeliveryCallback],
+                      ) -> tuple[DeliveryCallback, int]:
+        """Shared per-send prologue: resolve the handler, compute the
+        (memoised) unloaded latency plus any perturbation, and account the
+        traffic.  Returns ``(handler, latency)``; used by both the plain and
+        the point-to-point-ordered send paths so the fast path exists once.
+        """
+        if message.dst is None:
+            raise ValueError(f"{self.name} only carries unicast messages")
+        if on_deliver is not None:
+            handler = on_deliver
+        else:
+            handler = self._receivers.get(message.dst)
+            if handler is None:
+                raise ValueError(
+                    f"{self.name}: no receiver attached for node {message.dst}")
+        route = (message.src, message.dst)
+        cached = self._routes.get(route)
+        if cached is None:
+            cached = self._latency_and_traversals(message.src, message.dst)
+            self._routes[route] = cached
+        latency, traversals = cached
+        perturbation = self._active_perturbation
+        if perturbation is not None:
+            latency += perturbation.response_delay()
+        self._record_traffic(message, traversals)
+        self._ctr_messages.value += 1
+        self._ctr_bytes.value += message.kind.size_bytes
+        return handler, latency
+
     def send(self, message: Message,
              on_deliver: Optional[DeliveryCallback] = None) -> int:
         """Send ``message``; returns the absolute delivery time.
@@ -72,20 +106,12 @@ class DataNetwork(Component):
         destination are the same node are delivered locally (zero link
         traversals).
         """
-        if message.dst is None:
-            raise ValueError("the data network only carries unicast messages")
-        handler = self._handler_for(message, on_deliver)
-        message.sent_at = self.now
-        latency, traversals = self._latency_and_traversals(message.src, message.dst)
-        if self.perturbation is not None and self.perturbation.enabled:
-            latency += self.perturbation.response_delay()
-        self.accountant.record(message, traversals)
-        self._ctr_messages.increment()
-        self._ctr_bytes.increment(message.size_bytes)
-        delivery_time = self.now + latency
-        self.schedule(latency, lambda: handler(message),
-                      label=f"deliver:{message.kind.label}")
-        return delivery_time
+        handler, latency = self._prepare_send(message, on_deliver)
+        now = self.sim.now
+        message.sent_at = now
+        self.sim.schedule(latency, lambda: handler(message),
+                          label=DELIVER_LABELS[message.kind])
+        return now + latency
 
     def latency(self, src: int, dst: int) -> int:
         """Unloaded latency between two endpoints (no perturbation)."""

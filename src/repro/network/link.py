@@ -75,12 +75,14 @@ class TrafficAccountant:
         """
         if traversals < 0:
             raise ValueError("traversals must be non-negative")
-        category = message.category.value
+        kind = message.kind
+        category = kind.category_key
+        num_bytes = kind.size_bytes * traversals
         try:
-            self.bytes_by_category[category] += message.size_bytes * traversals
+            self.bytes_by_category[category] += num_bytes
             self.messages_by_category[category] += 1
         except KeyError:
-            self.bytes_by_category[category] = message.size_bytes * traversals
+            self.bytes_by_category[category] = num_bytes
             self.messages_by_category[category] = 1
         self.link_traversals += traversals
 

@@ -59,6 +59,9 @@ class MessageKind(Enum):
                  size_bytes: int) -> None:
         self.label = label
         self.category = category
+        #: ``category.value`` resolved once -- Enum's ``.value`` descriptor
+        #: costs a function call, and accounting reads this per message.
+        self.category_key = category.value
         self.size_bytes = size_bytes
 
     @property
@@ -112,3 +115,51 @@ class Message:
         target = "broadcast" if self.dst is None else f"n{self.dst}"
         return (f"<{self.kind.label} #{self.msg_id} n{self.src}->{target} "
                 f"block={self.block}>")
+
+
+class MessagePool:
+    """A free list of :class:`Message` shells for the per-hop fast path.
+
+    Protocol controllers allocate several messages per miss; pooling reuses
+    the dataclass shell *and* its payload dict instead of churning the
+    allocator.  The contract is explicit ownership: whoever consumes a
+    message calls :meth:`release` exactly once, after its last read, and only
+    for messages whose handler provably retains no reference (deferred
+    forwards and deferred home responses are released by the code that later
+    consumes them).  Every acquire -- fresh or recycled -- draws a new
+    ``msg_id``, so identifiers never collide with a still-tracked message.
+
+    ``enabled=False`` turns the pool into a plain constructor (the reference
+    data path used by the equivalence tests).
+    """
+
+    __slots__ = ("enabled", "_free")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._free: list = []
+
+    def acquire(self, kind: MessageKind, src: int, dst: Optional[int],
+                block: int, **payload: Any) -> Message:
+        free = self._free
+        if not free:
+            return Message(kind=kind, src=src, dst=dst, block=block,
+                           payload=payload)
+        message = free.pop()
+        message.kind = kind
+        message.src = src
+        message.dst = dst
+        message.block = block
+        message.sent_at = 0
+        message.msg_id = next(_message_ids)
+        old = message.payload
+        old.clear()
+        old.update(payload)
+        return message
+
+    def release(self, message: Message) -> None:
+        if self.enabled:
+            self._free.append(message)
+
+    def __len__(self) -> int:
+        return len(self._free)

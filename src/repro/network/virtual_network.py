@@ -14,7 +14,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.network.data_network import DataNetwork, DeliveryCallback
+from repro.network.data_network import (
+    DELIVER_LABELS,
+    DataNetwork,
+    DeliveryCallback,
+)
 from repro.network.link import TrafficAccountant
 from repro.network.message import Message
 from repro.network.timing import NetworkTiming
@@ -53,24 +57,16 @@ class PointToPointOrderedNetwork(VirtualNetwork):
 
     def send(self, message: Message,
              on_deliver: Optional[DeliveryCallback] = None) -> int:
-        if message.dst is None:
-            raise ValueError("virtual networks only carry unicast messages")
-        handler = self._handler_for(message, on_deliver)
-        message.sent_at = self.now
-        latency, traversals = self._latency_and_traversals(message.src, message.dst)
-        if self.perturbation is not None and self.perturbation.enabled:
-            latency += self.perturbation.response_delay()
-        self.accountant.record(message, traversals)
-        self._ctr_messages.increment()
-        self._ctr_bytes.increment(message.size_bytes)
-
+        handler, latency = self._prepare_send(message, on_deliver)
+        now = self.sim.now
+        message.sent_at = now
         pair = (message.src, message.dst)
-        natural_delivery = self.now + latency
+        natural_delivery = now + latency
         ordered_delivery = max(natural_delivery,
                                self._last_delivery.get(pair, 0))
         if ordered_delivery > natural_delivery:
             self._ctr_ordering_stalls.increment()
         self._last_delivery[pair] = ordered_delivery
-        self.schedule_at(ordered_delivery, lambda: handler(message),
-                         label=f"deliver:{message.kind.label}")
+        self.sim.schedule_at(ordered_delivery, lambda: handler(message),
+                             label=DELIVER_LABELS[message.kind])
         return ordered_delivery

@@ -48,21 +48,21 @@ class ReplicaJob:
                 f"{self.config.perturbation_replicas} replicas")
 
 
-# Per-process memo table; key is (profile, num_nodes, seed), the only inputs
-# build_streams depends on.  Bounded LRU so long-lived processes sweeping
-# many distinct (profile, scale, seed) combinations don't pin every stream
-# set they ever built.
+# Per-process memo table; key is (profile, num_nodes, seed, packed), the
+# only inputs build_streams depends on.  Bounded LRU so long-lived processes
+# sweeping many distinct (profile, scale, seed) combinations don't pin every
+# stream set they ever built.
 _STREAM_CACHE_LIMIT = 8
-_STREAM_CACHE: "OrderedDict[Tuple[WorkloadProfile, int, int], List[List[Reference]]]" = OrderedDict()
+_STREAM_CACHE: "OrderedDict[Tuple[WorkloadProfile, int, int, bool], List[Sequence[Reference]]]" = OrderedDict()
 
 
 def stream_cache_key(profile: WorkloadProfile,
-                     config: SystemConfig) -> Tuple[WorkloadProfile, int, int]:
-    return (profile, config.num_nodes, config.seed)
+                     config: SystemConfig) -> Tuple[WorkloadProfile, int, int, bool]:
+    return (profile, config.num_nodes, config.seed, config.packed_streams)
 
 
 def build_streams_cached(profile: WorkloadProfile,
-                         config: SystemConfig) -> List[List[Reference]]:
+                         config: SystemConfig) -> List[Sequence[Reference]]:
     """Build (or reuse) the reference streams for one (profile, config).
 
     Streams never depend on the protocol or network, so every protocol run

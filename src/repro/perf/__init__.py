@@ -2,16 +2,21 @@
 
 ``repro.perf`` turns performance measurement into a first-class, versioned
 artifact.  The harness runs a named suite of scenarios (kernel microbench,
-Figure 3 runtime, Figure 4 traffic, parallel sweep) and emits
-schema-versioned ``BENCH_kernel.json`` / ``BENCH_figures.json`` files; the
-compare entrypoint diffs two such files and exits nonzero past a regression
-threshold, which is what CI enforces on every push.
+Figure 3 runtime, Figure 4 traffic, parallel sweep, and the large-node
+``scale`` suite) and emits schema-versioned ``BENCH_kernel.json`` /
+``BENCH_figures.json`` / ``BENCH_scale.json`` files; the compare entrypoint
+diffs two such files and exits nonzero past a regression threshold, which is
+what CI enforces on every push.  The profile entrypoint runs one scenario
+under cProfile and reports its top-N hotspots, so perf work starts from
+measurements.
 
 Usage::
 
     python -m repro.perf.harness --suite smoke --output-dir .
+    python -m repro.perf.harness --suite scale --output-dir .
     python -m repro.perf.compare benchmarks/baselines/BENCH_kernel.json \
         BENCH_kernel.json --threshold 0.25
+    python -m repro.perf.profile --scenario scale_directory --top 20
 """
 
 from repro.perf.schema import SCHEMA_VERSION, validate_report

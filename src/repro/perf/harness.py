@@ -9,8 +9,11 @@ Suites:
 * ``kernel``  -- scheduler microbenchmark only (writes ``BENCH_kernel.json``)
 * ``figures`` -- Figure 3 / Figure 4 / parallel sweep scenarios (writes
   ``BENCH_figures.json``)
-* ``smoke``   -- both files at reduced scale; the CI gate
-* ``full``    -- both files at full scale
+* ``scale``   -- 64-node timestamp-snooping and 256-node directory runs,
+  packed data path timed against the dict reference (writes
+  ``BENCH_scale.json``)
+* ``smoke``   -- kernel+figures files at reduced scale; the CI gate
+* ``full``    -- every file at full scale
 
 The emitted JSON is schema-versioned (see :mod:`repro.perf.schema`); diff
 two runs with ``python -m repro.perf.compare``.
@@ -29,6 +32,7 @@ from repro.perf.schema import make_report, validate_report
 
 KERNEL_FILE = "BENCH_kernel.json"
 FIGURES_FILE = "BENCH_figures.json"
+SCALE_FILE = "BENCH_scale.json"
 
 # suite -> list of (output file, scenario thunk) pairs.  Thunks take the
 # suite's scale multiplier.
@@ -41,6 +45,10 @@ _SUITES: Dict[str, List[Tuple[str, Callable[[float], Dict[str, Any]]]]] = {
         (FIGURES_FILE, sc.figure4_traffic),
         (FIGURES_FILE, sc.parallel_sweep),
     ],
+    "scale": [
+        (SCALE_FILE, sc.scale_snooping),
+        (SCALE_FILE, sc.scale_directory),
+    ],
     "smoke": [
         (KERNEL_FILE, sc.kernel_microbench),
         (FIGURES_FILE, sc.figure3_runtime),
@@ -52,12 +60,22 @@ _SUITES: Dict[str, List[Tuple[str, Callable[[float], Dict[str, Any]]]]] = {
         (FIGURES_FILE, sc.figure3_runtime),
         (FIGURES_FILE, sc.figure4_traffic),
         (FIGURES_FILE, sc.parallel_sweep),
+        (SCALE_FILE, sc.scale_snooping),
+        (SCALE_FILE, sc.scale_directory),
     ],
 }
 
 #: Default scale multiplier per suite (scenario functions each define what
-#: 1.0 means for them; smoke keeps CI wall-clock short).
-_SUITE_SCALE = {"kernel": 1.0, "figures": 1.0, "smoke": 0.4, "full": 1.0}
+#: 1.0 means for them; smoke and scale keep CI wall-clock short -- the
+#: committed ``benchmarks/baselines/`` files are generated at these same
+#: defaults so the CI gate compares like with like).
+_SUITE_SCALE = {
+    "kernel": 1.0,
+    "figures": 1.0,
+    "scale": 0.15,
+    "smoke": 0.4,
+    "full": 1.0,
+}
 
 
 def run_suite(

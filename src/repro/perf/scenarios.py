@@ -16,6 +16,7 @@ from typing import Any, Dict
 from repro import api
 from repro.perf.schema import make_scenario
 from repro.sim.kernel import Simulator
+from repro.system.config import SystemConfig
 
 
 def peak_rss_kb() -> int:
@@ -142,6 +143,88 @@ def figure4_traffic(scale: float = 0.3) -> Dict[str, Any]:
         events=events,
         metrics=metrics,
     )
+
+
+def _scale_comparison(
+    name: str,
+    protocol: str,
+    network: str,
+    num_nodes: int,
+    scale: float,
+    workload: str = "oltp",
+) -> Dict[str, Any]:
+    """One ``scale``-suite scenario: a large-node run on the packed data
+    path, timed against the dict/object reference data path.
+
+    The headline ``runtime_s`` / ``events_per_sec`` are the packed data
+    path's; the reference numbers, the speedup and a bit-identity check ride
+    along in ``metrics`` (mirroring ``kernel_microbench``'s calendar-vs-heapq
+    shape).
+    """
+    start = time.perf_counter()
+    packed = api.run_experiment(
+        workload=workload,
+        protocol=protocol,
+        network=network,
+        scale=scale,
+        num_nodes=num_nodes,
+    )
+    packed_s = time.perf_counter() - start
+
+    reference_config = SystemConfig(
+        protocol=protocol, network=network, num_nodes=num_nodes
+    ).with_reference_data_path()
+    start = time.perf_counter()
+    reference = api.run_experiment(
+        workload=workload,
+        protocol=protocol,
+        network=network,
+        scale=scale,
+        num_nodes=num_nodes,
+        config=reference_config,
+    )
+    reference_s = time.perf_counter() - start
+
+    identical = packed == reference
+    if not identical:
+        # A hard error, not an assert: a benchmark must never publish packed
+        # numbers for a data path that diverged from its reference (and
+        # asserts vanish under ``python -O``).
+        raise RuntimeError(f"{name}: packed and reference data paths diverged")
+    events = packed.sim_events
+    packed_eps = events / packed_s if packed_s else 0.0
+    reference_eps = reference.sim_events / reference_s if reference_s else 0.0
+    speedup = packed_eps / reference_eps if reference_eps else 0.0
+    return make_scenario(
+        name=name,
+        runtime_s=packed_s,
+        peak_rss_kb=peak_rss_kb(),
+        events=events,
+        metrics={
+            "scale": scale,
+            "num_nodes": num_nodes,
+            "protocol": protocol,
+            "network": network,
+            "workload": workload,
+            "reference_runtime_s": reference_s,
+            "reference_events_per_sec": reference_eps,
+            "packed_events_per_sec": packed_eps,
+            "speedup_vs_reference": speedup,
+            "bit_identical": identical,
+        },
+    )
+
+
+def scale_snooping(scale: float = 0.15) -> Dict[str, Any]:
+    """64-node timestamp snooping on a radix-8 butterfly (broadcast fan-out
+    is the dominant cost at this node count)."""
+    return _scale_comparison("scale_snooping", "ts-snoop", "butterfly", 64, scale)
+
+
+def scale_directory(scale: float = 0.15) -> Dict[str, Any]:
+    """256-node DirOpt on a 16x16 torus (deep event queues, wide directory
+    state)."""
+    return _scale_comparison("scale_directory", "diropt", "torus", 256, scale)
 
 
 def parallel_sweep(scale: float = 0.2, jobs: int = 2) -> Dict[str, Any]:

@@ -5,13 +5,19 @@ billion instructions per second and generate blocking requests to the level
 two data cache".  We do exactly the same: each processor executes
 instructions at a fixed rate between its level-two references and blocks on
 every reference until the cache controller reports completion.
+
+The issue loop reads references through a *puller* chosen once at
+construction: packed streams yield plain ints straight from their columns,
+eager ``Reference`` lists are indexed in place, and bare iterators keep
+working for hand-fed tests.  No path materialises new per-reference objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
+from repro.memory.coherence import ACCESS_FROM_CODE, AccessType
 from repro.protocols.base import CacheControllerBase
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
@@ -44,7 +50,7 @@ class Processor(Component):
 
     def __init__(self, sim: Simulator, node: int,
                  controller: CacheControllerBase,
-                 stream: Iterator[Reference],
+                 stream: Iterable[Reference],
                  config: Optional[ProcessorConfig] = None,
                  on_finish: Optional[Callable[["Processor"], None]] = None,
                  on_phase: Optional[Callable[["Processor"], None]] = None,
@@ -53,7 +59,8 @@ class Processor(Component):
         self.node = node
         self.controller = controller
         self.config = config or ProcessorConfig()
-        self._stream = stream
+        self._pull = self._make_puller(stream)
+        self._ipns = self.config.instructions_per_ns
         self._on_finish = on_finish
         self._on_phase = on_phase
         self._phase_boundary = phase_boundary
@@ -61,6 +68,8 @@ class Processor(Component):
         self.references_issued = 0
         self.finished = False
         self.finish_time: Optional[int] = None
+        self._pending_block = 0
+        self._pending_access: Optional[AccessType] = None
         self._started = False
         self._stalled_at_phase = False
         self._phase_passed = False
@@ -69,6 +78,55 @@ class Processor(Component):
         self._ctr_references = self.stats.counter("references")
         self._ctr_writes = self.stats.counter("writes")
         self._ctr_reads = self.stats.counter("reads")
+
+    @staticmethod
+    def _make_puller(stream) -> Callable[[], Optional[tuple]]:
+        """A zero-allocation-per-call reader over any supported stream shape.
+
+        Returns ``(block, access_type, think_instructions)`` tuples and then
+        ``None`` forever once the stream is exhausted.
+        """
+        columns = getattr(stream, "columns", None)
+        if columns is not None:
+            blocks, codes, think = columns()
+            decode = ACCESS_FROM_CODE
+            length = len(blocks)
+            cursor = 0
+
+            def pull_packed() -> Optional[tuple]:
+                nonlocal cursor
+                i = cursor
+                if i >= length:
+                    return None
+                cursor = i + 1
+                return blocks[i], decode[codes[i]], think[i]
+
+            return pull_packed
+        if isinstance(stream, Sequence):
+            length = len(stream)
+            cursor = 0
+
+            def pull_sequence() -> Optional[tuple]:
+                nonlocal cursor
+                i = cursor
+                if i >= length:
+                    return None
+                cursor = i + 1
+                reference = stream[i]
+                return (reference.block, reference.access_type,
+                        reference.think_instructions)
+
+            return pull_sequence
+        iterator = iter(stream)
+
+        def pull_iterator() -> Optional[tuple]:
+            reference = next(iterator, None)
+            if reference is None:
+                return None
+            return (reference.block, reference.access_type,
+                    reference.think_instructions)
+
+        return pull_iterator
 
     # ------------------------------------------------------------------ run
     def start(self) -> None:
@@ -97,25 +155,32 @@ class Processor(Component):
             if self._on_phase is not None:
                 self._on_phase(self)
             return
-        reference = next(self._stream, None)
-        if reference is None:
+        pulled = self._pull()
+        if pulled is None:
             self._finish()
             return
-        self.instructions_executed += reference.think_instructions
-        think_ns = self.config.compute_time(reference.think_instructions)
-        self.schedule(think_ns,
-                      lambda: self._issue(reference),
-                      label="compute")
+        block, access_type, think = pulled
+        self.instructions_executed += think
+        ipns = self._ipns
+        think_ns = (think + ipns - 1) // ipns
+        # The blocking processor has at most one reference in flight, so the
+        # pending reference rides on the instance instead of a per-reference
+        # closure; sim.schedule directly, one call layer per reference adds up.
+        self._pending_block = block
+        self._pending_access = access_type
+        self.sim.schedule(think_ns, self._issue_pending, label="compute")
 
-    def _issue(self, reference: Reference) -> None:
+    def _issue_pending(self) -> None:
+        self._issue(self._pending_block, self._pending_access)
+
+    def _issue(self, block: int, access_type: AccessType) -> None:
         self.references_issued += 1
-        self._ctr_references.increment()
-        if reference.access_type.needs_write_permission:
-            self._ctr_writes.increment()
+        self._ctr_references.value += 1
+        if access_type.needs_write_permission:
+            self._ctr_writes.value += 1
         else:
-            self._ctr_reads.increment()
-        self.controller.access(reference.block, reference.access_type,
-                               self._next_reference)
+            self._ctr_reads.value += 1
+        self.controller.access(block, access_type, self._next_reference)
 
     def _finish(self) -> None:
         self.finished = True

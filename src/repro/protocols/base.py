@@ -8,10 +8,11 @@ from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.memory.block import AddressSpace
-from repro.memory.cache import CacheArray
+from repro.memory.cache import AnyCacheArray
 from repro.memory.coherence import AccessType, CacheState
 from repro.memory.mshr import MSHRFile
 from repro.network.link import TrafficAccountant
+from repro.network.message import MessagePool
 from repro.network.timing import NetworkTiming
 from repro.network.topology import Topology
 from repro.sim.component import Component
@@ -61,7 +62,7 @@ class ProtocolTiming:
                 raise ValueError(f"{name} must be non-negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class MissRecord:
     """One completed miss, as recorded for Table 3 / Figure 3 statistics."""
 
@@ -97,12 +98,15 @@ class ProtocolBuildContext:
     sim: Simulator
     topology: Topology
     address_space: AddressSpace
-    caches: List[CacheArray]
+    caches: List[AnyCacheArray]
     protocol_timing: ProtocolTiming
     network_timing: NetworkTiming
     accountant: TrafficAccountant
     perturbation: Optional[PerturbationModel] = None
     checker: Optional[Any] = None
+    #: Free-list of Message shells shared by every controller of the build;
+    #: disabled pools degrade to plain construction (the reference path).
+    message_pool: MessagePool = field(default_factory=MessagePool)
     options: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -138,14 +142,19 @@ class CacheControllerBase(Component, ABC):
     """
 
     def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
-                 cache: CacheArray, timing: ProtocolTiming,
-                 name: str) -> None:
+                 cache: AnyCacheArray, timing: ProtocolTiming,
+                 name: str, pool: Optional[MessagePool] = None) -> None:
         super().__init__(sim, name)
         self.node = node
         self.address_space = address_space
         self.cache = cache
         self.timing = timing
+        self.pool = pool if pool is not None else MessagePool()
         self.mshrs = MSHRFile(capacity=32, name=f"{name}.mshr")
+        # Hot-path pre-binds: MSHR lookup and home-node interleaving run on
+        # every snooped/forwarded message.
+        self._mshr_get = self.mshrs.get_entry
+        self._home_of = address_space.home_of
         self.miss_records: List[MissRecord] = []
         #: optional CoherenceChecker; concrete protocols overwrite this with
         #: the checker handed to them by the system builder.
@@ -164,34 +173,31 @@ class CacheControllerBase(Component, ABC):
     def access(self, block: int, access_type: AccessType,
                done: DoneCallback) -> None:
         """Handle one processor reference to ``block``."""
+        # _is_hit is inlined here: this runs once per reference.
         state = self.cache.state_of(block)
-        if self._is_hit(state, access_type):
+        if (state in (CacheState.MODIFIED, CacheState.EXCLUSIVE)
+                if access_type.needs_write_permission
+                else state is not CacheState.INVALID):
             self._complete_hit(block, access_type, done)
             return
-        self._ctr_misses.increment()
+        self._ctr_misses.value += 1
         if access_type.needs_write_permission:
-            self._ctr_write_misses.increment()
+            self._ctr_write_misses.value += 1
         else:
-            self._ctr_read_misses.increment()
+            self._ctr_read_misses.value += 1
         self._start_miss(block, access_type, done)
-
-    def _is_hit(self, state: CacheState, access_type: AccessType) -> bool:
-        if access_type.needs_write_permission:
-            return state in (CacheState.MODIFIED, CacheState.EXCLUSIVE)
-        return state is not CacheState.INVALID
 
     def _complete_hit(self, block: int, access_type: AccessType,
                       done: DoneCallback) -> None:
-        self._ctr_hits.increment()
+        self._ctr_hits.value += 1
         self.cache.touch(block)
         if access_type.needs_write_permission:
-            line = self.cache.lookup(block)
-            new_version = line.version + 1
+            new_version = self.cache.version_of(block) + 1
             self.cache.write(block, new_version)
             if self.checker is not None:
                 self.checker.record_write(self.node, block, new_version,
                                           self.now)
-        self.schedule(self.timing.l2_hit_ns, done, label="l2-hit")
+        self.sim.schedule(self.timing.l2_hit_ns, done, label="l2-hit")
 
     # -------------------------------------------------------------- protocol
     @abstractmethod
@@ -202,11 +208,12 @@ class CacheControllerBase(Component, ABC):
     # ------------------------------------------------------------ accounting
     def record_miss(self, record: MissRecord) -> None:
         self.miss_records.append(record)
-        self._hist_miss_latency.record(record.latency)
-        if record.is_cache_to_cache:
-            self._ctr_c2c_misses.increment()
+        self._hist_miss_latency.record(record.complete_time
+                                       - record.issue_time)
+        if record.source is MissSource.CACHE:
+            self._ctr_c2c_misses.value += 1
         elif record.source is MissSource.MEMORY:
-            self._ctr_memory_misses.increment()
+            self._ctr_memory_misses.value += 1
 
     def next_version(self) -> int:
         self._version_counter += 1

@@ -28,9 +28,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.memory.block import AddressSpace
-from repro.memory.cache import CacheArray
+from repro.memory.cache import AnyCacheArray
 from repro.memory.coherence import AccessType, CacheState
-from repro.network.message import Message, MessageKind
+from repro.network.message import Message, MessageKind, MessagePool
 from repro.network.virtual_network import (
     PointToPointOrderedNetwork,
     VirtualNetwork,
@@ -49,6 +49,7 @@ from repro.protocols.directory_state import (
     DirectoryBank,
     DirectoryEntry,
     DirectoryState,
+    iter_sharers,
 )
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
@@ -70,14 +71,16 @@ class DirectoryCacheController(CacheControllerBase):
     """Cache side of the directory protocols (one per node)."""
 
     def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
-                 cache: CacheArray, timing: ProtocolTiming,
+                 cache: AnyCacheArray, timing: ProtocolTiming,
                  policy: DirectoryPolicy,
                  request_network: VirtualNetwork,
                  forward_network: VirtualNetwork,
                  response_network: VirtualNetwork,
-                 checker: Optional[Any] = None) -> None:
+                 checker: Optional[Any] = None,
+                 pool: Optional[MessagePool] = None) -> None:
         super().__init__(sim, node, address_space, cache, timing,
-                         name=f"{policy.protocol.value.lower()}.cache.n{node}")
+                         name=f"{policy.protocol.value.lower()}.cache.n{node}",
+                         pool=pool)
         self.policy = policy
         self.request_network = request_network
         self.forward_network = forward_network
@@ -111,24 +114,23 @@ class DirectoryCacheController(CacheControllerBase):
         kind = (MessageKind.GETM if access_type.needs_write_permission
                 else MessageKind.GETS)
         entry = self.mshrs.allocate(block, kind.label, self.now, self.node)
-        entry.metadata.update({
-            "done": done,
-            "access_type": access_type,
-            "kind": kind,
-            "data_version": 0,
-            "data_from_cache": False,
-            "acks_expected": None,
-            "deferred_forwards": [],
-            "invalidate_on_fill": False,
-            "downgrade_on_fill": False,
-        })
+        metadata = entry.metadata
+        metadata["done"] = done
+        metadata["access_type"] = access_type
+        metadata["kind"] = kind
+        metadata["data_version"] = 0
+        metadata["data_from_cache"] = False
+        metadata["acks_expected"] = None
+        metadata["deferred_forwards"] = []
+        metadata["invalidate_on_fill"] = False
+        metadata["downgrade_on_fill"] = False
         self._send_request(block, kind)
 
     def _send_request(self, block: int, kind: MessageKind) -> None:
-        home = self.address_space.home_node(block)
-        request = Message(kind=kind, src=self.node, dst=home, block=block)
+        home = self._home_of(block)
+        request = self.pool.acquire(kind, self.node, home, block)
         self.request_network.send(request)
-        self._ctr_requests_sent.increment()
+        self._ctr_requests_sent.value += 1
 
     # -------------------------------------------------------------- forwards
     def _on_forward(self, message: Message) -> None:
@@ -147,67 +149,69 @@ class DirectoryCacheController(CacheControllerBase):
             version = self.writeback_buffer[block]
             self._service_forward(block, requester, exclusive, version,
                                   from_writeback_buffer=True)
+            self.pool.release(message)
             return
 
-        entry = self.mshrs.get(block)
+        entry = self._mshr_get(block)
         if entry is not None and requester != self.node:
             # Our own fill for this block is still in flight; we are (or will
             # become) the owner the directory believes us to be.  Defer the
-            # forward and service it right after the fill completes.
+            # forward and service it right after the fill completes.  The
+            # message stays alive in the MSHR; it is released when the
+            # deferred re-dispatch consumes it.
             entry.metadata["deferred_forwards"].append(message)
             self._ctr_deferred_forwards.increment()
             return
 
         if entry is None and self.cache.state_of(block) is CacheState.MODIFIED:
             self._service_forward(block, requester, exclusive,
-                                  self.cache.lookup(block).version)
+                                  self.cache.version_of(block))
+            self.pool.release(message)
             return
 
         # We no longer own the block (the writeback raced ahead of this
         # forward and has already been acknowledged), or the directory
         # forwarded our own request back to us after we lost the data.
         # NACK the requester, who will retry at the home.
-        nack = Message(kind=MessageKind.NACK, src=self.node, dst=requester,
-                       block=block, payload={"from": "owner"})
+        nack = self.pool.acquire(MessageKind.NACK, self.node, requester,
+                                 block, **{"from": "owner"})
         self.response_network.send(nack)
         self._ctr_owner_nacks_sent.increment()
+        self.pool.release(message)
 
     def _service_forward(self, block: int, requester: int, exclusive: bool,
                          version: int,
                          from_writeback_buffer: bool = False) -> None:
         """Send data for a forwarded request that found us owning the block."""
         send_time = self.now + self.timing.cache_access_ns
-        data = Message(kind=(MessageKind.DATA_EXCLUSIVE if exclusive
-                             else MessageKind.DATA),
-                       src=self.node, dst=requester, block=block,
-                       payload={"version": version, "from_cache": True,
-                                "acks_expected": 0})
-        self.schedule(max(0, send_time - self.now),
+        data = self.pool.acquire(
+            MessageKind.DATA_EXCLUSIVE if exclusive else MessageKind.DATA,
+            self.node, requester, block,
+            version=version, from_cache=True, acks_expected=0)
+        self.sim.schedule(max(0, send_time - self.now),
                       lambda: self.response_network.send(data),
                       label="fwd-data")
         self._ctr_forwarded_responses.increment()
 
-        home = self.address_space.home_node(block)
+        home = self._home_of(block)
         if exclusive:
             if not from_writeback_buffer:
                 self.cache.set_state(block, CacheState.INVALID)
             else:
                 self.writeback_buffer.pop(block, None)
             if self.policy.requires_transfer_ack:
-                transfer = Message(kind=MessageKind.TRANSFER, src=self.node,
-                                   dst=home, block=block,
-                                   payload={"new_owner": requester})
+                transfer = self.pool.acquire(MessageKind.TRANSFER, self.node,
+                                             home, block, new_owner=requester)
                 self.response_network.send(transfer)
         else:
             if not from_writeback_buffer:
                 # MSI sharing writeback: the home regains ownership and an
                 # up-to-date memory copy; we keep an S copy.
                 self.cache.set_state(block, CacheState.SHARED)
-                writeback = Message(kind=MessageKind.WRITEBACK_DATA,
-                                    src=self.node, dst=home, block=block,
-                                    payload={"version": version,
-                                             "sharing": True})
-                self.schedule(max(0, send_time - self.now),
+                writeback = self.pool.acquire(MessageKind.WRITEBACK_DATA,
+                                              self.node, home, block,
+                                              version=version, sharing=True)
+                self.sim.schedule(max(0, send_time - self.now),
                               lambda: self.response_network.send(writeback),
                               label="sharing-wb")
             # When serving from the writeback buffer the eviction's
@@ -216,7 +220,7 @@ class DirectoryCacheController(CacheControllerBase):
     def _on_invalidate(self, message: Message) -> None:
         block = message.block
         requester = message.payload["requester"]
-        entry = self.mshrs.get(block)
+        entry = self._mshr_get(block)
         if entry is not None:
             # An invalidation can only target a *shared* copy.  If our
             # outstanding request is a GETS, the directory may have added us
@@ -232,14 +236,15 @@ class DirectoryCacheController(CacheControllerBase):
             if state is not CacheState.INVALID:
                 self.cache.set_state(block, CacheState.INVALID)
         self._ctr_invalidations_received.increment()
-        ack = Message(kind=MessageKind.INV_ACK, src=self.node, dst=requester,
-                      block=block)
+        ack = self.pool.acquire(MessageKind.INV_ACK, self.node, requester,
+                                block)
         self.response_network.send(ack)
+        self.pool.release(message)
 
     # -------------------------------------------------------------- responses
     def _on_response(self, message: Message) -> None:
         kind = message.kind
-        if kind in (MessageKind.DATA, MessageKind.DATA_EXCLUSIVE):
+        if kind is MessageKind.DATA or kind is MessageKind.DATA_EXCLUSIVE:
             self._on_data(message)
         elif kind is MessageKind.INV_ACK:
             self._on_inv_ack(message)
@@ -253,9 +258,12 @@ class DirectoryCacheController(CacheControllerBase):
             self._ctr_unexpected_transfer.increment()
         else:
             self._ctr_unexpected_response.increment()
+        # Every response kind is fully consumed above (fields are copied into
+        # the MSHR, never referenced later), so the shell can be recycled.
+        self.pool.release(message)
 
     def _on_data(self, message: Message) -> None:
-        entry = self.mshrs.get(message.block)
+        entry = self._mshr_get(message.block)
         if entry is None:
             self._ctr_orphan_data.increment()
             return
@@ -269,7 +277,7 @@ class DirectoryCacheController(CacheControllerBase):
         self._maybe_complete(message.block)
 
     def _on_inv_ack(self, message: Message) -> None:
-        entry = self.mshrs.get(message.block)
+        entry = self._mshr_get(message.block)
         if entry is None:
             self._ctr_orphan_inv_ack.increment()
             return
@@ -277,14 +285,16 @@ class DirectoryCacheController(CacheControllerBase):
         self._maybe_complete(message.block)
 
     def _on_nack(self, message: Message) -> None:
-        entry = self.mshrs.get(message.block)
+        entry = self._mshr_get(message.block)
         if entry is None:
             return
         entry.retries += 1
         self._ctr_nacks_received.increment()
         kind: MessageKind = entry.metadata["kind"]
-        self.schedule(self.timing.nack_retry_ns,
-                      lambda: self._retry(message.block, kind),
+        # Bind the block now: the message shell may be recycled before the
+        # retry fires.
+        self.sim.schedule(self.timing.nack_retry_ns,
+                      lambda block=message.block: self._retry(block, kind),
                       label="nack-retry")
 
     def _retry(self, block: int, kind: MessageKind) -> None:
@@ -295,17 +305,18 @@ class DirectoryCacheController(CacheControllerBase):
 
     # ------------------------------------------------------------ completion
     def _maybe_complete(self, block: int) -> None:
-        entry = self.mshrs.get(block)
+        entry = self._mshr_get(block)
         if entry is None or not entry.data_received:
             return
-        expected = entry.metadata["acks_expected"]
+        metadata = entry.metadata
+        expected = metadata["acks_expected"]
         if expected is None or entry.acks_received < expected:
             return
         entry = self.mshrs.release(block)
-        access_type: AccessType = entry.metadata["access_type"]
-        version = entry.metadata["data_version"]
-        from_cache = entry.metadata["data_from_cache"]
-        complete_time = self.now
+        access_type: AccessType = metadata["access_type"]
+        version = metadata["data_version"]
+        from_cache = metadata["data_from_cache"]
+        complete_time = self.sim.now
 
         if access_type.needs_write_permission:
             version += 1
@@ -317,8 +328,9 @@ class DirectoryCacheController(CacheControllerBase):
 
         wants_modified = access_type.needs_write_permission
         install_state = CacheState.MODIFIED if wants_modified else CacheState.SHARED
-        deferred: List[Message] = entry.metadata["deferred_forwards"]
-        if entry.metadata["invalidate_on_fill"] and not deferred:
+        deferred: List[Message] = metadata["deferred_forwards"]
+        invalidate_on_fill = metadata["invalidate_on_fill"]
+        if invalidate_on_fill and not deferred:
             install_state = None
         if install_state is not None:
             eviction = self.cache.install(
@@ -335,14 +347,14 @@ class DirectoryCacheController(CacheControllerBase):
                                     else MissSource.MEMORY),
                             retries=entry.retries)
         self.record_miss(record)
-        done: DoneCallback = entry.metadata["done"]
+        done: DoneCallback = metadata["done"]
         done()
 
         # Service forwards that arrived while the fill was in flight, in
         # arrival order.
         for forward in deferred:
             self._on_forward(forward)
-        if entry.metadata["invalidate_on_fill"] and deferred:
+        if invalidate_on_fill and deferred:
             # The invalidation that raced with the fill still applies after
             # any deferred forwards have been serviced.
             if self.cache.state_of(block) is not CacheState.INVALID:
@@ -350,14 +362,14 @@ class DirectoryCacheController(CacheControllerBase):
 
     def _evict_dirty(self, block: int, version: int) -> None:
         """Write a dirty victim back to its home node."""
-        home = self.address_space.home_node(block)
+        home = self._home_of(block)
         self.writeback_buffer[block] = version
-        putm = Message(kind=MessageKind.PUTM, src=self.node, dst=home,
-                       block=block, payload={"version": version})
+        putm = self.pool.acquire(MessageKind.PUTM, self.node, home, block,
+                                 version=version)
         self.request_network.send(putm)
-        writeback = Message(kind=MessageKind.WRITEBACK_DATA, src=self.node,
-                            dst=home, block=block,
-                            payload={"version": version, "sharing": False})
+        writeback = self.pool.acquire(MessageKind.WRITEBACK_DATA, self.node,
+                                      home, block, version=version,
+                                      sharing=False)
         self.response_network.send(writeback)
         self._ctr_dirty_evictions.increment()
 
@@ -369,12 +381,15 @@ class DirectoryMemoryController(Component):
                  timing: ProtocolTiming, policy: DirectoryPolicy,
                  request_network: VirtualNetwork,
                  forward_network: VirtualNetwork,
-                 response_network: VirtualNetwork) -> None:
+                 response_network: VirtualNetwork,
+                 pool: Optional[MessagePool] = None) -> None:
         super().__init__(sim, f"{policy.protocol.value.lower()}.home.n{node}")
         self.node = node
         self.address_space = address_space
         self.timing = timing
         self.policy = policy
+        self.pool = pool if pool is not None else MessagePool()
+        self._home_of = address_space.home_of
         self.request_network = request_network
         self.forward_network = forward_network
         self.response_network = response_network
@@ -394,7 +409,7 @@ class DirectoryMemoryController(Component):
 
     # -------------------------------------------------------------- requests
     def _on_request(self, message: Message) -> None:
-        if self.address_space.home_node(message.block) != self.node:
+        if self._home_of(message.block) != self.node:
             raise RuntimeError(f"{self.name}: request for a block homed "
                                f"elsewhere: {message}")
         kind = message.kind
@@ -406,6 +421,9 @@ class DirectoryMemoryController(Component):
             self._on_putm(message)
         else:
             raise RuntimeError(f"{self.name}: unexpected request {message}")
+        # Requests are fully handled synchronously (forwards/data/acks copy
+        # the fields they need), so the shell can be recycled.
+        self.pool.release(message)
 
     def _on_gets(self, message: Message) -> None:
         entry = self.directory.entry(message.block)
@@ -420,7 +438,8 @@ class DirectoryMemoryController(Component):
                 entry.state = DirectoryState.BUSY_SHARED
                 entry.busy_for = requester
             else:
-                entry.make_shared(entry.sharers | {owner, requester})
+                entry.make_shared(entry.sharers_mask
+                                  | (1 << owner) | (1 << requester))
                 entry.awaiting_data = True
             return
         # Memory owns the block: serve it after the directory+memory access.
@@ -442,18 +461,19 @@ class DirectoryMemoryController(Component):
             else:
                 entry.make_modified(requester)
             return
-        # Memory owns the block; invalidate sharers and grant M.
-        targets = entry.invalidation_targets(requester)
-        for sharer in sorted(targets):
-            invalidate = Message(kind=MessageKind.INVALIDATE, src=self.node,
-                                 dst=sharer, block=message.block,
-                                 payload={"requester": requester})
-            self.schedule(self.timing.memory_access_ns,
+        # Memory owns the block; invalidate sharers and grant M.  The mask
+        # iterates in ascending node order, matching the old sorted() walk.
+        targets = entry.sharers_excluding(requester)
+        for sharer in iter_sharers(targets):
+            invalidate = self.pool.acquire(MessageKind.INVALIDATE, self.node,
+                                           sharer, message.block,
+                                           requester=requester)
+            self.sim.schedule(self.timing.memory_access_ns,
                           lambda m=invalidate: self.forward_network.send(m),
                           label="invalidate")
             self._ctr_invalidations_sent.increment()
         self._send_data(message, entry, exclusive=True,
-                        acks_expected=len(targets))
+                        acks_expected=targets.bit_count())
         entry.make_modified(requester)
 
     def _on_putm(self, message: Message) -> None:
@@ -469,44 +489,43 @@ class DirectoryMemoryController(Component):
             entry.early_data_from = None
         if stale:
             self._ctr_stale_writebacks.increment()
-        ack = Message(kind=MessageKind.WRITEBACK_ACK, src=self.node,
-                      dst=requester, block=message.block)
-        self.schedule(self.timing.memory_access_ns,
+        ack = self.pool.acquire(MessageKind.WRITEBACK_ACK, self.node,
+                                requester, message.block)
+        self.sim.schedule(self.timing.memory_access_ns,
                       lambda: self.response_network.send(ack),
                       label="wb-ack")
 
     # --------------------------------------------------------------- helpers
     def _busy(self, message: Message, entry: DirectoryEntry) -> None:
         """A request found the entry busy (DirClassic only)."""
-        nack = Message(kind=MessageKind.NACK, src=self.node, dst=message.src,
-                       block=message.block, payload={"from": "home"})
-        self.schedule(self.timing.memory_access_ns,
+        nack = self.pool.acquire(MessageKind.NACK, self.node, message.src,
+                                 message.block, **{"from": "home"})
+        self.sim.schedule(self.timing.memory_access_ns,
                       lambda: self.response_network.send(nack),
                       label="nack")
         self._ctr_nacks_sent.increment()
 
     def _forward(self, message: Message, owner: int, exclusive: bool) -> None:
         kind = MessageKind.FORWARD_GETM if exclusive else MessageKind.FORWARD_GETS
-        forward = Message(kind=kind, src=self.node, dst=owner,
-                          block=message.block,
-                          payload={"requester": message.src})
-        self.schedule(self.timing.memory_access_ns,
+        forward = self.pool.acquire(kind, self.node, owner, message.block,
+                                    requester=message.src)
+        self.sim.schedule(self.timing.memory_access_ns,
                       lambda: self.forward_network.send(forward),
                       label="forward")
         self._ctr_forwards_sent.increment()
 
     def _send_data(self, message: Message, entry: DirectoryEntry,
                    exclusive: bool, acks_expected: int) -> None:
-        data = Message(kind=(MessageKind.DATA_EXCLUSIVE if exclusive
-                             else MessageKind.DATA),
-                       src=self.node, dst=message.src, block=message.block,
-                       payload={"version": entry.version, "from_cache": False,
-                                "acks_expected": acks_expected})
+        data = self.pool.acquire(
+            MessageKind.DATA_EXCLUSIVE if exclusive else MessageKind.DATA,
+            self.node, message.src, message.block,
+            version=entry.version, from_cache=False,
+            acks_expected=acks_expected)
         if entry.awaiting_data:
             self._deferred_data.setdefault(message.block, []).append(data)
             self._ctr_deferred_memory_responses.increment()
             return
-        self.schedule(self.timing.memory_access_ns,
+        self.sim.schedule(self.timing.memory_access_ns,
                       lambda: self.response_network.send(data),
                       label="mem-data")
         self._ctr_memory_responses.increment()
@@ -527,19 +546,20 @@ class DirectoryMemoryController(Component):
             # DirClassic: the sharing writeback resolves the BUSY_SHARED state
             # opened when the GETS was forwarded.
             if entry.state is DirectoryState.BUSY_SHARED:
-                sharers = set(entry.sharers) | {message.src}
+                mask = entry.sharers_mask | (1 << message.src)
                 if entry.busy_for is not None:
-                    sharers.add(entry.busy_for)
+                    mask |= 1 << entry.busy_for
                 if entry.owner is not None:
-                    sharers.add(entry.owner)
-                entry.make_shared(sharers)
+                    mask |= 1 << entry.owner
+                entry.make_shared(mask)
         self._ctr_writeback_data_received.increment()
         pending = self._deferred_data.pop(message.block, [])
         for data in pending:
             data.payload["version"] = entry.version
-            self.schedule(self.timing.memory_access_ns,
+            self.sim.schedule(self.timing.memory_access_ns,
                           lambda m=data: self.response_network.send(m),
                           label="deferred-data")
+        self.pool.release(message)
 
     def on_transfer(self, message: Message) -> None:
         """Ownership-transfer confirmation (DirClassic BUSY_MODIFIED exit)."""
@@ -547,6 +567,7 @@ class DirectoryMemoryController(Component):
         if entry.state is DirectoryState.BUSY_MODIFIED:
             entry.make_modified(message.payload["new_owner"])
         self._ctr_transfers_received.increment()
+        self.pool.release(message)
 
 
 class _HomeResponseRouter(Component):
@@ -600,15 +621,17 @@ class DirectoryProtocol(CoherenceProtocol):
             perturbation=context.perturbation, name="dir-response-vnet")
 
         caches: List[DirectoryCacheController] = []
+        pool = context.message_pool
         for node in range(context.num_nodes):
             cache = DirectoryCacheController(
                 sim, node, context.address_space, context.caches[node],
                 context.protocol_timing, self.policy, request_network,
-                forward_network, response_network, checker=context.checker)
+                forward_network, response_network, checker=context.checker,
+                pool=pool)
             memory = DirectoryMemoryController(
                 sim, node, context.address_space, context.protocol_timing,
                 self.policy, request_network, forward_network,
-                response_network)
+                response_network, pool=pool)
             router = _HomeResponseRouter(sim, node, cache, memory)
             response_network.attach(node, router.route)
             caches.append(cache)

@@ -4,13 +4,19 @@ Both DirClassic and DirOpt keep a full bit vector of sharers per block
 (Section 4.2).  DirClassic additionally uses *busy* states while a request is
 being resolved through a third party and NACKs requests that hit a busy
 entry; DirOpt never enters a busy state.
+
+The sharer vector is stored literally as a bit vector: ``sharers_mask`` is a
+plain int with bit ``n`` set when node ``n`` holds an S copy.  Per-request
+set copies (the old ``Set[int]`` storage rebuilt a fresh set for every GETM)
+become single integer ops; :func:`iter_sharers` walks the set bits in
+ascending node order when a caller genuinely needs to enumerate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterator, Optional, Set
+from typing import Dict, Iterable, Iterator, Optional, Set, Union
 
 
 class DirectoryState(Enum):
@@ -27,13 +33,29 @@ class DirectoryState(Enum):
         return self in (DirectoryState.BUSY_SHARED, DirectoryState.BUSY_MODIFIED)
 
 
+def sharer_mask(nodes: Iterable[int]) -> int:
+    """Bit vector with one bit set per node id."""
+    mask = 0
+    for node in nodes:
+        mask |= 1 << node
+    return mask
+
+
+def iter_sharers(mask: int) -> Iterator[int]:
+    """Node ids of the set bits, in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 @dataclass
 class DirectoryEntry:
     """Directory record for one block (full-bit-vector sharers)."""
 
     state: DirectoryState = DirectoryState.UNCACHED
     owner: Optional[int] = None
-    sharers: Set[int] = field(default_factory=set)
+    sharers_mask: int = 0
     version: int = 0
     #: memory's copy is stale until an in-flight (sharing) writeback arrives
     awaiting_data: bool = False
@@ -43,32 +65,47 @@ class DirectoryEntry:
     #: PUTM was processed (perturbation can reorder the two messages)
     early_data_from: Optional[int] = None
 
+    @property
+    def sharers(self) -> Set[int]:
+        """The sharer vector as a set of node ids (inspection/tests only)."""
+        return set(iter_sharers(self.sharers_mask))
+
     def reset_to_uncached(self) -> None:
         self.state = DirectoryState.UNCACHED
         self.owner = None
-        self.sharers.clear()
+        self.sharers_mask = 0
         self.busy_for = None
 
     def make_modified(self, owner: int) -> None:
         self.state = DirectoryState.MODIFIED
         self.owner = owner
-        self.sharers = {owner}
+        self.sharers_mask = 1 << owner
         self.busy_for = None
 
-    def make_shared(self, sharers: Set[int]) -> None:
+    def make_shared(self, sharers: Union[int, Iterable[int]]) -> None:
+        """Enter SHARED with the given sharer vector (mask or node ids)."""
         self.state = DirectoryState.SHARED
         self.owner = None
-        self.sharers = set(sharers)
+        self.sharers_mask = (sharers if isinstance(sharers, int)
+                             else sharer_mask(sharers))
         self.busy_for = None
 
     def add_sharer(self, node: int) -> None:
         if self.state is DirectoryState.UNCACHED:
             self.state = DirectoryState.SHARED
-        self.sharers.add(node)
+        self.sharers_mask |= 1 << node
+
+    def sharers_excluding(self, node: int) -> int:
+        """Sharer vector with ``node``'s bit cleared (no set rebuild)."""
+        return self.sharers_mask & ~(1 << node)
 
     def invalidation_targets(self, requester: int) -> Set[int]:
-        """Sharers that must be invalidated for ``requester`` to gain M."""
-        return {node for node in self.sharers if node != requester}
+        """Sharers that must be invalidated for ``requester`` to gain M.
+
+        Set-valued convenience for tests and reporting; the protocol hot
+        path uses :meth:`sharers_excluding` directly.
+        """
+        return set(iter_sharers(self.sharers_excluding(requester)))
 
 
 class DirectoryBank:
@@ -83,9 +120,11 @@ class DirectoryBank:
         self._entries: Dict[int, DirectoryEntry] = {}
 
     def entry(self, block: int) -> DirectoryEntry:
-        if block not in self._entries:
-            self._entries[block] = DirectoryEntry()
-        return self._entries[block]
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[block] = entry
+        return entry
 
     def peek(self, block: int) -> Optional[DirectoryEntry]:
         """Entry if it exists, without creating one (used by tests/stats)."""

@@ -32,10 +32,10 @@ from repro.core.timestamp_network import (
     TimestampAddressNetwork,
 )
 from repro.memory.block import AddressSpace
-from repro.memory.cache import CacheArray
+from repro.memory.cache import AnyCacheArray
 from repro.memory.coherence import AccessType, CacheState
 from repro.network.data_network import DataNetwork
-from repro.network.message import Message, MessageKind
+from repro.network.message import Message, MessageKind, MessagePool
 from repro.protocols.base import (
     CacheControllerBase,
     CoherenceProtocol,
@@ -83,13 +83,14 @@ class TSSnoopNode(CacheControllerBase):
     """Combined cache-side / memory-side controller for one node."""
 
     def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
-                 cache: CacheArray, timing: ProtocolTiming,
+                 cache: AnyCacheArray, timing: ProtocolTiming,
                  address_network: AddressNetworkInterface,
                  data_network: DataNetwork,
                  prefetch: bool = True,
-                 checker: Optional[Any] = None) -> None:
+                 checker: Optional[Any] = None,
+                 pool: Optional[MessagePool] = None) -> None:
         super().__init__(sim, node, address_space, cache, timing,
-                         name=f"ts-snoop.n{node}")
+                         name=f"ts-snoop.n{node}", pool=pool)
         self.address_network = address_network
         self.data_network = data_network
         self.prefetch = prefetch
@@ -122,32 +123,66 @@ class TSSnoopNode(CacheControllerBase):
         kind = (MessageKind.GETM if access_type.needs_write_permission
                 else MessageKind.GETS)
         entry = self.mshrs.allocate(block, kind.label, self.now, self.node)
-        entry.metadata.update({
-            "done": done,
-            "access_type": access_type,
-            "logical_state": None,
-            "owed": [],
-            "data_version": 0,
-            "data_from_cache": False,
-            "data_time": None,
-            "ordered_time": None,
-        })
-        request = Message(kind=kind, src=self.node, dst=None, block=block)
+        metadata = entry.metadata
+        metadata["done"] = done
+        metadata["access_type"] = access_type
+        metadata["logical_state"] = None
+        metadata["owed"] = []
+        metadata["data_version"] = 0
+        metadata["data_from_cache"] = False
+        metadata["data_time"] = None
+        metadata["ordered_time"] = None
+        # Broadcast shells are owned by the address network, which releases
+        # them once the last endpoint has processed the ordered delivery.
+        request = self.pool.acquire(kind, self.node, None, block)
         self.address_network.broadcast(request)
         self._ctr_address_broadcasts.increment()
 
     # ------------------------------------------------- ordered address stream
     def _on_ordered(self, delivery: OrderedDelivery) -> None:
+        # The cache-side dispatch is inlined: this handler runs once per
+        # endpoint per broadcast, the widest fan-out in the simulator.
         message = delivery.message
-        if self.address_space.home_node(message.block) == self.node:
+        node = self.node
+        if self._home_of(message.block) == node:
             self._memory_side(delivery)
-        self._cache_side(delivery)
+        if message.src == node:
+            self._own_transaction_ordered(delivery)
+            return
+        kind = message.kind
+        if kind is MessageKind.PUTM:
+            return                      # another node's writeback: no action
+        exclusive = kind is MessageKind.GETM
+        block = message.block
+        requester = message.src
+
+        # Snoop of a remote request (inlined for the same reason).  A miss
+        # of our own to the same block that has already been ordered makes
+        # us the logical owner/holder even though the data is still in
+        # flight; fold the remote request into the MSHR.
+        entry = self._mshr_get(block)
+        if entry is not None and entry.metadata.get("logical_state") is not None:
+            self._snoop_against_mshr(entry, requester, exclusive)
+            return
+
+        if block in self.writeback_buffer:
+            self._respond_from_writeback_buffer(delivery, requester, exclusive)
+            return
+
+        state = self.cache.state_of(block)
+        if state is CacheState.MODIFIED:
+            self._respond_from_cache(delivery, requester, exclusive)
+        elif state is CacheState.SHARED and exclusive:
+            self.cache.set_state(block, CacheState.INVALID)
+            self._ctr_invalidations_observed.increment()
 
     # ------------------------------------------------------------ memory side
     def _memory_side(self, delivery: OrderedDelivery) -> None:
         message = delivery.message
         block = message.block
-        state = self.home_blocks.setdefault(block, _HomeBlockState())
+        state = self.home_blocks.get(block)
+        if state is None:
+            state = self.home_blocks[block] = _HomeBlockState()
         kind = message.kind
 
         if kind is MessageKind.GETS:
@@ -199,17 +234,19 @@ class TSSnoopNode(CacheControllerBase):
     def _send_memory_data(self, requester: int, block: int, version: int,
                           exclusive: bool, send_time: int) -> None:
         kind = MessageKind.DATA_EXCLUSIVE if exclusive else MessageKind.DATA
-        data = Message(kind=kind, src=self.node, dst=requester, block=block,
-                       payload={"version": version, "from_cache": False})
+        data = self.pool.acquire(kind, self.node, requester, block,
+                                 version=version, from_cache=False)
         delay = max(0, send_time - self.now)
-        self.schedule(delay, lambda: self.data_network.send(data),
+        self.sim.schedule(delay, lambda: self.data_network.send(data),
                       label="mem-data")
         self._ctr_memory_data_responses.increment()
 
     def _on_writeback_data(self, message: Message) -> None:
         """WRITEBACK_DATA arrived at this (home) memory controller."""
         block = message.block
-        state = self.home_blocks.setdefault(block, _HomeBlockState())
+        state = self.home_blocks.get(block)
+        if state is None:
+            state = self.home_blocks[block] = _HomeBlockState()
         self._ctr_writeback_data_received.increment()
         if not state.awaiting_data and state.owner is not None:
             if state.owner == message.src:
@@ -231,42 +268,6 @@ class TSSnoopNode(CacheControllerBase):
                                    max(earliest, self.now))
 
     # ------------------------------------------------------------- cache side
-    def _cache_side(self, delivery: OrderedDelivery) -> None:
-        message = delivery.message
-        if message.src == self.node:
-            self._own_transaction_ordered(delivery)
-            return
-        kind = message.kind
-        if kind is MessageKind.PUTM:
-            return                      # another node's writeback: no action
-        exclusive = kind is MessageKind.GETM
-        self._snoop_remote_request(delivery, exclusive)
-
-    def _snoop_remote_request(self, delivery: OrderedDelivery,
-                              exclusive: bool) -> None:
-        message = delivery.message
-        block = message.block
-        requester = message.src
-
-        # A miss of our own to the same block that has already been ordered
-        # makes us the logical owner/holder even though the data is still in
-        # flight; fold the remote request into the MSHR.
-        entry = self.mshrs.get(block)
-        if entry is not None and entry.metadata.get("logical_state") is not None:
-            self._snoop_against_mshr(entry, requester, exclusive)
-            return
-
-        if block in self.writeback_buffer:
-            self._respond_from_writeback_buffer(delivery, requester, exclusive)
-            return
-
-        state = self.cache.state_of(block)
-        if state is CacheState.MODIFIED:
-            self._respond_from_cache(delivery, requester, exclusive)
-        elif state is CacheState.SHARED and exclusive:
-            self.cache.set_state(block, CacheState.INVALID)
-            self._ctr_invalidations_observed.increment()
-
     def _snoop_against_mshr(self, entry, requester: int,
                             exclusive: bool) -> None:
         """Remote request ordered after our own, before our data arrived."""
@@ -283,8 +284,7 @@ class TSSnoopNode(CacheControllerBase):
     def _respond_from_cache(self, delivery: OrderedDelivery, requester: int,
                             exclusive: bool) -> None:
         block = delivery.message.block
-        line = self.cache.lookup(block)
-        version = line.version if line is not None else 0
+        version = self.cache.version_of(block)
         send_time = self._cache_response_time(delivery)
         self._send_cache_data(requester, block, version, send_time)
         if exclusive:
@@ -314,22 +314,20 @@ class TSSnoopNode(CacheControllerBase):
 
     def _send_cache_data(self, requester: int, block: int, version: int,
                          send_time: int) -> None:
-        data = Message(kind=MessageKind.DATA, src=self.node, dst=requester,
-                       block=block,
-                       payload={"version": version, "from_cache": True})
+        data = self.pool.acquire(MessageKind.DATA, self.node, requester,
+                                 block, version=version, from_cache=True)
         delay = max(0, send_time - self.now)
-        self.schedule(delay, lambda: self.data_network.send(data),
+        self.sim.schedule(delay, lambda: self.data_network.send(data),
                       label="cache-data")
         self._ctr_cache_data_responses.increment()
 
     def _send_writeback_data(self, block: int, version: int,
                              send_time: int) -> None:
-        home = self.address_space.home_node(block)
-        writeback = Message(kind=MessageKind.WRITEBACK_DATA, src=self.node,
-                            dst=home, block=block,
-                            payload={"version": version})
+        home = self._home_of(block)
+        writeback = self.pool.acquire(MessageKind.WRITEBACK_DATA, self.node,
+                                      home, block, version=version)
         delay = max(0, send_time - self.now)
-        self.schedule(delay, lambda: self.data_network.send(writeback),
+        self.sim.schedule(delay, lambda: self.data_network.send(writeback),
                       label="wb-data")
         self._ctr_writebacks_sent.increment()
 
@@ -343,7 +341,7 @@ class TSSnoopNode(CacheControllerBase):
             # case the buffer entry is already gone).
             self.writeback_buffer.pop(block, None)
             return
-        entry = self.mshrs.get(block)
+        entry = self._mshr_get(block)
         if entry is None:
             return
         entry.ordered = True
@@ -360,31 +358,36 @@ class TSSnoopNode(CacheControllerBase):
             raise RuntimeError(f"{self.name}: misrouted message {message}")
         if message.kind is MessageKind.WRITEBACK_DATA:
             self._on_writeback_data(message)
+            self.pool.release(message)
             return
-        entry = self.mshrs.get(message.block)
+        entry = self._mshr_get(message.block)
         if entry is None:
             # Data for a miss that no longer exists should not happen in this
             # protocol; count it so tests can assert it never does.
             self._ctr_orphan_data.increment()
+            self.pool.release(message)
             return
         entry.data_received = True
         entry.metadata["data_version"] = message.payload.get("version", 0)
         entry.metadata["data_from_cache"] = message.payload.get("from_cache",
                                                                 False)
         entry.metadata["data_time"] = self.now
-        self._maybe_complete(message.block)
+        block = message.block
+        self.pool.release(message)
+        self._maybe_complete(block)
 
     # ------------------------------------------------------------ completion
     def _maybe_complete(self, block: int) -> None:
-        entry = self.mshrs.get(block)
+        entry = self._mshr_get(block)
         if entry is None or not entry.ordered or not entry.data_received:
             return
         entry = self.mshrs.release(block)
-        access_type: AccessType = entry.metadata["access_type"]
-        logical_state: CacheState = entry.metadata["logical_state"]
-        version = entry.metadata["data_version"]
-        from_cache = entry.metadata["data_from_cache"]
-        complete_time = self.now
+        metadata = entry.metadata
+        access_type: AccessType = metadata["access_type"]
+        logical_state: CacheState = metadata["logical_state"]
+        version = metadata["data_version"]
+        from_cache = metadata["data_from_cache"]
+        complete_time = self.sim.now
 
         if access_type.needs_write_permission:
             version += 1
@@ -413,7 +416,7 @@ class TSSnoopNode(CacheControllerBase):
                             source=(MissSource.CACHE if from_cache
                                     else MissSource.MEMORY))
         self.record_miss(record)
-        done: DoneCallback = entry.metadata["done"]
+        done: DoneCallback = metadata["done"]
         done()
 
     def _settle_owed_responses(self, entry, block: int, version: int) -> None:
@@ -440,8 +443,7 @@ class TSSnoopNode(CacheControllerBase):
     def _evict_dirty(self, block: int, version: int) -> None:
         """Broadcast a PUTM for a dirty victim and ship its data home."""
         self.writeback_buffer[block] = _WritebackEntry(version=version)
-        putm = Message(kind=MessageKind.PUTM, src=self.node, dst=None,
-                       block=block)
+        putm = self.pool.acquire(MessageKind.PUTM, self.node, None, block)
         self.address_network.broadcast(putm)
         self._send_writeback_data(block, version, self.now)
         self._ctr_dirty_evictions.increment()
@@ -467,7 +469,11 @@ class TSSnoopProtocol(CoherenceProtocol):
 
     def build(self, context: ProtocolBuildContext) -> List[TSSnoopNode]:
         sim = context.sim
+        pool = context.message_pool
         if self.detailed_network:
+            # The detailed network keeps broadcast shells alive inside switch
+            # buffers with no single release point, so they are simply not
+            # pooled there (unicast data messages still are).
             address_network: AddressNetworkInterface = TimestampAddressNetwork(
                 sim, context.topology, context.network_timing,
                 accountant=context.accountant, default_slack=self.slack)
@@ -475,7 +481,7 @@ class TSSnoopProtocol(CoherenceProtocol):
             address_network = AnalyticalTimestampNetwork(
                 sim, context.topology, context.network_timing,
                 accountant=context.accountant, default_slack=self.slack,
-                perturbation=context.perturbation)
+                perturbation=context.perturbation, message_pool=pool)
         data_network = DataNetwork(sim, context.topology,
                                    context.network_timing,
                                    context.accountant,
@@ -486,7 +492,7 @@ class TSSnoopProtocol(CoherenceProtocol):
             nodes.append(TSSnoopNode(
                 sim, node, context.address_space, context.caches[node],
                 context.protocol_timing, address_network, data_network,
-                prefetch=self.prefetch, checker=context.checker))
+                prefetch=self.prefetch, checker=context.checker, pool=pool))
         if isinstance(address_network, TimestampAddressNetwork):
             address_network.start()
         return nodes

@@ -111,7 +111,7 @@ class EventQueueBase:
         self._live -= 1
 
     # Subclass API -------------------------------------------------------
-    def push(self, time: int, callback: Callable[[], None], *,
+    def push(self, time: int, callback: Callable[[], None],
              priority: int = 0, label: str = "") -> Event:
         raise NotImplementedError
 
@@ -146,7 +146,7 @@ class EventQueue(EventQueueBase):
         super().__init__()
         self._heap: List[Event] = []
 
-    def push(self, time: int, callback: Callable[[], None], *,
+    def push(self, time: int, callback: Callable[[], None],
              priority: int = 0, label: str = "") -> Event:
         """Insert a new event and return it (so callers may cancel it)."""
         event = Event(time, priority, self._seq, callback, label, self)
@@ -218,14 +218,18 @@ class CalendarQueue(EventQueueBase):
 
     def __init__(self) -> None:
         super().__init__()
-        # time -> [live_count, {priority: deque[Event]}].  A time appears in
+        # time -> [live_count, deque[Event] | None, {priority: deque} | None].
+        # Slot 1 is the dedicated priority-0 lane: virtually every event the
+        # simulated system schedules has priority 0, so the common bucket is
+        # one deque with no lane dict at all.  Slot 2 holds the lanes for
+        # every other priority and is created on demand.  A time appears in
         # the _times heap exactly once for as long as its bucket exists;
         # buckets are dropped (and the time popped) once their live count
         # reaches zero and they surface at the front.
         self._buckets: Dict[int, list] = {}
         self._times: List[int] = []
 
-    def push(self, time: int, callback: Callable[[], None], *,
+    def push(self, time: int, callback: Callable[[], None],
              priority: int = 0, label: str = "") -> Event:
         """Insert a new event and return it (so callers may cancel it)."""
         event = Event(time, priority, self._seq, callback, label, self)
@@ -233,16 +237,29 @@ class CalendarQueue(EventQueueBase):
         self._live += 1
         bucket = self._buckets.get(time)
         if bucket is None:
-            self._buckets[time] = [1, {priority: deque((event,))}]
+            if priority == 0:
+                self._buckets[time] = [1, deque((event,)), None]
+            else:
+                self._buckets[time] = [1, None, {priority: deque((event,))}]
             heapq.heappush(self._times, time)
         else:
             bucket[0] += 1
-            lanes = bucket[1]
-            lane = lanes.get(priority)
-            if lane is None:
-                lanes[priority] = deque((event,))
+            if priority == 0:
+                lane = bucket[1]
+                if lane is None:
+                    bucket[1] = deque((event,))
+                else:
+                    lane.append(event)
             else:
-                lane.append(event)
+                lanes = bucket[2]
+                if lanes is None:
+                    bucket[2] = {priority: deque((event,))}
+                else:
+                    lane = lanes.get(priority)
+                    if lane is None:
+                        lanes[priority] = deque((event,))
+                    else:
+                        lane.append(event)
         return event
 
     def _note_cancelled(self, event: Event) -> None:
@@ -250,6 +267,63 @@ class CalendarQueue(EventQueueBase):
         bucket = self._buckets.get(event.time)
         if bucket is not None:
             bucket[0] -= 1
+
+    def _pop_from_lane(self, bucket: list, lanes: Dict[int, deque],
+                       priority: int, live: int) -> Optional[Event]:
+        """Pop the first live event of one priority lane (drop the lane when
+        it drains); None when the lane held only cancelled events."""
+        lane = lanes[priority]
+        while lane:
+            event = lane.popleft()
+            if event.cancelled:
+                # Already uncounted when it was cancelled.
+                continue
+            if not lane:
+                del lanes[priority]
+            bucket[0] = live - 1
+            self._live -= 1
+            event._queue = None
+            return event
+        del lanes[priority]
+        return None
+
+    def _pop_from_bucket(self, bucket: list, live: int) -> Optional[Event]:
+        """Pop the (priority, seq)-least live event of a bucket, or None.
+
+        Within one ``(time, priority)`` lane, seq order is FIFO order; the
+        priority-0 lane is consulted first unless a negative-priority lane
+        exists (negative priorities only appear in tests, but order must
+        stay exact).
+        """
+        while True:
+            lane = bucket[1]
+            lanes = bucket[2]
+            if lane is not None:
+                if lanes:
+                    priority = min(lanes)
+                    if priority < 0:
+                        event = self._pop_from_lane(bucket, lanes, priority,
+                                                    live)
+                        if event is not None:
+                            return event
+                        continue
+                while lane:
+                    event = lane.popleft()
+                    if event.cancelled:
+                        # Already uncounted when it was cancelled.
+                        continue
+                    bucket[0] = live - 1
+                    self._live -= 1
+                    event._queue = None
+                    return event
+                bucket[1] = None
+                continue
+            if lanes:
+                event = self._pop_from_lane(bucket, lanes, min(lanes), live)
+                if event is not None:
+                    return event
+                continue
+            return None
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event."""
@@ -260,22 +334,9 @@ class CalendarQueue(EventQueueBase):
             bucket = buckets[time]
             live = bucket[0]
             if live > 0:
-                lanes = bucket[1]
-                while True:
-                    priority = min(lanes)
-                    lane = lanes[priority]
-                    while lane:
-                        event = lane.popleft()
-                        if event.cancelled:
-                            # Already uncounted when it was cancelled.
-                            continue
-                        if not lane:
-                            del lanes[priority]
-                        bucket[0] = live - 1
-                        self._live -= 1
-                        event._queue = None
-                        return event
-                    del lanes[priority]
+                event = self._pop_from_bucket(bucket, live)
+                if event is not None:
+                    return event
             del buckets[time]
             heapq.heappop(times)
         raise SimulationError("pop from an empty event queue")
@@ -290,21 +351,19 @@ class CalendarQueue(EventQueueBase):
             if live > 0:
                 if limit is not None and time > limit:
                     return None
-                lanes = bucket[1]
-                while True:
-                    priority = min(lanes)
-                    lane = lanes[priority]
-                    while lane:
-                        event = lane.popleft()
-                        if event.cancelled:
-                            continue
-                        if not lane:
-                            del lanes[priority]
+                # Fast path: a pure priority-0 bucket with a live head.
+                lane = bucket[1]
+                if lane and not bucket[2]:
+                    event = lane.popleft()
+                    if not event.cancelled:
                         bucket[0] = live - 1
                         self._live -= 1
                         event._queue = None
                         return event
-                    del lanes[priority]
+                    continue
+                event = self._pop_from_bucket(bucket, live)
+                if event is not None:
+                    return event
             del buckets[time]
             heapq.heappop(times)
         return None
@@ -323,9 +382,13 @@ class CalendarQueue(EventQueueBase):
 
     def clear(self) -> None:
         for bucket in self._buckets.values():
-            for lane in bucket[1].values():
-                for event in lane:
+            if bucket[1] is not None:
+                for event in bucket[1]:
                     event._queue = None
+            if bucket[2] is not None:
+                for lane in bucket[2].values():
+                    for event in lane:
+                        event._queue = None
         self._buckets.clear()
         self._times.clear()
         self._live = 0
@@ -366,6 +429,8 @@ class Simulator:
 
     def __init__(self, scheduler: str = DEFAULT_SCHEDULER) -> None:
         self._queue = make_event_queue(scheduler)
+        #: Bound push: the scheduling fast path skips one attribute hop.
+        self._push = self._queue.push
         self._now = 0
         self._events_processed = 0
         self._running = False
@@ -396,8 +461,7 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self._queue.push(self._now + delay, callback,
-                                priority=priority, label=label)
+        return self._push(self._now + delay, callback, priority, label)
 
     def schedule_at(self, time: int, callback: Callable[[], None], *,
                     priority: int = 0, label: str = "") -> Event:
@@ -405,7 +469,7 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self._now}")
-        return self._queue.push(time, callback, priority=priority, label=label)
+        return self._push(time, callback, priority, label)
 
     # ------------------------------------------------------------------- run
     def run(self, *, until: Optional[int] = None,
@@ -428,6 +492,7 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         queue = self._queue
+        pop_due = queue.pop_due
         try:
             while queue:
                 if self._stop_requested:
@@ -441,7 +506,7 @@ class Simulator:
                                                   or next_time <= until):
                         completed = False
                     break
-                event = queue.pop_due(until)
+                event = pop_due(until)
                 if event is None:
                     break
                 self._now = event.time

@@ -56,10 +56,12 @@ class DeterministicRandom:
         if mean <= 1.0:
             return 1
         p = 1.0 / mean
+        limit = 64 * mean
+        rand = self._rng.random
         value = 1
-        while self._rng.random() > p:
+        while rand() > p:
             value += 1
-            if value > 64 * mean:
+            if value > limit:
                 break
         return value
 

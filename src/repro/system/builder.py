@@ -6,9 +6,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.memory.block import AddressSpace
-from repro.memory.cache import CacheArray
+from repro.memory.cache import make_cache_array
 from repro.network import make_topology
 from repro.network.link import TrafficAccountant
+from repro.network.message import MessagePool
 from repro.network.topology import Topology
 from repro.processor.consistency import CoherenceChecker
 from repro.processor.processor import Processor, ProcessorConfig
@@ -91,10 +92,11 @@ class SystemBuilder:
                                      block_size=config.block_size_bytes,
                                      num_nodes=config.num_nodes)
         accountant = TrafficAccountant(num_links=topology.num_links)
-        caches = [CacheArray(size_bytes=config.cache_size_bytes,
-                             associativity=config.cache_associativity,
-                             block_size=config.block_size_bytes,
-                             name=f"L2.n{node}")
+        caches = [make_cache_array(config.cache_array,
+                                   size_bytes=config.cache_size_bytes,
+                                   associativity=config.cache_associativity,
+                                   block_size=config.block_size_bytes,
+                                   name=f"L2.n{node}")
                   for node in range(config.num_nodes)]
         checker = CoherenceChecker() if config.enable_checker else None
 
@@ -110,6 +112,7 @@ class SystemBuilder:
             accountant=accountant,
             perturbation=perturbation,
             checker=checker,
+            message_pool=MessagePool(enabled=config.message_pooling),
         )
         controllers = protocol.build(context)
 
@@ -118,7 +121,7 @@ class SystemBuilder:
         processors = []
         for node in range(config.num_nodes):
             processors.append(Processor(
-                sim, node, controllers[node], iter(streams[node]),
+                sim, node, controllers[node], streams[node],
                 config=processor_config,
                 on_finish=on_processor_finish,
                 on_phase=on_phase_barrier,
@@ -140,15 +143,17 @@ class SystemBuilder:
 
 
 def build_streams(profile: WorkloadProfile, config: SystemConfig,
-                  seed: Optional[int] = None) -> List[List[Reference]]:
+                  seed: Optional[int] = None) -> List[Sequence[Reference]]:
     """Generate the per-node reference streams for a workload profile.
 
-    The streams depend only on the profile, node count and seed -- never on
-    the protocol or network -- so every protocol is measured on the identical
-    input, and perturbed replicas replay the identical streams.
+    The streams depend only on the profile, node count, seed and packing
+    flag -- never on the protocol or network -- so every protocol is
+    measured on the identical input, and perturbed replicas replay the
+    identical streams.  Packed and unpacked streams are element-wise equal;
+    packing only changes the storage layout.
     """
     from repro.workloads.generator import WorkloadGenerator
 
     rng = DeterministicRandom(config.seed if seed is None else seed)
     generator = WorkloadGenerator(profile, config.num_nodes, rng)
-    return generator.build_streams()
+    return generator.build_streams(packed=config.packed_streams)

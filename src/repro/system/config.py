@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.memory.cache import CACHE_ARRAYS, DEFAULT_CACHE_ARRAY
 from repro.network.timing import NetworkTiming
 from repro.protocols.base import ProtocolTiming
 from repro.sim.kernel import DEFAULT_SCHEDULER, SCHEDULERS
@@ -56,6 +57,17 @@ class SystemConfig:
     # regardless of the choice (verified by test).
     scheduler: str = DEFAULT_SCHEDULER
 
+    # Per-access data path (see ``repro.memory.cache.CACHE_ARRAYS``):
+    # "packed" stores cache state in parallel int columns, "dict" is the
+    # per-line-object reference implementation.  ``packed_streams`` selects
+    # column-packed reference streams; ``message_pooling`` recycles protocol
+    # message shells through a free list.  All three are bit-identical to
+    # their reference counterparts (verified by equivalence tests); flip
+    # them together with :meth:`with_reference_data_path`.
+    cache_array: str = DEFAULT_CACHE_ARRAY
+    packed_streams: bool = True
+    message_pooling: bool = True
+
     # Consistency checking (slows runs slightly; on for tests, off for
     # benchmarks by default).
     enable_checker: bool = False
@@ -73,6 +85,10 @@ class SystemConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; "
                 f"choose one of {sorted(SCHEDULERS)}")
+        if self.cache_array not in CACHE_ARRAYS:
+            raise ValueError(
+                f"unknown cache array {self.cache_array!r}; "
+                f"choose one of {sorted(CACHE_ARRAYS)}")
         if self.block_size_bytes <= 0 or self.block_size_bytes & (self.block_size_bytes - 1):
             raise ValueError("block_size_bytes must be a power of two")
 
@@ -85,6 +101,12 @@ class SystemConfig:
 
     def with_options(self, **kwargs) -> "SystemConfig":
         return replace(self, **kwargs)
+
+    def with_reference_data_path(self) -> "SystemConfig":
+        """The dict/object reference data path (equivalence tests, perf
+        baselines); results are bit-identical to the packed default."""
+        return replace(self, cache_array="dict", packed_streams=False,
+                       message_pooling=False)
 
     @property
     def label(self) -> str:

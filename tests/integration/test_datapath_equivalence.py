@@ -1,0 +1,79 @@
+"""Whole-run bit-identity across data paths (the tentpole guarantee).
+
+The packed data path -- PackedCacheArray, packed reference streams and
+pooled message shells -- must not change a single bit of any protocol result
+relative to the dict/object reference data path, on every protocol, under
+perturbation replicas, and on the detailed token-passing network (the style
+of ``test_scheduler_equivalence.py``).
+"""
+
+import pytest
+
+from repro import api
+from repro.system.config import SystemConfig
+
+
+PROTOCOLS = ("ts-snoop", "dirclassic", "diropt")
+
+
+def _run_all(config, **overrides):
+    comparison = api.compare_protocols(workload="barnes", scale=0.05,
+                                       config=config, **overrides)
+    return {protocol: comparison.results[protocol] for protocol in PROTOCOLS}
+
+
+class TestDataPathBitIdentity:
+    def test_packed_equals_reference_all_protocols(self):
+        packed = _run_all(SystemConfig())
+        reference = _run_all(SystemConfig().with_reference_data_path())
+        for protocol in PROTOCOLS:
+            assert packed[protocol] == reference[protocol]
+
+    def test_perturbed_replicas_identical(self):
+        packed = _run_all(SystemConfig(), perturbation_replicas=2)
+        reference = _run_all(SystemConfig().with_reference_data_path(),
+                             perturbation_replicas=2)
+        for protocol in PROTOCOLS:
+            assert packed[protocol] == reference[protocol]
+
+    def test_detailed_token_network_identical(self):
+        kwargs = dict(workload="oltp", protocol="ts-snoop", scale=0.05,
+                      detailed_address_network=True)
+        packed = api.run_experiment(config=SystemConfig(), **kwargs)
+        reference = api.run_experiment(
+            config=SystemConfig().with_reference_data_path(), **kwargs)
+        assert packed == reference
+
+    def test_each_knob_is_independently_equivalent(self):
+        baseline = _run_all(SystemConfig())
+        for overrides in ({"cache_array": "dict"},
+                          {"packed_streams": False},
+                          {"message_pooling": False}):
+            toggled = _run_all(SystemConfig(**overrides))
+            for protocol in PROTOCOLS:
+                assert toggled[protocol] == baseline[protocol], overrides
+
+    def test_torus_network_identical(self):
+        packed = _run_all(SystemConfig(), network="torus")
+        reference = _run_all(SystemConfig().with_reference_data_path(),
+                             network="torus")
+        for protocol in PROTOCOLS:
+            assert packed[protocol] == reference[protocol]
+
+
+class TestDataPathConfig:
+    def test_defaults_are_packed(self):
+        config = SystemConfig()
+        assert config.cache_array == "packed"
+        assert config.packed_streams is True
+        assert config.message_pooling is True
+
+    def test_reference_helper_flips_all_three(self):
+        config = SystemConfig().with_reference_data_path()
+        assert config.cache_array == "dict"
+        assert config.packed_streams is False
+        assert config.message_pooling is False
+
+    def test_unknown_cache_array_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cache_array="splay")

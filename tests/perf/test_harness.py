@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.perf.compare import compare_reports, load_report, main as compare_main
-from repro.perf.harness import KERNEL_FILE, main as harness_main, run_suite
+from repro.perf.harness import (
+    KERNEL_FILE,
+    SCALE_FILE,
+    main as harness_main,
+    run_suite,
+)
+from repro.perf.profile import SCENARIOS, format_rows, profile_scenario
 from repro.perf.schema import (
     SCHEMA_VERSION,
     SchemaError,
@@ -127,3 +133,42 @@ class TestHarness:
     def test_unknown_suite_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             run_suite("nope", tmp_path)
+
+    def test_scale_suite_emits_valid_artifact(self, tmp_path):
+        written = run_suite("scale", tmp_path, scale=0.02)
+        assert set(written) == {SCALE_FILE}
+        report = load_report(written[SCALE_FILE])
+        assert report["suite"] == "scale"
+        names = [scenario["name"] for scenario in report["scenarios"]]
+        assert names == ["scale_snooping", "scale_directory"]
+        for scenario in report["scenarios"]:
+            metrics = scenario["metrics"]
+            # the packed data path must have matched the dict reference
+            # bit for bit, or the scenario would have raised.
+            assert metrics["bit_identical"] is True
+            assert metrics["speedup_vs_reference"] > 0
+            assert metrics["num_nodes"] in (64, 256)
+
+
+class TestProfile:
+    def test_scenario_registry_covers_all_suites(self):
+        assert {"kernel_microbench", "figure3_runtime", "figure4_traffic",
+                "parallel_sweep", "scale_snooping",
+                "scale_directory"} <= set(SCENARIOS)
+
+    def test_profile_reports_hotspots(self):
+        rows = profile_scenario("kernel_microbench", scale=0.02, top=5,
+                                sort="tottime")
+        assert 0 < len(rows) <= 5
+        assert rows[0]["tottime"] >= rows[-1]["tottime"]
+        for row in rows:
+            assert {"function", "file", "line", "ncalls",
+                    "tottime", "cumtime"} <= set(row)
+        text = format_rows(rows)
+        assert "function" in text and rows[0]["function"] in text
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            profile_scenario("nope")
+        with pytest.raises(ValueError):
+            profile_scenario("kernel_microbench", sort="callees")

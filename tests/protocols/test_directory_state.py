@@ -1,9 +1,11 @@
-"""Unit tests for directory entries and banks."""
+"""Unit tests for directory entries and banks (bitmask sharer vectors)."""
 
 from repro.protocols.directory_state import (
     DirectoryBank,
     DirectoryEntry,
     DirectoryState,
+    iter_sharers,
+    sharer_mask,
 )
 
 
@@ -39,6 +41,19 @@ class TestDirectoryEntry:
         entry.make_shared({1, 2, 3})
         assert entry.invalidation_targets(2) == {1, 3}
 
+    def test_make_shared_accepts_a_mask(self):
+        entry = DirectoryEntry()
+        entry.make_shared((1 << 4) | (1 << 9))
+        assert entry.sharers == {4, 9}
+        assert entry.sharers_mask == (1 << 4) | (1 << 9)
+
+    def test_sharers_excluding_is_a_single_mask_op(self):
+        entry = DirectoryEntry()
+        entry.make_shared({0, 3, 7})
+        assert entry.sharers_excluding(3) == (1 << 0) | (1 << 7)
+        # excluding a non-sharer leaves the vector untouched
+        assert entry.sharers_excluding(5) == entry.sharers_mask
+
     def test_reset(self):
         entry = DirectoryEntry()
         entry.make_modified(4)
@@ -50,6 +65,52 @@ class TestDirectoryEntry:
         assert DirectoryState.BUSY_SHARED.is_busy
         assert DirectoryState.BUSY_MODIFIED.is_busy
         assert not DirectoryState.SHARED.is_busy
+
+
+class TestSharerMaskHelpers:
+    def test_round_trip(self):
+        nodes = {0, 5, 17, 63, 255}
+        mask = sharer_mask(nodes)
+        assert set(iter_sharers(mask)) == nodes
+
+    def test_iteration_is_ascending(self):
+        mask = sharer_mask([9, 2, 30, 0])
+        assert list(iter_sharers(mask)) == [0, 2, 9, 30]
+
+    def test_empty_mask(self):
+        assert sharer_mask([]) == 0
+        assert list(iter_sharers(0)) == []
+
+    def test_count_via_bit_count(self):
+        mask = sharer_mask(range(0, 256, 3))
+        assert mask.bit_count() == len(range(0, 256, 3))
+
+
+try:
+    from hypothesis import given, strategies as st
+except ImportError:  # pragma: no cover - optional dependency
+    pass
+else:
+    class TestMaskMatchesSetSemantics:
+        @given(st.sets(st.integers(0, 255)), st.integers(0, 255))
+        def test_mask_and_set_agree(self, nodes, requester):
+            entry = DirectoryEntry()
+            entry.make_shared(nodes)
+            assert entry.sharers == nodes
+            assert set(iter_sharers(entry.sharers_excluding(requester))) \
+                == {node for node in nodes if node != requester}
+            assert entry.invalidation_targets(requester) \
+                == {node for node in nodes if node != requester}
+            assert entry.sharers_mask.bit_count() == len(nodes)
+
+        @given(st.lists(st.integers(0, 127), max_size=40))
+        def test_add_sharer_accumulates(self, nodes):
+            entry = DirectoryEntry()
+            for node in nodes:
+                entry.add_sharer(node)
+            assert entry.sharers == set(nodes)
+            if nodes:
+                assert entry.state is DirectoryState.SHARED
 
 
 class TestDirectoryBank:
