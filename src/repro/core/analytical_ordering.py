@@ -134,30 +134,34 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         # Early ("peek") deliveries are only scheduled for endpoints that
         # asked for them; the arrival time itself is also carried in the
         # ordered delivery so controllers can model the prefetch optimisation
-        # without a separate event.
+        # without a separate event.  The scheduled instant *is* the arrival
+        # time, so the dispatcher passes only (handler, message) and
+        # _deliver_early reads the clock.
         for endpoint, early in self._early_handlers.items():
             arrival_delay = (self.timing.overhead_ns
                              + tree.arrival_hops[endpoint] * self.timing.switch_ns)
-            self.schedule(arrival_delay,
-                          lambda e=early, m=message, t=injected_at + arrival_delay: e(m, t),
-                          label="early")
+            self.schedule(arrival_delay, self._deliver_early,
+                          label="early", arg=(early, message))
 
         # All endpoints become able to process the transaction at the same
         # physical instant; one event fans out to every attached handler in
         # endpoint order.  Transactions whose ordering instants coincide are
         # tie-broken by source id (the event priority), exactly as the
         # detailed token network and the paper's Section 2.2 prescribe.
-        self.sim.schedule(ordered_delay,
-                          lambda: self._deliver_ordered(message, tree,
-                                                        injected_at,
-                                                        ordered_time,
-                                                        logical_time),
-                          priority=message.src,
-                          label="ordered")
+        # The pre-bound handler + packed payload replaces a per-broadcast
+        # closure (pooled event shells make the whole path allocation-free).
+        self.sim.schedule(ordered_delay, self._deliver_ordered,
+                          priority=message.src, label="ordered",
+                          arg=(message, tree, injected_at, ordered_time,
+                               logical_time))
         self._ctr_deliveries.increment(self.topology.num_endpoints)
 
-    def _deliver_ordered(self, message: Message, tree, injected_at: int,
-                         ordered_time: int, logical_time: int) -> None:
+    def _deliver_early(self, packed) -> None:
+        early, message = packed
+        early(message, self.now)
+
+    def _deliver_ordered(self, packed) -> None:
+        message, tree, injected_at, ordered_time, logical_time = packed
         rows = self._delivery_rows
         if rows is None:
             rows = self._delivery_rows = [

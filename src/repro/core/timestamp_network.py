@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.core.ordering_queue import OrderingQueue, PendingTransaction
 from repro.core.token_switch import BufferedTransaction, TokenSwitch
@@ -155,8 +155,8 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             return
         self._started = True
         for node in self.switches:
-            self.schedule(0, lambda n=node: self._try_propagate(n),
-                          priority=_TOKEN_PRIORITY, label="seed")
+            self.schedule(0, self._try_propagate,
+                          priority=_TOKEN_PRIORITY, label="seed", arg=node)
 
     # ------------------------------------------------------------- broadcast
     def broadcast(self, message: Message, slack: Optional[int] = None) -> None:
@@ -176,10 +176,16 @@ class TimestampAddressNetwork(AddressNetworkInterface):
                                          sequence=self._sequence)
         root = endpoint_node(source)
         # The transaction enters the network after the entry overhead and is
-        # then at the root of its broadcast tree.
-        self.schedule(self.timing.overhead_ns,
-                      lambda: self._arrive(root, None, transaction, tree),
-                      priority=_MESSAGE_PRIORITY, label="inject")
+        # then at the root of its broadcast tree.  Every event this network
+        # schedules rides a pre-bound handler plus a packed payload, so the
+        # per-broadcast path allocates no closures.
+        self.schedule(self.timing.overhead_ns, self._inject,
+                      priority=_MESSAGE_PRIORITY, label="inject",
+                      arg=(root, transaction, tree))
+
+    def _inject(self, packed) -> None:
+        root, transaction, tree = packed
+        self._arrive(root, None, transaction, tree)
 
     # -------------------------------------------------------- hop-copy reuse
     def _copy_factory(self, payload=None, slack: int = 0, source: int = 0,
@@ -241,11 +247,15 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             # Emulated contention: keep the transaction buffered for one
             # switch traversal time, then forward it.
             self._ctr_held.increment()
-            self.schedule(self.timing.switch_ns,
-                          lambda: self._forward(node, transaction, tree),
-                          priority=_MESSAGE_PRIORITY, label="release-held")
+            self.schedule(self.timing.switch_ns, self._release_held,
+                          priority=_MESSAGE_PRIORITY, label="release-held",
+                          arg=(node, transaction, tree))
         else:
             self._forward(node, transaction, tree)
+
+    def _release_held(self, packed) -> None:
+        node, transaction, tree = packed
+        self._forward(node, transaction, tree)
 
     def _forward(self, node: NodeId, transaction: BufferedTransaction,
                  tree: BroadcastTree) -> None:
@@ -265,16 +275,14 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             # same Dswitch interval, so they ride a single batched event;
             # the batch body preserves the branch (seq) order the individual
             # events would have had.
-            self.schedule(self.timing.switch_ns,
-                          lambda outs=outputs, n=node:
-                              self._arrive_batch(n, outs, tree),
-                          priority=_MESSAGE_PRIORITY, label="hop")
+            self.schedule(self.timing.switch_ns, self._arrive_batch,
+                          priority=_MESSAGE_PRIORITY, label="hop",
+                          arg=(node, outputs, tree))
         # Forwarding may have unblocked token propagation (zero-slack rule).
         self._try_propagate(node)
 
-    def _arrive_batch(self, node: NodeId,
-                      outputs: List[Tuple[NodeId, BufferedTransaction]],
-                      tree: BroadcastTree) -> None:
+    def _arrive_batch(self, packed) -> None:
+        node, outputs, tree = packed
         for child, copy in outputs:
             self._arrive(child, node, copy, tree)
 
@@ -298,8 +306,8 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         self.switches[node].receive_token(input_port)
         self._try_propagate(node)
 
-    def _receive_token_batch(self, source: NodeId,
-                             downstream: List[NodeId]) -> None:
+    def _receive_token_batch(self, packed) -> None:
+        source, downstream = packed
         for node in downstream:
             self._receive_token(node, source)
 
@@ -316,9 +324,9 @@ class TimestampAddressNetwork(AddressNetworkInterface):
                 # batched event (the batch body keeps the per-output order
                 # the individual events would have had).
                 self.schedule(self.timing.switch_ns,
-                              lambda outs=outputs, n=node:
-                                  self._receive_token_batch(n, outs),
-                              priority=_TOKEN_PRIORITY, label="token")
+                              self._receive_token_batch,
+                              priority=_TOKEN_PRIORITY, label="token",
+                              arg=(node, outputs))
 
     def _release(self, port: _EndpointPort,
                  released: List[PendingTransaction]) -> None:

@@ -53,7 +53,8 @@ def make_topology(name: str, num_endpoints: int = 16) -> Topology:
         if radix * radix != num_endpoints:
             raise ValueError(
                 "the two-stage butterfly requires a perfect-square endpoint "
-                f"count, got {num_endpoints}")
+                f"count, got {num_endpoints}"
+            )
         return ButterflyTopology(num_endpoints=num_endpoints, radix=radix)
     if key in ("torus", "2d-torus", "direct"):
         return TorusTopology.for_endpoints(num_endpoints)

@@ -32,15 +32,17 @@ class ButterflyTopology(Topology):
 
     name = "butterfly"
 
-    def __init__(self, num_endpoints: int = 16, radix: int = 4,
-                 planes: int = 4) -> None:
+    def __init__(
+        self, num_endpoints: int = 16, radix: int = 4, planes: int = 4
+    ) -> None:
         super().__init__(num_endpoints)
         if radix <= 1:
             raise ValueError("radix must be at least 2")
         if num_endpoints != radix * radix:
             raise ValueError(
                 "this two-stage butterfly supports exactly radix**2 endpoints "
-                f"({radix * radix}), got {num_endpoints}")
+                f"({radix * radix}), got {num_endpoints}"
+            )
         if planes <= 0:
             raise ValueError("planes must be positive")
         self.radix = radix
@@ -114,12 +116,12 @@ class ButterflyTopology(Topology):
         self._check_endpoint(src)
         children: Dict[NodeId, List[Tuple[NodeId, int]]] = {}
         ingress = self.ingress_switch(src)
+        groups = range(self._num_switch_groups)
         children[endpoint_node(src)] = [(ingress, 0)]
-        children[ingress] = [(f"sw:out:{g}", 0)
-                             for g in range(self._num_switch_groups)]
+        children[ingress] = [(f"sw:out:{g}", 0) for g in groups]
         arrival: Dict[int, int] = {}
         depth_below: Dict[NodeId, int] = {endpoint_node(src): 3, ingress: 2}
-        for g in range(self._num_switch_groups):
+        for g in groups:
             egress = f"sw:out:{g}"
             children[egress] = []
             depth_below[egress] = 1
@@ -128,12 +130,17 @@ class ButterflyTopology(Topology):
                 arrival[ep] = 3
                 if ep != src:
                     depth_below[endpoint_node(ep)] = 0
-        return BroadcastTree(source=src, children=children,
-                             arrival_hops=arrival, depth=3,
-                             depth_below=depth_below)
+        return BroadcastTree(
+            source=src,
+            children=children,
+            arrival_hops=arrival,
+            depth=3,
+            depth_below=depth_below,
+        )
 
     # --------------------------------------------------------------- helpers
     def _check_endpoint(self, endpoint: int) -> None:
         if not 0 <= endpoint < self.num_endpoints:
-            raise ValueError(f"endpoint {endpoint} out of range "
-                             f"0..{self.num_endpoints - 1}")
+            raise ValueError(
+                f"endpoint {endpoint} out of range " f"0..{self.num_endpoints - 1}"
+            )

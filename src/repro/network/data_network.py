@@ -21,7 +21,6 @@ from repro.sim.component import Component
 from repro.sim.kernel import Simulator
 from repro.sim.randomness import PerturbationModel
 
-
 DeliveryCallback = Callable[[Message], None]
 
 #: Event labels per message kind, precomputed so the send fast path does not
@@ -37,10 +36,15 @@ class DataNetwork(Component):
     simple point-to-point examples).
     """
 
-    def __init__(self, sim: Simulator, topology: Topology,
-                 timing: NetworkTiming, accountant: TrafficAccountant,
-                 perturbation: Optional[PerturbationModel] = None,
-                 name: str = "data-network") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        timing: NetworkTiming,
+        accountant: TrafficAccountant,
+        perturbation: Optional[PerturbationModel] = None,
+        name: str = "data-network",
+    ) -> None:
         super().__init__(sim, name)
         self.topology = topology
         self.timing = timing
@@ -49,8 +53,11 @@ class DataNetwork(Component):
         #: is live.  Enablement is fixed at construction (a replica's
         #: ``PerturbationModel`` never changes ``max_delay_ns`` after init),
         #: so the send path skips the ``enabled`` property per message.
-        self._active_perturbation = (perturbation if perturbation is not None
-                                     and perturbation.enabled else None)
+        self._active_perturbation = (
+            perturbation
+            if perturbation is not None and perturbation.enabled
+            else None
+        )
         self._receivers: dict[int, DeliveryCallback] = {}
         #: (src, dst) -> (latency, traversals); unloaded routes are static,
         #: so each pair is computed once per run.
@@ -59,6 +66,9 @@ class DataNetwork(Component):
         self._ctr_messages = self.stats.counter("messages")
         self._ctr_bytes = self.stats.counter("bytes")
         self._record_traffic = accountant.record
+        #: Pre-bound kernel push: each delivery is one pooled event carrying
+        #: the message as its payload -- no per-send closure.
+        self._schedule = sim.schedule
 
     # -------------------------------------------------------------- receivers
     def attach(self, node: int, handler: DeliveryCallback) -> None:
@@ -66,9 +76,11 @@ class DataNetwork(Component):
         self._receivers[node] = handler
 
     # ----------------------------------------------------------------- sends
-    def _prepare_send(self, message: Message,
-                      on_deliver: Optional[DeliveryCallback],
-                      ) -> tuple[DeliveryCallback, int]:
+    def _prepare_send(
+        self,
+        message: Message,
+        on_deliver: Optional[DeliveryCallback],
+    ) -> tuple[DeliveryCallback, int]:
         """Shared per-send prologue: resolve the handler, compute the
         (memoised) unloaded latency plus any perturbation, and account the
         traffic.  Returns ``(handler, latency)``; used by both the plain and
@@ -82,7 +94,8 @@ class DataNetwork(Component):
             handler = self._receivers.get(message.dst)
             if handler is None:
                 raise ValueError(
-                    f"{self.name}: no receiver attached for node {message.dst}")
+                    f"{self.name}: no receiver attached for node {message.dst}"
+                )
         route = (message.src, message.dst)
         cached = self._routes.get(route)
         if cached is None:
@@ -97,8 +110,11 @@ class DataNetwork(Component):
         self._ctr_bytes.value += message.kind.size_bytes
         return handler, latency
 
-    def send(self, message: Message,
-             on_deliver: Optional[DeliveryCallback] = None) -> int:
+    def send(
+        self,
+        message: Message,
+        on_deliver: Optional[DeliveryCallback] = None,
+    ) -> int:
         """Send ``message``; returns the absolute delivery time.
 
         Delivery goes to the handler registered for ``message.dst`` (or the
@@ -109,8 +125,9 @@ class DataNetwork(Component):
         handler, latency = self._prepare_send(message, on_deliver)
         now = self.sim.now
         message.sent_at = now
-        self.sim.schedule(latency, lambda: handler(message),
-                          label=DELIVER_LABELS[message.kind])
+        self._schedule(
+            latency, handler, label=DELIVER_LABELS[message.kind], arg=message
+        )
         return now + latency
 
     def latency(self, src: int, dst: int) -> int:

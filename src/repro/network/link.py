@@ -86,12 +86,14 @@ class TrafficAccountant:
             self.messages_by_category[category] = 1
         self.link_traversals += traversals
 
-    def record_raw(self, category: TrafficCategory, size_bytes: int,
-                   traversals: int) -> None:
+    def record_raw(
+        self, category: TrafficCategory, size_bytes: int, traversals: int
+    ) -> None:
         """Record traffic without a :class:`Message` object (analytic models)."""
         key = category.value
         self.bytes_by_category[key] = (
-            self.bytes_by_category.get(key, 0) + size_bytes * traversals)
+            self.bytes_by_category.get(key, 0) + size_bytes * traversals
+        )
         self.messages_by_category[key] = self.messages_by_category.get(key, 0) + 1
         self.link_traversals += traversals
 
@@ -108,17 +110,16 @@ class TrafficAccountant:
         return self.total_bytes() / self.num_links
 
     def per_link_bytes_by_category(self) -> Dict[str, float]:
-        if self.num_links <= 0:
+        links = self.num_links
+        if links <= 0:
             return {key: 0.0 for key in self.bytes_by_category}
-        return {key: value / self.num_links
-                for key, value in self.bytes_by_category.items()}
+        return {key: value / links for key, value in self.bytes_by_category.items()}
 
     def breakdown_fractions(self) -> Dict[str, float]:
         total = self.total_bytes()
         if total == 0:
             return {}
-        return {key: value / total
-                for key, value in self.bytes_by_category.items()}
+        return {key: value / total for key, value in self.bytes_by_category.items()}
 
     def reset(self) -> None:
         self.bytes_by_category.clear()

@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Optional
 
-
 DATA_MESSAGE_BYTES = 72
 CONTROL_MESSAGE_BYTES = 8
 
@@ -55,8 +54,7 @@ class MessageKind(Enum):
     # practice, so it is not charged any link bytes).
     TOKEN = ("TOKEN", TrafficCategory.MISC, 0)
 
-    def __init__(self, label: str, category: TrafficCategory,
-                 size_bytes: int) -> None:
+    def __init__(self, label: str, category: TrafficCategory, size_bytes: int) -> None:
         self.label = label
         self.category = category
         #: ``category.value`` resolved once -- Enum's ``.value`` descriptor
@@ -105,16 +103,25 @@ class Message:
     def is_broadcast(self) -> bool:
         return self.dst is None
 
-    def reply(self, kind: MessageKind, src: int, *,
-              sent_at: int = 0, **payload: Any) -> "Message":
+    def reply(
+        self, kind: MessageKind, src: int, *, sent_at: int = 0, **payload: Any
+    ) -> "Message":
         """Build a unicast reply to this message's sender."""
-        return Message(kind=kind, src=src, dst=self.src, block=self.block,
-                       sent_at=sent_at, payload=dict(payload))
+        return Message(
+            kind=kind,
+            src=src,
+            dst=self.src,
+            block=self.block,
+            sent_at=sent_at,
+            payload=dict(payload),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         target = "broadcast" if self.dst is None else f"n{self.dst}"
-        return (f"<{self.kind.label} #{self.msg_id} n{self.src}->{target} "
-                f"block={self.block}>")
+        return (
+            f"<{self.kind.label} #{self.msg_id} n{self.src}->{target} "
+            f"block={self.block}>"
+        )
 
 
 class MessagePool:
@@ -139,12 +146,17 @@ class MessagePool:
         self.enabled = enabled
         self._free: list = []
 
-    def acquire(self, kind: MessageKind, src: int, dst: Optional[int],
-                block: int, **payload: Any) -> Message:
+    def acquire(
+        self,
+        kind: MessageKind,
+        src: int,
+        dst: Optional[int],
+        block: int,
+        **payload: Any,
+    ) -> Message:
         free = self._free
         if not free:
-            return Message(kind=kind, src=src, dst=dst, block=block,
-                           payload=payload)
+            return Message(kind=kind, src=src, dst=dst, block=block, payload=payload)
         message = free.pop()
         message.kind = kind
         message.src = src

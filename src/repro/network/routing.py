@@ -105,15 +105,17 @@ def build_torus_broadcast_tree(source: int, width: int, height: int) -> Broadcas
     for node in range(num_nodes):
         children.setdefault(endpoint_node(node), children.get(endpoint_node(node), []))
 
-    depth_by_node = {endpoint_node(node): depth
-                     for node, depth in depth_below.items()}
+    depth_by_node = {endpoint_node(node): depth for node, depth in depth_below.items()}
     for node in range(num_nodes):
         depth_by_node.setdefault(endpoint_node(node), 0)
 
-    return BroadcastTree(source=source, children=children,
-                         arrival_hops=arrival,
-                         depth=max(arrival.values()) if arrival else 0,
-                         depth_below=depth_by_node)
+    return BroadcastTree(
+        source=source,
+        children=children,
+        arrival_hops=arrival,
+        depth=max(arrival.values()) if arrival else 0,
+        depth_below=depth_by_node,
+    )
 
 
 def abs_ring(offset: int, size: int) -> int:

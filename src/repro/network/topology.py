@@ -21,7 +21,6 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-
 NodeId = str
 
 
@@ -136,11 +135,10 @@ class Topology(ABC):
         for src in self.endpoints():
             for dst in self.endpoints():
                 total += self.hop_count(src, dst)
-        return total / (self.num_endpoints ** 2)
+        return total / (self.num_endpoints**2)
 
     def mean_broadcast_arrival_hops(self, src: int) -> float:
-        total = sum(self.broadcast_arrival_hops(src, dst)
-                    for dst in self.endpoints())
+        total = sum(self.broadcast_arrival_hops(src, dst) for dst in self.endpoints())
         return total / self.num_endpoints
 
     def validate(self) -> None:
@@ -150,11 +148,13 @@ class Topology(ABC):
             if not tree.all_endpoints_reached(self.num_endpoints):
                 missing = set(self.endpoints()) - set(tree.arrival_hops)
                 raise AssertionError(
-                    f"{self.name}: broadcast tree from {src} misses {missing}")
+                    f"{self.name}: broadcast tree from {src} misses {missing}"
+                )
             if tree.link_count() != self.broadcast_link_count(src):
                 raise AssertionError(
                     f"{self.name}: tree from {src} uses {tree.link_count()} "
-                    f"links, expected {self.broadcast_link_count(src)}")
+                    f"links, expected {self.broadcast_link_count(src)}"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name} n={self.num_endpoints}>"
@@ -162,5 +162,7 @@ class Topology(ABC):
 
 def pairwise_hop_matrix(topology: Topology) -> List[List[int]]:
     """Precompute the full hop-count matrix (used by the performance model)."""
-    return [[topology.hop_count(src, dst) for dst in topology.endpoints()]
-            for src in topology.endpoints()]
+    return [
+        [topology.hop_count(src, dst) for dst in topology.endpoints()]
+        for src in topology.endpoints()
+    ]

@@ -32,13 +32,12 @@ class TorusTopology(Topology):
     @classmethod
     def for_endpoints(cls, num_endpoints: int) -> "TorusTopology":
         """Build the squarest torus holding ``num_endpoints`` nodes."""
-        width = int(num_endpoints ** 0.5)
+        width = int(num_endpoints**0.5)
         while width > 1 and num_endpoints % width:
             width -= 1
         height = num_endpoints // width
         if width * height != num_endpoints or width < 2 or height < 2:
-            raise ValueError(
-                f"cannot build a 2D torus with {num_endpoints} endpoints")
+            raise ValueError(f"cannot build a 2D torus with {num_endpoints} endpoints")
         return cls(width=width, height=height)
 
     # ------------------------------------------------------------ coordinates
@@ -52,8 +51,12 @@ class TorusTopology(Topology):
     def neighbors(self, endpoint: int) -> List[int]:
         """The four torus neighbours (duplicates removed on tiny tori)."""
         x, y = self.coordinates(endpoint)
-        candidates = [self.endpoint_at(x + 1, y), self.endpoint_at(x - 1, y),
-                      self.endpoint_at(x, y + 1), self.endpoint_at(x, y - 1)]
+        candidates = [
+            self.endpoint_at(x + 1, y),
+            self.endpoint_at(x - 1, y),
+            self.endpoint_at(x, y + 1),
+            self.endpoint_at(x, y - 1),
+        ]
         seen: List[int] = []
         for node in candidates:
             if node != endpoint and node not in seen:
@@ -64,8 +67,7 @@ class TorusTopology(Topology):
     def hop_count(self, src: int, dst: int) -> int:
         sx, sy = self.coordinates(src)
         dx, dy = self.coordinates(dst)
-        return (ring_distance(sx, dx, self.width)
-                + ring_distance(sy, dy, self.height))
+        return ring_distance(sx, dx, self.width) + ring_distance(sy, dy, self.height)
 
     @property
     def max_hops(self) -> int:
@@ -99,11 +101,13 @@ class TorusTopology(Topology):
         self._check_endpoint(src)
         if src not in self._tree_cache:
             self._tree_cache[src] = build_torus_broadcast_tree(
-                src, self.width, self.height)
+                src, self.width, self.height
+            )
         return self._tree_cache[src]
 
     # --------------------------------------------------------------- helpers
     def _check_endpoint(self, endpoint: int) -> None:
         if not 0 <= endpoint < self.num_endpoints:
-            raise ValueError(f"endpoint {endpoint} out of range "
-                             f"0..{self.num_endpoints - 1}")
+            raise ValueError(
+                f"endpoint {endpoint} out of range " f"0..{self.num_endpoints - 1}"
+            )

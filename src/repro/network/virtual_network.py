@@ -30,12 +30,18 @@ from repro.sim.randomness import PerturbationModel
 class VirtualNetwork(DataNetwork):
     """An unordered virtual network (plain unicast delivery)."""
 
-    def __init__(self, sim: Simulator, topology: Topology,
-                 timing: NetworkTiming, accountant: TrafficAccountant,
-                 perturbation: Optional[PerturbationModel] = None,
-                 name: str = "vnet") -> None:
-        super().__init__(sim, topology, timing, accountant,
-                         perturbation=perturbation, name=name)
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        timing: NetworkTiming,
+        accountant: TrafficAccountant,
+        perturbation: Optional[PerturbationModel] = None,
+        name: str = "vnet",
+    ) -> None:
+        super().__init__(
+            sim, topology, timing, accountant, perturbation=perturbation, name=name
+        )
 
 
 class PointToPointOrderedNetwork(VirtualNetwork):
@@ -46,27 +52,39 @@ class PointToPointOrderedNetwork(VirtualNetwork):
     cache are observed in the order the directory sent them.
     """
 
-    def __init__(self, sim: Simulator, topology: Topology,
-                 timing: NetworkTiming, accountant: TrafficAccountant,
-                 perturbation: Optional[PerturbationModel] = None,
-                 name: str = "ordered-vnet") -> None:
-        super().__init__(sim, topology, timing, accountant,
-                         perturbation=perturbation, name=name)
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        timing: NetworkTiming,
+        accountant: TrafficAccountant,
+        perturbation: Optional[PerturbationModel] = None,
+        name: str = "ordered-vnet",
+    ) -> None:
+        super().__init__(
+            sim, topology, timing, accountant, perturbation=perturbation, name=name
+        )
         self._last_delivery: Dict[Tuple[int, int], int] = {}
         self._ctr_ordering_stalls = self.stats.counter("ordering_stalls")
 
-    def send(self, message: Message,
-             on_deliver: Optional[DeliveryCallback] = None) -> int:
+    def send(
+        self,
+        message: Message,
+        on_deliver: Optional[DeliveryCallback] = None,
+    ) -> int:
         handler, latency = self._prepare_send(message, on_deliver)
         now = self.sim.now
         message.sent_at = now
         pair = (message.src, message.dst)
         natural_delivery = now + latency
-        ordered_delivery = max(natural_delivery,
-                               self._last_delivery.get(pair, 0))
+        ordered_delivery = max(natural_delivery, self._last_delivery.get(pair, 0))
         if ordered_delivery > natural_delivery:
             self._ctr_ordering_stalls.increment()
         self._last_delivery[pair] = ordered_delivery
-        self.sim.schedule_at(ordered_delivery, lambda: handler(message),
-                             label=DELIVER_LABELS[message.kind])
+        self.sim.schedule_at(
+            ordered_delivery,
+            handler,
+            label=DELIVER_LABELS[message.kind],
+            arg=message,
+        )
         return ordered_delivery

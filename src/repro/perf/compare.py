@@ -5,13 +5,19 @@ Usage::
     python -m repro.perf.compare BASELINE.json NEW.json --threshold 0.25
 
 Exit status: 0 when no scenario regressed past the threshold, 1 when at
-least one did, 2 on malformed input.
+least one did, 2 on malformed input.  ``--exit-zero`` reports without
+gating (exit 0 unless the input is malformed) -- the mode CI's perf-trend
+step uses so the summary table never masks the real gate.
 
 Runtimes are normalised by each report's embedded ``calibration_s`` (wall
 time of a fixed pure-Python workload) so a slower CI host is not mistaken
 for a code regression; pass ``--no-calibration`` to compare raw wall times.
 Scenarios faster than ``--min-runtime`` in the baseline are reported but
 never fail the gate -- at sub-50 ms scales timer noise dominates.
+
+``--markdown`` renders the comparison as a GitHub-flavoured table (per
+scenario: runtime delta, events/sec delta, verdict), ready to append to
+``$GITHUB_STEP_SUMMARY``.
 """
 
 from __future__ import annotations
@@ -67,16 +73,59 @@ def compare_reports(
         else:
             ratio = 1.0
         gated = base_runtime >= min_runtime_s
+        # events/sec deltas (informational; the gate is runtime-based).
+        # Host normalisation works the other way around for a rate.
+        base_eps = base.get("events_per_sec") or 0.0
+        new_eps = (scenario.get("events_per_sec") or 0.0) * speed_factor
         row = {
             "name": name,
             "baseline_s": base_runtime,
             "new_s": new_runtime,
             "ratio": ratio,
+            "baseline_eps": base_eps,
+            "new_eps": new_eps,
             "regressed": gated and ratio > 1.0 + threshold,
             "gated": gated,
         }
         rows.append(row)
     return rows
+
+
+def render_markdown(
+    rows: List[Dict[str, Any]],
+    threshold: float,
+    title: str = "",
+) -> str:
+    """One GitHub-flavoured markdown table for a list of comparison rows."""
+    lines: List[str] = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append(
+        "| scenario | baseline | new | runtime Δ | events/s | verdict |"
+    )
+    lines.append("|---|---:|---:|---:|---:|---|")
+    for row in rows:
+        delta_pct = (row["ratio"] - 1.0) * 100.0
+        if row["regressed"]:
+            verdict = f"🔴 regressed (> +{threshold:.0%})"
+        elif not row["gated"]:
+            verdict = "⚪ ignored (below min runtime)"
+        elif row["ratio"] <= 0.95:
+            verdict = "🟢 faster"
+        else:
+            verdict = "✅ ok"
+        if row["baseline_eps"] and row["new_eps"]:
+            eps_delta = (row["new_eps"] / row["baseline_eps"] - 1.0) * 100.0
+            eps = f"{row['new_eps']:,.0f} ({eps_delta:+.1f}%)"
+        else:
+            eps = "–"
+        lines.append(
+            f"| {row['name']} | {row['baseline_s']:.3f}s | {row['new_s']:.3f}s"
+            f" | {delta_pct:+.1f}% | {eps} | {verdict} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -103,6 +152,16 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="compare raw wall times without host-speed normalisation",
     )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a GitHub-flavoured markdown table (for $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--exit-zero",
+        action="store_true",
+        help="always exit 0 on well-formed input (report, don't gate)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -123,19 +182,24 @@ def main(argv: List[str] | None = None) -> int:
         print("error: the reports share no scenarios", file=sys.stderr)
         return 2
 
-    failed = False
-    print(f"{'scenario':<24} {'baseline':>10} {'new':>10} {'ratio':>7}  verdict")
-    for row in rows:
-        if row["regressed"]:
-            verdict = f"REGRESSED (> +{args.threshold:.0%})"
-            failed = True
-        elif not row["gated"]:
-            verdict = "ignored (below --min-runtime)"
-        else:
-            verdict = "ok"
-        line = f"{row['name']:<24} {row['baseline_s']:>9.3f}s"
-        line += f" {row['new_s']:>9.3f}s {row['ratio']:>6.2f}x  {verdict}"
-        print(line)
+    failed = any(row["regressed"] for row in rows)
+    if args.markdown:
+        title = f"{new.get('suite', '?')} suite vs {args.baseline.name}"
+        print(render_markdown(rows, args.threshold, title=title))
+    else:
+        print(f"{'scenario':<24} {'baseline':>10} {'new':>10} {'ratio':>7}  verdict")
+        for row in rows:
+            if row["regressed"]:
+                verdict = f"REGRESSED (> +{args.threshold:.0%})"
+            elif not row["gated"]:
+                verdict = "ignored (below --min-runtime)"
+            else:
+                verdict = "ok"
+            line = f"{row['name']:<24} {row['baseline_s']:>9.3f}s"
+            line += f" {row['new_s']:>9.3f}s {row['ratio']:>6.2f}x  {verdict}"
+            print(line)
+    if args.exit_zero:
+        return 0
     return 1 if failed else 0
 
 

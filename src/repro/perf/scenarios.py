@@ -40,7 +40,9 @@ def calibrate(iterations: int = 2_000_000) -> float:
     return time.perf_counter() - start
 
 
-def _run_scheduler_churn(scheduler: str, chains: int, events: int) -> tuple:
+def _run_scheduler_churn(
+    scheduler: str, chains: int, events: int, event_pool: bool = True
+) -> tuple:
     """Event churn shaped like the simulator's hot path.
 
     ``chains`` concurrent hop chains each fan eight same-tick deliveries
@@ -48,7 +50,7 @@ def _run_scheduler_churn(scheduler: str, chains: int, events: int) -> tuple:
     distribution that link/switch hops produce and the calendar queue is
     tuned for.
     """
-    sim = Simulator(scheduler=scheduler)
+    sim = Simulator(scheduler=scheduler, event_pool=event_pool)
     fanout = 8
     count = 0
 
@@ -74,26 +76,37 @@ def _noop() -> None:
 
 
 def kernel_microbench(scale: float = 1.0) -> Dict[str, Any]:
-    """Calendar-vs-heapq scheduler microbenchmark (the tentpole metric).
+    """Scheduler/pool microbenchmark (the kernel tentpole metric).
 
-    The headline ``runtime_s`` / ``events_per_sec`` are the calendar
-    queue's; the reference heapq numbers and the speedup ride along in
-    ``metrics``.
+    The headline ``runtime_s`` / ``events_per_sec`` are the default
+    configuration's (calendar queue + event pool); the reference heapq
+    numbers, the timing-wheel and no-pool variants and the speedups ride
+    along in ``metrics``.
     """
     chains = max(50, int(600 * scale))
     events = max(20_000, int(400_000 * scale))
+
     # Best-of-N absorbs one-off host noise (GC pause, container throttle).
-    heapq_events, heapq_s = min(
-        (_run_scheduler_churn("heapq", chains, events) for _ in range(2)),
-        key=lambda pair: pair[1],
-    )
-    calendar_events, calendar_s = min(
-        (_run_scheduler_churn("calendar", chains, events) for _ in range(2)),
-        key=lambda pair: pair[1],
-    )
-    assert heapq_events == calendar_events, "schedulers processed different work"
+    def best(scheduler: str, event_pool: bool = True, repeats: int = 2) -> tuple:
+        return min(
+            (
+                _run_scheduler_churn(scheduler, chains, events, event_pool)
+                for _ in range(repeats)
+            ),
+            key=lambda pair: pair[1],
+        )
+
+    heapq_events, heapq_s = best("heapq", event_pool=False)
+    calendar_events, calendar_s = best("calendar")
+    nopool_events, nopool_s = best("calendar", event_pool=False)
+    wheel_events, wheel_s = best("wheel")
+    assert (
+        heapq_events == calendar_events == nopool_events == wheel_events
+    ), "schedulers processed different work"
     heapq_eps = heapq_events / heapq_s if heapq_s else 0.0
     calendar_eps = calendar_events / calendar_s if calendar_s else 0.0
+    nopool_eps = nopool_events / nopool_s if nopool_s else 0.0
+    wheel_eps = wheel_events / wheel_s if wheel_s else 0.0
     return make_scenario(
         name="kernel_microbench",
         runtime_s=calendar_s,
@@ -104,7 +117,11 @@ def kernel_microbench(scale: float = 1.0) -> Dict[str, Any]:
             "heapq_runtime_s": heapq_s,
             "heapq_events_per_sec": heapq_eps,
             "calendar_events_per_sec": calendar_eps,
+            "calendar_nopool_events_per_sec": nopool_eps,
+            "wheel_events_per_sec": wheel_eps,
             "speedup": calendar_eps / heapq_eps if heapq_eps else 0.0,
+            "pool_speedup": calendar_eps / nopool_eps if nopool_eps else 0.0,
+            "wheel_vs_calendar": wheel_eps / calendar_eps if calendar_eps else 0.0,
         },
     )
 

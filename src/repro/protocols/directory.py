@@ -85,6 +85,9 @@ class DirectoryCacheController(CacheControllerBase):
         self.request_network = request_network
         self.forward_network = forward_network
         self.response_network = response_network
+        #: Pre-bound send: delayed responses schedule this handler with the
+        #: message as the event payload (no per-response closure).
+        self._send_on_response = response_network.send
         self.checker = checker
         #: dirty blocks whose PUTM/writeback has not been acknowledged yet
         self.writeback_buffer: Dict[int, int] = {}
@@ -189,8 +192,7 @@ class DirectoryCacheController(CacheControllerBase):
             self.node, requester, block,
             version=version, from_cache=True, acks_expected=0)
         self.sim.schedule(max(0, send_time - self.now),
-                      lambda: self.response_network.send(data),
-                      label="fwd-data")
+                          self._send_on_response, label="fwd-data", arg=data)
         self._ctr_forwarded_responses.increment()
 
         home = self._home_of(block)
@@ -212,8 +214,8 @@ class DirectoryCacheController(CacheControllerBase):
                                               self.node, home, block,
                                               version=version, sharing=True)
                 self.sim.schedule(max(0, send_time - self.now),
-                              lambda: self.response_network.send(writeback),
-                              label="sharing-wb")
+                                  self._send_on_response,
+                                  label="sharing-wb", arg=writeback)
             # When serving from the writeback buffer the eviction's
             # WRITEBACK_DATA is already on its way to the home.
 
@@ -293,11 +295,11 @@ class DirectoryCacheController(CacheControllerBase):
         kind: MessageKind = entry.metadata["kind"]
         # Bind the block now: the message shell may be recycled before the
         # retry fires.
-        self.sim.schedule(self.timing.nack_retry_ns,
-                      lambda block=message.block: self._retry(block, kind),
-                      label="nack-retry")
+        self.sim.schedule(self.timing.nack_retry_ns, self._retry,
+                          label="nack-retry", arg=(message.block, kind))
 
-    def _retry(self, block: int, kind: MessageKind) -> None:
+    def _retry(self, packed) -> None:
+        block, kind = packed
         if block not in self.mshrs:
             return
         self._ctr_retries_sent.increment()
@@ -393,6 +395,10 @@ class DirectoryMemoryController(Component):
         self.request_network = request_network
         self.forward_network = forward_network
         self.response_network = response_network
+        # Pre-bound sends: every delayed directory action schedules one of
+        # these handlers with the message as the event payload.
+        self._send_on_response = response_network.send
+        self._send_on_forward = forward_network.send
         self.directory = DirectoryBank(node)
         #: responses waiting for an in-flight writeback's data
         self._deferred_data: Dict[int, List[Message]] = {}
@@ -469,8 +475,8 @@ class DirectoryMemoryController(Component):
                                            sharer, message.block,
                                            requester=requester)
             self.sim.schedule(self.timing.memory_access_ns,
-                          lambda m=invalidate: self.forward_network.send(m),
-                          label="invalidate")
+                              self._send_on_forward, label="invalidate",
+                              arg=invalidate)
             self._ctr_invalidations_sent.increment()
         self._send_data(message, entry, exclusive=True,
                         acks_expected=targets.bit_count())
@@ -492,8 +498,7 @@ class DirectoryMemoryController(Component):
         ack = self.pool.acquire(MessageKind.WRITEBACK_ACK, self.node,
                                 requester, message.block)
         self.sim.schedule(self.timing.memory_access_ns,
-                      lambda: self.response_network.send(ack),
-                      label="wb-ack")
+                          self._send_on_response, label="wb-ack", arg=ack)
 
     # --------------------------------------------------------------- helpers
     def _busy(self, message: Message, entry: DirectoryEntry) -> None:
@@ -501,8 +506,7 @@ class DirectoryMemoryController(Component):
         nack = self.pool.acquire(MessageKind.NACK, self.node, message.src,
                                  message.block, **{"from": "home"})
         self.sim.schedule(self.timing.memory_access_ns,
-                      lambda: self.response_network.send(nack),
-                      label="nack")
+                          self._send_on_response, label="nack", arg=nack)
         self._ctr_nacks_sent.increment()
 
     def _forward(self, message: Message, owner: int, exclusive: bool) -> None:
@@ -510,8 +514,7 @@ class DirectoryMemoryController(Component):
         forward = self.pool.acquire(kind, self.node, owner, message.block,
                                     requester=message.src)
         self.sim.schedule(self.timing.memory_access_ns,
-                      lambda: self.forward_network.send(forward),
-                      label="forward")
+                          self._send_on_forward, label="forward", arg=forward)
         self._ctr_forwards_sent.increment()
 
     def _send_data(self, message: Message, entry: DirectoryEntry,
@@ -526,8 +529,7 @@ class DirectoryMemoryController(Component):
             self._ctr_deferred_memory_responses.increment()
             return
         self.sim.schedule(self.timing.memory_access_ns,
-                      lambda: self.response_network.send(data),
-                      label="mem-data")
+                          self._send_on_response, label="mem-data", arg=data)
         self._ctr_memory_responses.increment()
 
     # ------------------------------------------------------- writeback plane
@@ -557,8 +559,8 @@ class DirectoryMemoryController(Component):
         for data in pending:
             data.payload["version"] = entry.version
             self.sim.schedule(self.timing.memory_access_ns,
-                          lambda m=data: self.response_network.send(m),
-                          label="deferred-data")
+                              self._send_on_response, label="deferred-data",
+                              arg=data)
         self.pool.release(message)
 
     def on_transfer(self, message: Message) -> None:

@@ -93,6 +93,9 @@ class TSSnoopNode(CacheControllerBase):
                          name=f"ts-snoop.n{node}", pool=pool)
         self.address_network = address_network
         self.data_network = data_network
+        #: Pre-bound send: delayed data responses schedule this handler with
+        #: the message as the event payload (no per-response closure).
+        self._send_on_data = data_network.send
         self.prefetch = prefetch
         self.checker = checker
         self.home_blocks: Dict[int, _HomeBlockState] = {}
@@ -237,8 +240,8 @@ class TSSnoopNode(CacheControllerBase):
         data = self.pool.acquire(kind, self.node, requester, block,
                                  version=version, from_cache=False)
         delay = max(0, send_time - self.now)
-        self.sim.schedule(delay, lambda: self.data_network.send(data),
-                      label="mem-data")
+        self.sim.schedule(delay, self._send_on_data, label="mem-data",
+                          arg=data)
         self._ctr_memory_data_responses.increment()
 
     def _on_writeback_data(self, message: Message) -> None:
@@ -317,8 +320,8 @@ class TSSnoopNode(CacheControllerBase):
         data = self.pool.acquire(MessageKind.DATA, self.node, requester,
                                  block, version=version, from_cache=True)
         delay = max(0, send_time - self.now)
-        self.sim.schedule(delay, lambda: self.data_network.send(data),
-                      label="cache-data")
+        self.sim.schedule(delay, self._send_on_data, label="cache-data",
+                          arg=data)
         self._ctr_cache_data_responses.increment()
 
     def _send_writeback_data(self, block: int, version: int,
@@ -327,8 +330,8 @@ class TSSnoopNode(CacheControllerBase):
         writeback = self.pool.acquire(MessageKind.WRITEBACK_DATA, self.node,
                                       home, block, version=version)
         delay = max(0, send_time - self.now)
-        self.sim.schedule(delay, lambda: self.data_network.send(writeback),
-                      label="wb-data")
+        self.sim.schedule(delay, self._send_on_data, label="wb-data",
+                          arg=writeback)
         self._ctr_writebacks_sent.increment()
 
     # --------------------------------------------------- own request ordered

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.sim.kernel import Event, Simulator
 from repro.sim.stats import StatGroup
@@ -28,20 +28,41 @@ class Component:
     def now(self) -> int:
         return self.sim.now
 
-    def schedule(self, delay: int, callback: Callable[[], None], *,
-                 priority: int = 0, label: str = "") -> Event:
-        """Schedule ``callback`` after ``delay`` ns, tagged with our name."""
-        return self.sim.schedule(delay, callback, priority=priority,
-                                 label=label or self.name)
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *,
+        priority: int = 0,
+        label: str = "",
+        arg: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` ns, tagged with our name.
 
-    def schedule_at(self, time: int, callback: Callable[[], None], *,
-                    priority: int = 0, label: str = "") -> Event:
-        return self.sim.schedule_at(time, callback, priority=priority,
-                                    label=label or self.name)
+        ``arg`` is the optional dispatch payload (``callback(arg)``); see
+        :meth:`repro.sim.kernel.Simulator.schedule`.
+        """
+        return self.sim.schedule(
+            delay, callback, priority=priority, label=label or self.name, arg=arg
+        )
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        *,
+        priority: int = 0,
+        label: str = "",
+        arg: Any = None,
+    ) -> Event:
+        return self.sim.schedule_at(
+            time, callback, priority=priority, label=label or self.name, arg=arg
+        )
 
     # --------------------------------------------------------------- tracing
-    def set_trace_hook(self,
-                       hook: Optional[Callable[[int, str, str], None]]) -> None:
+    def set_trace_hook(
+        self, hook: Optional[Callable[[int, str, str], None]]
+    ) -> None:
         """Install a ``hook(time, component_name, message)`` debug callback."""
         self._trace_hook = hook
 

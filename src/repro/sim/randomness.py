@@ -99,8 +99,9 @@ class PerturbationModel:
         return self._rng.uniform_int(0, self.max_delay_ns)
 
     @classmethod
-    def replicas(cls, base_seed: int, count: int,
-                 max_delay_ns: int = 5) -> Iterable["PerturbationModel"]:
+    def replicas(
+        cls, base_seed: int, count: int, max_delay_ns: int = 5
+    ) -> Iterable["PerturbationModel"]:
         """Yield ``count`` perturbation models for redundant simulations.
 
         Replica 0 is unperturbed; replicas 1..count-1 use independent seeds.

@@ -52,8 +52,7 @@ class ByteCounter:
         self.messages[category] = self.messages.get(category, 0) + count
         self.bytes[category] = self.bytes.get(category, 0) + num_bytes * count
 
-    def record_total(self, category: str, total_bytes: int,
-                     count: int) -> None:
+    def record_total(self, category: str, total_bytes: int, count: int) -> None:
         """Account ``count`` messages summing to ``total_bytes`` in one call.
 
         The batched form used by same-tick delivery waves: unlike
@@ -86,11 +85,19 @@ class ByteCounter:
 class Histogram:
     """A latency histogram with fixed-width bins plus running moments."""
 
-    __slots__ = ("name", "bin_width", "max_bins", "bins", "overflow",
-                 "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "name",
+        "bin_width",
+        "max_bins",
+        "bins",
+        "overflow",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+    )
 
-    def __init__(self, name: str, bin_width: int = 10,
-                 max_bins: int = 200) -> None:
+    def __init__(self, name: str, bin_width: int = 10, max_bins: int = 200) -> None:
         if bin_width <= 0:
             raise ValueError("bin_width must be positive")
         self.name = name
@@ -161,8 +168,9 @@ class StatGroup:
 
     def histogram(self, name: str, bin_width: int = 10) -> Histogram:
         if name not in self.histograms:
-            self.histograms[name] = Histogram(f"{self.owner}.{name}",
-                                              bin_width=bin_width)
+            self.histograms[name] = Histogram(
+                f"{self.owner}.{name}", bin_width=bin_width
+            )
         return self.histograms[name]
 
     def byte_counter(self, name: str) -> ByteCounter:
@@ -187,8 +195,9 @@ class StatGroup:
         return data
 
 
-def merge_byte_counters(counters: Iterable[ByteCounter],
-                        name: str = "merged") -> ByteCounter:
+def merge_byte_counters(
+    counters: Iterable[ByteCounter], name: str = "merged"
+) -> ByteCounter:
     """Sum several :class:`ByteCounter` objects into a new one."""
     merged = ByteCounter(name)
     for counter in counters:

@@ -86,7 +86,8 @@ class SystemBuilder:
             raise ValueError(
                 f"expected {config.num_nodes} streams, got {len(streams)}")
 
-        sim = Simulator(scheduler=config.scheduler)
+        sim = Simulator(scheduler=config.scheduler,
+                        event_pool=config.event_pool)
         topology = make_topology(config.network, config.num_nodes)
         address_space = AddressSpace(total_bytes=config.memory_bytes,
                                      block_size=config.block_size_bytes,

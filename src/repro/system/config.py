@@ -53,9 +53,12 @@ class SystemConfig:
 
     # Event-queue implementation driving the simulation kernel (see
     # ``repro.sim.kernel.SCHEDULERS``): "calendar" is the fast bucket
-    # scheduler, "heapq" the reference heap.  Results are bit-identical
-    # regardless of the choice (verified by test).
+    # scheduler, "wheel" a timing-wheel alternative, "heapq" the reference
+    # heap.  ``event_pool`` recycles kernel event shells through a free
+    # list (fresh allocation per event when False).  Results are
+    # bit-identical regardless of either choice (verified by test).
     scheduler: str = DEFAULT_SCHEDULER
+    event_pool: bool = True
 
     # Per-access data path (see ``repro.memory.cache.CACHE_ARRAYS``):
     # "packed" stores cache state in parallel int columns, "dict" is the

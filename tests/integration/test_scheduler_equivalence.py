@@ -1,7 +1,8 @@
 """Whole-run bit-identity across event schedulers (the tentpole guarantee).
 
-The calendar-queue scheduler must not change a single bit of any protocol
-result relative to the reference heapq scheduler -- on the analytical
+Neither the calendar-queue scheduler, the timing-wheel scheduler nor event
+pooling may change a single bit of any protocol result relative to the
+reference heapq scheduler with fresh allocation -- on the analytical
 address network, on the detailed token-passing network, and under
 perturbation replicas.
 """
@@ -9,10 +10,12 @@ perturbation replicas.
 import pytest
 
 from repro import api
+from repro.sim.kernel import DEFAULT_SCHEDULER
 from repro.system.config import SystemConfig
 
 
 PROTOCOLS = ("ts-snoop", "dirclassic", "diropt")
+FAST_SCHEDULERS = ("calendar", "wheel")
 
 
 def _run_all(scheduler, **overrides):
@@ -24,33 +27,61 @@ def _run_all(scheduler, **overrides):
 class TestSchedulerBitIdentity:
     def test_analytical_network_results_identical(self):
         heapq_results = _run_all("heapq")
-        calendar_results = _run_all("calendar")
-        for protocol in PROTOCOLS:
-            assert heapq_results[protocol] == calendar_results[protocol]
+        for scheduler in FAST_SCHEDULERS:
+            assert _run_all(scheduler) == heapq_results
 
     def test_detailed_token_network_results_identical(self):
         heapq_results = _run_all("heapq", detailed_address_network=True)
-        calendar_results = _run_all("calendar", detailed_address_network=True)
-        for protocol in PROTOCOLS:
-            assert heapq_results[protocol] == calendar_results[protocol]
+        for scheduler in FAST_SCHEDULERS:
+            results = _run_all(scheduler, detailed_address_network=True)
+            assert results == heapq_results
 
     def test_perturbed_replicas_identical(self):
         heapq_results = _run_all("heapq", perturbation_replicas=2)
-        calendar_results = _run_all("calendar", perturbation_replicas=2)
-        for protocol in PROTOCOLS:
-            assert heapq_results[protocol] == calendar_results[protocol]
+        for scheduler in FAST_SCHEDULERS:
+            results = _run_all(scheduler, perturbation_replicas=2)
+            assert results == heapq_results
 
     def test_detailed_network_with_slack_identical(self):
         kwargs = dict(workload="oltp", protocol="ts-snoop", scale=0.05,
                       detailed_address_network=True, slack=2)
         first = api.run_experiment(scheduler="heapq", **kwargs)
-        second = api.run_experiment(scheduler="calendar", **kwargs)
-        assert first == second
+        for scheduler in FAST_SCHEDULERS:
+            assert api.run_experiment(scheduler=scheduler, **kwargs) == first
+
+
+class TestEventPoolBitIdentity:
+    """SystemConfig.event_pool=False (fresh shells) changes nothing."""
+
+    def test_pooling_toggle_identical(self):
+        pooled = _run_all(DEFAULT_SCHEDULER, event_pool=True)
+        fresh = _run_all(DEFAULT_SCHEDULER, event_pool=False)
+        assert pooled == fresh
+
+    def test_pooling_toggle_identical_on_detailed_network(self):
+        pooled = _run_all(DEFAULT_SCHEDULER, event_pool=True,
+                          detailed_address_network=True)
+        fresh = _run_all(DEFAULT_SCHEDULER, event_pool=False,
+                         detailed_address_network=True)
+        assert pooled == fresh
+
+    def test_reference_kernel_against_fast_configs(self):
+        """The fully-reference kernel (heapq + fresh shells) matches both
+        fast schedulers with pooled shells bit for bit, under perturbation
+        replicas."""
+        reference = _run_all("heapq", event_pool=False,
+                             perturbation_replicas=2)
+        for scheduler in FAST_SCHEDULERS:
+            fast = _run_all(scheduler, event_pool=True,
+                            perturbation_replicas=2)
+            assert fast == reference
 
 
 class TestSchedulerConfig:
-    def test_default_is_calendar(self):
+    def test_default_is_calendar_with_pooling(self):
+        assert DEFAULT_SCHEDULER == "calendar"
         assert SystemConfig().scheduler == "calendar"
+        assert SystemConfig().event_pool is True
 
     def test_unknown_scheduler_rejected(self):
         with pytest.raises(ValueError):

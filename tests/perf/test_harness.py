@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.perf.compare import compare_reports, load_report, main as compare_main
+from repro.perf.compare import (
+    compare_reports,
+    load_report,
+    main as compare_main,
+    render_markdown,
+)
 from repro.perf.harness import (
     KERNEL_FILE,
     SCALE_FILE,
@@ -109,6 +114,33 @@ class TestCompare:
     def test_load_report_rejects_missing_file(self, tmp_path):
         with pytest.raises(SchemaError):
             load_report(tmp_path / "nope.json")
+
+    def test_events_per_sec_rides_along(self):
+        rows = compare_reports(_report([1.0]), _report([0.5]))
+        assert rows[0]["baseline_eps"] == pytest.approx(1000.0)
+        assert rows[0]["new_eps"] == pytest.approx(2000.0)
+
+    def test_render_markdown_table(self):
+        rows = compare_reports(_report([1.0]), _report([0.5]))
+        table = render_markdown(rows, threshold=0.25, title="trend")
+        lines = table.splitlines()
+        assert lines[0] == "**trend**"
+        assert lines[2].startswith("| scenario |")
+        assert "🟢 faster" in table
+        assert "2,000" in table          # normalised events/sec column
+
+    def test_markdown_cli_and_exit_zero(self, tmp_path, capsys):
+        ok = tmp_path / "ok.json"
+        slow = tmp_path / "slow.json"
+        ok.write_text(json.dumps(_report([1.0])))
+        slow.write_text(json.dumps(_report([2.0])))
+        assert compare_main([str(ok), str(slow), "--no-calibration",
+                             "--markdown", "--exit-zero"]) == 0
+        out = capsys.readouterr().out
+        assert "| scenario |" in out and "regressed" in out
+        # markdown without --exit-zero still gates
+        assert compare_main([str(ok), str(slow), "--no-calibration",
+                             "--markdown"]) == 1
 
 
 class TestHarness:

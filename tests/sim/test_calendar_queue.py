@@ -1,8 +1,9 @@
-"""Property tests: the calendar queue matches the heapq reference exactly.
+"""Property tests: every fast scheduler matches the heapq reference exactly.
 
-The calendar (bucket) scheduler must be observationally identical to the
-reference heap scheduler for every interleaving of push / pop / cancel and
-every tie pattern, and ``Simulator(until=)`` clock landing must not depend
+The calendar (bucket) scheduler and the timing wheel must be
+observationally identical to the reference heap scheduler for every
+interleaving of push / pop / cancel and every tie pattern, with event
+pooling on or off, and ``Simulator(until=)`` clock landing must not depend
 on the scheduler.  Randomised schedules are driven by hypothesis.
 """
 
@@ -12,9 +13,11 @@ from repro.sim.kernel import (
     DEFAULT_SCHEDULER,
     SCHEDULERS,
     CalendarQueue,
+    EventPool,
     EventQueue,
     SimulationError,
     Simulator,
+    TimingWheel,
     make_event_queue,
 )
 
@@ -89,20 +92,23 @@ class TestCalendarQueueBasics:
         assert queue.pop().time == 5
 
     def test_registry(self):
-        assert set(SCHEDULERS) == {"heapq", "calendar"}
+        assert set(SCHEDULERS) == {"heapq", "calendar", "wheel"}
         assert DEFAULT_SCHEDULER in SCHEDULERS
         assert isinstance(make_event_queue("heapq"), EventQueue)
         assert isinstance(make_event_queue("calendar"), CalendarQueue)
+        assert isinstance(make_event_queue("wheel"), TimingWheel)
         with pytest.raises(SimulationError):
             make_event_queue("splay")
 
 
 # ---------------------------------------------------------- property testing
-# One operation per element: push at a (small, tie-heavy) time/priority,
+# One operation per element: push at a (small, tie-heavy) time/priority --
+# occasionally far in the future, past the timing wheel's ring window --
 # pop the front, cancel a previously pushed event, or peek.
+_push_times = st.one_of(st.integers(0, 12), st.integers(4000, 9000))
 _ops = st.lists(
     st.one_of(
-        st.tuples(st.just("push"), st.integers(0, 12), st.integers(0, 2)),
+        st.tuples(st.just("push"), _push_times, st.integers(0, 2)),
         st.tuples(st.just("pop"), st.just(0), st.just(0)),
         st.tuples(st.just("cancel"), st.integers(0, 40), st.just(0)),
         st.tuples(st.just("peek"), st.just(0), st.just(0)),
@@ -112,27 +118,41 @@ _ops = st.lists(
 
 
 def _apply(queue, ops):
-    """Run an op script against a queue; return an observation trace."""
+    """Run an op script against a queue; return an observation trace.
+
+    Handles are held arbitrarily long and cancelled blindly, so the script
+    follows the pool contract: the generation observed at push time rides
+    along with the handle and cancels pass it back (on unpooled queues the
+    generation never changes, making this the old blind cancel).  Popped
+    shells are handed back to the queue's pool, as the simulator would.
+    """
+    pool = getattr(queue, "_pool", None)
     trace = []
     pushed = []
     for op, a, b in ops:
         if op == "push":
-            pushed.append(queue.push(a, lambda: None, priority=b))
+            event = queue.push(a, lambda: None, priority=b)
+            pushed.append((event, event.generation))
         elif op == "pop":
             if queue:
                 event = queue.pop()
                 trace.append(("pop", event.time, event.priority, event.seq))
+                if pool is not None:
+                    pool.release(event)
             else:
                 trace.append(("empty",))
         elif op == "cancel":
             if pushed:
-                pushed[a % len(pushed)].cancel()
+                event, generation = pushed[a % len(pushed)]
+                event.cancel(generation)
         elif op == "peek":
             trace.append(("peek", queue.peek_time()))
         trace.append(("len", len(queue)))
     while queue:
         event = queue.pop()
         trace.append(("drain", event.time, event.priority, event.seq))
+        if pool is not None:
+            pool.release(event)
     return trace
 
 
@@ -140,6 +160,27 @@ def _apply(queue, ops):
 @given(ops=_ops)
 def test_calendar_matches_heapq_reference(ops):
     assert _apply(CalendarQueue(), ops) == _apply(EventQueue(), ops)
+
+
+@settings(max_examples=300, deadline=None)
+@given(ops=_ops)
+def test_wheel_matches_heapq_reference(ops):
+    assert _apply(TimingWheel(), ops) == _apply(EventQueue(), ops)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_ops)
+def test_wheel_with_tiny_window_matches_heapq_reference(ops):
+    """A 16-tick ring forces constant window advances and far-map traffic."""
+    assert _apply(TimingWheel(window=16), ops) == _apply(EventQueue(), ops)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_ops)
+def test_pooled_queues_match_unpooled_reference(ops):
+    reference = _apply(EventQueue(), ops)
+    for scheduler in SCHEDULERS:
+        assert _apply(make_event_queue(scheduler, EventPool()), ops) == reference
 
 
 @settings(max_examples=150, deadline=None)
@@ -151,25 +192,30 @@ def test_calendar_matches_heapq_reference(ops):
 def test_simulator_until_landing_matches_across_schedulers(
     delays, until, cancel_every
 ):
-    """run(until=) clock landing and event order are scheduler-independent."""
+    """run(until=) clock landing and event order do not depend on the
+    scheduler or on event pooling."""
     observations = {}
     for scheduler in SCHEDULERS:
-        sim = Simulator(scheduler=scheduler)
-        fired = []
-        events = []
-        for index, (delay, priority) in enumerate(delays):
-            events.append(
-                sim.schedule(
-                    delay,
-                    lambda i=index: fired.append((i, sim.now)),
-                    priority=priority,
+        for pooled in (False, True):
+            sim = Simulator(scheduler=scheduler, event_pool=pooled)
+            fired = []
+            events = []
+            for index, (delay, priority) in enumerate(delays):
+                events.append(
+                    sim.schedule(
+                        delay,
+                        lambda i=index: fired.append((i, sim.now)),
+                        priority=priority,
+                    )
                 )
-            )
-        for index in range(0, len(events), cancel_every):
-            events[index].cancel()
-        processed = sim.run(until=until)
-        observations[scheduler] = (fired, processed, sim.now, sim.pending_events)
-    assert observations["calendar"] == observations["heapq"]
+            for index in range(0, len(events), cancel_every):
+                events[index].cancel()
+            processed = sim.run(until=until)
+            observations[(scheduler, pooled)] = (
+                fired, processed, sim.now, sim.pending_events)
+    reference = observations[("heapq", False)]
+    for key, observed in observations.items():
+        assert observed == reference, key
 
 
 @settings(max_examples=100, deadline=None)
@@ -187,18 +233,19 @@ def test_simulator_max_events_matches_across_schedulers(delays, budget):
         processed = sim.run(until=15, max_events=budget)
         observations[scheduler] = (fired, processed, sim.now, sim.pending_events)
     assert observations["calendar"] == observations["heapq"]
+    assert observations["wheel"] == observations["heapq"]
 
 
 @settings(max_examples=100, deadline=None)
 @given(ops=_ops)
 def test_calendar_live_count_never_negative(ops):
-    queue = CalendarQueue()
-    pushed = []
-    for op, a, b in ops:
-        if op == "push":
-            pushed.append(queue.push(a, lambda: None, priority=b))
-        elif op == "pop" and queue:
-            queue.pop()
-        elif op == "cancel" and pushed:
-            pushed[a % len(pushed)].cancel()
-        assert len(queue) >= 0
+    for queue in (CalendarQueue(), TimingWheel()):
+        pushed = []
+        for op, a, b in ops:
+            if op == "push":
+                pushed.append(queue.push(a, lambda: None, priority=b))
+            elif op == "pop" and queue:
+                queue.pop()
+            elif op == "cancel" and pushed:
+                pushed[a % len(pushed)].cancel()
+            assert len(queue) >= 0

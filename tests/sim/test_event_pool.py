@@ -1,0 +1,160 @@
+"""Event-pool lifecycle edge cases.
+
+The pool recycles every shell at its single consumption point (dispatch, or
+a cancelled entry surfacing inside a queue) and bumps ``generation`` on each
+recycle, so stale handles held by protocols or networks can never cancel or
+resurrect a reused shell.
+"""
+
+import pytest
+
+from repro.sim.kernel import SCHEDULERS, Simulator
+
+
+@pytest.fixture(params=sorted(SCHEDULERS))
+def pooled_sim(request):
+    return Simulator(scheduler=request.param, event_pool=True)
+
+
+class TestPoolRecycling:
+    def test_dispatched_shells_are_reused(self, pooled_sim):
+        sim = pooled_sim
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert len(sim.event_pool) == 1
+        again = sim.schedule(1, lambda: None)
+        assert len(sim.event_pool) == 0  # the freed shell was taken back out
+        assert again.generation == 1
+
+    def test_pool_disabled_allocates_fresh_shells(self):
+        sim = Simulator(event_pool=False)
+        assert sim.event_pool is None
+        first = sim.schedule(1, lambda: None)
+        sim.run()
+        second = sim.schedule(1, lambda: None)
+        assert second is not first
+        assert second.generation == 0
+
+    def test_cancelled_shell_recycled_when_it_surfaces(self, pooled_sim):
+        sim = pooled_sim
+        event = sim.schedule(5, lambda: None)
+        sim.schedule(6, lambda: None)
+        event.cancel()
+        sim.run()
+        # Both shells came back: the cancelled one at surfacing, the live
+        # one after dispatch.
+        assert len(sim.event_pool) == 2
+
+    def test_arg_payload_dispatch(self, pooled_sim):
+        sim = pooled_sim
+        seen = []
+        sim.schedule(3, seen.append, arg="payload")
+        sim.schedule(4, lambda: seen.append("plain"))
+        sim.run()
+        assert seen == ["payload", "plain"]
+
+
+class TestCancelRescheduleSameTick:
+    def test_cancel_then_reschedule_at_same_tick(self, pooled_sim):
+        """A cancelled event must not fire even when a replacement is
+        scheduled for the identical tick (and priority)."""
+        sim = pooled_sim
+        fired = []
+        victim = sim.schedule(7, lambda: fired.append("victim"))
+        victim.cancel()
+        sim.schedule(7, lambda: fired.append("replacement"))
+        sim.run()
+        assert fired == ["replacement"]
+        assert sim.now == 7
+
+    def test_cancel_reschedule_same_tick_mid_run(self, pooled_sim):
+        """Cancel-and-replace issued from an earlier event at the same tick
+        as the victim."""
+        sim = pooled_sim
+        fired = []
+        victim = sim.schedule(10, lambda: fired.append("victim"))
+
+        def replace() -> None:
+            victim.cancel()
+            sim.schedule(0, lambda: fired.append("replacement"))
+
+        sim.schedule(10, replace, priority=-1)
+        sim.run()
+        assert fired == ["replacement"]
+
+
+class TestStaleHandles:
+    def test_cancel_of_recycled_handle_is_noop(self, pooled_sim):
+        """Generation mismatch: a handle whose shell moved on must not
+        cancel the shell's new occupant."""
+        sim = pooled_sim
+        stale = sim.schedule(1, lambda: None)
+        stale_generation = stale.generation
+        sim.run()
+        fired = []
+        fresh = sim.schedule(2, lambda: fired.append("fresh"))
+        assert fresh is stale  # the shell was recycled
+        stale.cancel(stale_generation)
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["fresh"]
+
+    def test_cancel_with_current_generation_still_works(self, pooled_sim):
+        sim = pooled_sim
+        sim.schedule(1, lambda: None)
+        sim.run()
+        event = sim.schedule(2, lambda: None)
+        event.cancel(event.generation)
+        assert sim.pending_events == 0
+
+    def test_cancel_without_generation_keeps_old_semantics(self, pooled_sim):
+        sim = pooled_sim
+        event = sim.schedule(3, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 0
+
+
+class TestRunUntilBoundaries:
+    def test_pool_across_until_boundaries(self, pooled_sim):
+        """Shells recycle segment by segment; pending events survive the
+        boundary untouched and the firing order matches an unpooled run."""
+        sim = pooled_sim
+        reference = Simulator(event_pool=False)
+        logs = {}
+        for name, target in (("pooled", sim), ("fresh", reference)):
+            fired = []
+            for delay in (5, 10, 15, 20):
+                target.schedule(
+                    delay, lambda d=delay, f=fired, t=target: f.append((d, t.now))
+                )
+            target.run(until=10)
+            assert target.now == 10
+            target.schedule(2, lambda f=fired, t=target: f.append(("late", t.now)))
+            target.run()
+            logs[name] = fired
+        assert logs["pooled"] == logs["fresh"]
+        # Five dispatches, but only four distinct shells ever existed: the
+        # late event reused a shell freed by the first segment.
+        assert len(sim.event_pool) == 4
+
+    def test_pending_shell_not_recycled_at_boundary(self, pooled_sim):
+        sim = pooled_sim
+        sim.schedule(1, lambda: None)
+        pending = sim.schedule(50, lambda: None)
+        generation = pending.generation
+        sim.run(until=10)
+        assert pending.generation == generation
+        assert sim.pending_events == 1
+        sim.run()
+        assert pending.generation == generation + 1  # now consumed
+
+    def test_generation_counts_monotonic_across_segments(self, pooled_sim):
+        sim = pooled_sim
+        generations = []
+        for segment in range(4):
+            event = sim.schedule(1, lambda: None)
+            generations.append(event.generation)
+            sim.run(until=sim.now + 5)
+        assert generations == [0, 1, 2, 3]  # one shell, recycled per segment
+        assert len(sim.event_pool) == 1
