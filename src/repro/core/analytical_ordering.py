@@ -52,51 +52,72 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
     #: interval so both agree on the physical instant of processability.
     ORDERING_MARGIN = 1
 
-    def __init__(self, sim: Simulator, topology: Topology,
-                 timing: Optional[NetworkTiming] = None,
-                 accountant: Optional[TrafficAccountant] = None,
-                 default_slack: int = 0,
-                 perturbation: Optional[PerturbationModel] = None,
-                 message_pool: Optional[MessagePool] = None,
-                 name: str = "ts-network-analytic") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        timing: Optional[NetworkTiming] = None,
+        accountant: Optional[TrafficAccountant] = None,
+        default_slack: int = 0,
+        perturbation: Optional[PerturbationModel] = None,
+        message_pool: Optional[MessagePool] = None,
+        home_resolver=None,
+        name: str = "ts-network-analytic",
+    ) -> None:
         super().__init__(sim, name, default_slack)
         self.topology = topology
         self.timing = timing or NetworkTiming()
         self.accountant = accountant
         #: Single source of truth for jitter; enablement is fixed at
         #: construction (see DataNetwork).
-        self._active_perturbation = (perturbation if perturbation is not None
-                                     and perturbation.enabled else None)
+        self._active_perturbation = (
+            perturbation
+            if perturbation is not None and perturbation.enabled
+            else None
+        )
         #: When set, broadcast shells are recycled here after the last
         #: ordered handler has run (TS-Snoop handlers copy what they keep).
         self.message_pool = message_pool
+        #: block -> home node, resolved once per broadcast and carried in
+        #: the deliveries so endpoints skip a per-endpoint resolver call.
+        self._home_resolver = home_resolver
         self._ordered_handlers: Dict[int, OrderedHandler] = {}
         self._early_handlers: Dict[int, EarlyHandler] = {}
-        #: (endpoint, handler) pairs in endpoint order, rebuilt lazily after
-        #: attach(); avoids a handler dict lookup per endpoint per broadcast
-        #: on the ordered fan-out path.
-        self._delivery_rows: Optional[list] = None
+        #: source -> (endpoint, handler, arrival offset) triples in endpoint
+        #: order, rebuilt lazily after attach(); avoids a handler dict
+        #: lookup and an arrival-hops multiply per endpoint per broadcast on
+        #: the ordered fan-out path.
+        self._rows_by_source: Dict[int, list] = {}
         #: broadcast trees are a pure function of the source; memoised
         #: exactly as the detailed network does.
         self._trees: Dict[int, object] = {}
         self._delivery_scratch = OrderedDelivery(
-            message=None, endpoint=0, arrival_time=0, ordered_time=0,
-            logical_time=0)
+            message=None, endpoint=0, arrival_time=0, ordered_time=0, logical_time=0
+        )
         self._ordering_delay_cache: Dict[tuple, int] = {}
         self._logical_counter = 0
+        #: Pre-bound batched push: both the early deliveries and the ordered
+        #: fan-out are fire-and-forget, so every broadcast folds into the
+        #: per-tick dispatch batches instead of paying one kernel event per
+        #: endpoint notification.
+        self._sched_batched = sim.schedule_batched
         # Pre-bound counter handles for the per-broadcast fast path.
         self._ctr_broadcasts = self.stats.counter("broadcasts")
         self._ctr_deliveries = self.stats.counter("deliveries")
 
     # -------------------------------------------------------------- plumbing
-    def attach(self, endpoint: int, ordered_handler: OrderedHandler,
-               early_handler: Optional[EarlyHandler] = None) -> None:
+    def attach(
+        self,
+        endpoint: int,
+        ordered_handler: OrderedHandler,
+        early_handler: Optional[EarlyHandler] = None,
+    ) -> None:
         if not 0 <= endpoint < self.topology.num_endpoints:
             raise ValueError(f"endpoint {endpoint} out of range")
         self._ordered_handlers[endpoint] = ordered_handler
         if early_handler is not None:
             self._early_handlers[endpoint] = early_handler
-        self._delivery_rows = None
+        self._rows_by_source.clear()
 
     # ------------------------------------------------------------- broadcast
     def broadcast(self, message: Message, slack: Optional[int] = None) -> None:
@@ -123,7 +144,8 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         base_delay = self._ordering_delay_cache.get(key)
         if base_delay is None:
             base_delay = self.timing.ordering_latency(
-                tree.depth, slack + self.ORDERING_MARGIN)
+                tree.depth, slack + self.ORDERING_MARGIN
+            )
             self._ordering_delay_cache[key] = base_delay
         ordered_delay = base_delay + jitter
         ordered_time = self.now + ordered_delay
@@ -137,11 +159,13 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         # without a separate event.  The scheduled instant *is* the arrival
         # time, so the dispatcher passes only (handler, message) and
         # _deliver_early reads the clock.
+        sched_batched = self._sched_batched
         for endpoint, early in self._early_handlers.items():
-            arrival_delay = (self.timing.overhead_ns
-                             + tree.arrival_hops[endpoint] * self.timing.switch_ns)
-            self.schedule(arrival_delay, self._deliver_early,
-                          label="early", arg=(early, message))
+            arrival_delay = (
+                self.timing.overhead_ns
+                + tree.arrival_hops[endpoint] * self.timing.switch_ns
+            )
+            sched_batched(arrival_delay, self._deliver_early, (early, message))
 
         # All endpoints become able to process the transaction at the same
         # physical instant; one event fans out to every attached handler in
@@ -149,28 +173,45 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         # tie-broken by source id (the event priority), exactly as the
         # detailed token network and the paper's Section 2.2 prescribe.
         # The pre-bound handler + packed payload replaces a per-broadcast
-        # closure (pooled event shells make the whole path allocation-free).
-        self.sim.schedule(ordered_delay, self._deliver_ordered,
-                          priority=message.src, label="ordered",
-                          arg=(message, tree, injected_at, ordered_time,
-                               logical_time))
+        # closure (pooled event shells and per-tick batches make the whole
+        # path allocation-free).
+        sched_batched(
+            ordered_delay,
+            self._deliver_ordered,
+            (message, tree, injected_at, ordered_time, logical_time),
+            message.src,
+        )
         self._ctr_deliveries.increment(self.topology.num_endpoints)
 
     def _deliver_early(self, packed) -> None:
         early, message = packed
         early(message, self.now)
 
-    def _deliver_ordered(self, packed) -> None:
-        message, tree, injected_at, ordered_time, logical_time = packed
-        rows = self._delivery_rows
-        if rows is None:
-            rows = self._delivery_rows = [
-                (endpoint, self._ordered_handlers[endpoint])
-                for endpoint in self.topology.endpoints()
-                if endpoint in self._ordered_handlers]
-        base = injected_at + self.timing.overhead_ns
+    def _rows_for(self, source: int, tree) -> list:
+        """(endpoint, handler, arrival offset) triples for one source."""
+        overhead = self.timing.overhead_ns
         switch_ns = self.timing.switch_ns
         arrival_hops = tree.arrival_hops
+        rows = [
+            (
+                endpoint,
+                self._ordered_handlers[endpoint],
+                overhead + arrival_hops[endpoint] * switch_ns,
+            )
+            for endpoint in self.topology.endpoints()
+            if endpoint in self._ordered_handlers
+        ]
+        self._rows_by_source[source] = rows
+        return rows
+
+    def _deliver_ordered(self, packed) -> None:
+        message, tree, injected_at, ordered_time, logical_time = packed
+        source = message.src
+        rows = self._rows_by_source.get(source)
+        if rows is None:
+            rows = self._rows_for(source, tree)
+        resolver = self._home_resolver
+        home = resolver(message.block) if resolver is not None else -1
         pool = self.message_pool
         if pool is not None and pool.enabled:
             # Pooled builds come with a no-retention contract (TS-Snoop
@@ -183,27 +224,34 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
             delivery.message = message
             delivery.ordered_time = ordered_time
             delivery.logical_time = logical_time
-            for endpoint, handler in rows:
+            delivery.home = home
+            for endpoint, handler, offset in rows:
                 delivery.endpoint = endpoint
-                delivery.arrival_time = base + arrival_hops[endpoint] * switch_ns
+                delivery.arrival_time = injected_at + offset
                 handler(delivery)
             delivery.message = None
             pool.release(message)
             return
-        for endpoint, handler in rows:
-            arrival_time = base + arrival_hops[endpoint] * switch_ns
-            handler(OrderedDelivery(message=message, endpoint=endpoint,
-                                    arrival_time=arrival_time,
-                                    ordered_time=ordered_time,
-                                    logical_time=logical_time))
+        for endpoint, handler, offset in rows:
+            handler(
+                OrderedDelivery(
+                    message=message,
+                    endpoint=endpoint,
+                    arrival_time=injected_at + offset,
+                    ordered_time=ordered_time,
+                    logical_time=logical_time,
+                    home=home,
+                )
+            )
 
     # ------------------------------------------------------------- inspection
     def ordering_latency(self, slack: Optional[int] = None) -> int:
         """Physical delay from injection to global processability."""
         if slack is None:
             slack = self.default_slack
-        return self.timing.ordering_latency(self.topology.max_hops,
-                                            slack + self.ORDERING_MARGIN)
+        return self.timing.ordering_latency(
+            self.topology.max_hops, slack + self.ORDERING_MARGIN
+        )
 
     def arrival_latency(self, src: int, dst: int) -> int:
         hops = self.topology.broadcast_arrival_hops(src, dst)

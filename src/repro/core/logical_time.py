@@ -42,8 +42,7 @@ class LogicalTimestamp:
             raise ValueError("source must be non-negative")
 
 
-def ordering_time(source_guarantee_time: int, max_distance: int,
-                  slack: int) -> int:
+def ordering_time(source_guarantee_time: int, max_distance: int, slack: int) -> int:
     """``OT = GT_source + Dmax + S`` (Section 2.2, source node operation)."""
     if max_distance < 0:
         raise ValueError("max_distance must be non-negative")
@@ -82,8 +81,7 @@ class SlackRules:
         transactions, which is exactly what guarantees on-time delivery.
         """
         if slack <= 0:
-            raise ValueError(
-                "a token may not move past a zero-slack transaction")
+            raise ValueError("a token may not move past a zero-slack transaction")
         return slack - 1
 
     @staticmethod

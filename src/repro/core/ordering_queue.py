@@ -45,15 +45,19 @@ class OrderingQueue:
         self.max_occupancy = 0
 
     # ------------------------------------------------------------ insertion
-    def insert(self, payload: Any, slack: int, source: int,
-               sequence: int = 0) -> PendingTransaction:
+    def insert(
+        self, payload: Any, slack: int, source: int, sequence: int = 0
+    ) -> PendingTransaction:
         """Insert a transaction that arrived with ``slack`` logical time left."""
         if slack < 0:
             raise ValueError("slack must be non-negative")
-        entry = PendingTransaction(maturity=self.guarantee_time + slack,
-                                   source=source, sequence=sequence,
-                                   payload=payload,
-                                   inserted_at_gt=self.guarantee_time)
+        entry = PendingTransaction(
+            maturity=self.guarantee_time + slack,
+            source=source,
+            sequence=sequence,
+            payload=payload,
+            inserted_at_gt=self.guarantee_time,
+        )
         heapq.heappush(self._heap, entry)
         self.inserted += 1
         self.max_occupancy = max(self.max_occupancy, len(self._heap))
@@ -103,8 +107,7 @@ class OrderingQueue:
 
     def pending_slack(self) -> List[int]:
         """Remaining slack of every queued transaction (for buffering stats)."""
-        return sorted(entry.maturity - self.guarantee_time
-                      for entry in self._heap)
+        return sorted(entry.maturity - self.guarantee_time for entry in self._heap)
 
     def effective_slack(self, entry: PendingTransaction) -> int:
         return entry.maturity - self.guarantee_time

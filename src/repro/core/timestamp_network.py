@@ -52,13 +52,20 @@ _TOKEN_PRIORITY = 1
 
 @dataclass(slots=True)
 class OrderedDelivery:
-    """What an endpoint's protocol controller receives for each transaction."""
+    """What an endpoint's protocol controller receives for each transaction.
+
+    ``home`` is the block's home node when the delivering network resolved
+    it (the analytical network computes it once per broadcast instead of
+    once per endpoint), or -1 when it did not (the detailed network);
+    consumers fall back to their own resolver then.
+    """
 
     message: Message
     endpoint: int
     arrival_time: int
     ordered_time: int
     logical_time: int
+    home: int = -1
 
 
 OrderedHandler = Callable[[OrderedDelivery], None]
@@ -75,8 +82,12 @@ class AddressNetworkInterface(Component, ABC):
         self.default_slack = default_slack
 
     @abstractmethod
-    def attach(self, endpoint: int, ordered_handler: OrderedHandler,
-               early_handler: Optional[EarlyHandler] = None) -> None:
+    def attach(
+        self,
+        endpoint: int,
+        ordered_handler: OrderedHandler,
+        early_handler: Optional[EarlyHandler] = None,
+    ) -> None:
         """Register the handlers of the controller at ``endpoint``."""
 
     @abstractmethod
@@ -92,19 +103,23 @@ class _EndpointPort:
         self.queue = OrderingQueue(endpoint)
         self.ordered_handler: Optional[OrderedHandler] = None
         self.early_handler: Optional[EarlyHandler] = None
-        self.arrival_times: Dict[int, int] = {}      # msg_id -> arrival time
+        self.arrival_times: Dict[int, int] = {}  # msg_id -> arrival time
 
 
 class TimestampAddressNetwork(AddressNetworkInterface):
     """Event-accurate token-passing broadcast address network."""
 
-    def __init__(self, sim: Simulator, topology: Topology,
-                 timing: Optional[NetworkTiming] = None,
-                 accountant: Optional[TrafficAccountant] = None,
-                 default_slack: int = 0,
-                 hold_probability: float = 0.0,
-                 rng: Optional[DeterministicRandom] = None,
-                 name: str = "ts-network") -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        timing: Optional[NetworkTiming] = None,
+        accountant: Optional[TrafficAccountant] = None,
+        default_slack: int = 0,
+        hold_probability: float = 0.0,
+        rng: Optional[DeterministicRandom] = None,
+        name: str = "ts-network",
+    ) -> None:
         super().__init__(sim, name, default_slack)
         self.topology = topology
         self.timing = timing or NetworkTiming()
@@ -143,8 +158,12 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         self._ctr_held = self.stats.counter("held_transactions")
 
     # -------------------------------------------------------------- plumbing
-    def attach(self, endpoint: int, ordered_handler: OrderedHandler,
-               early_handler: Optional[EarlyHandler] = None) -> None:
+    def attach(
+        self,
+        endpoint: int,
+        ordered_handler: OrderedHandler,
+        early_handler: Optional[EarlyHandler] = None,
+    ) -> None:
         port = self.ports[endpoint]
         port.ordered_handler = ordered_handler
         port.early_handler = early_handler
@@ -155,8 +174,13 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             return
         self._started = True
         for node in self.switches:
-            self.schedule(0, self._try_propagate,
-                          priority=_TOKEN_PRIORITY, label="seed", arg=node)
+            self.schedule(
+                0,
+                self._try_propagate,
+                priority=_TOKEN_PRIORITY,
+                label="seed",
+                arg=node,
+            )
 
     # ------------------------------------------------------------- broadcast
     def broadcast(self, message: Message, slack: Optional[int] = None) -> None:
@@ -171,30 +195,36 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             self.accountant.record(message, tree.link_count())
         self._ctr_broadcasts.increment()
         self._sequence += 1
-        transaction = self._copy_factory(payload=message, slack=slack,
-                                         source=source,
-                                         sequence=self._sequence)
+        transaction = self._copy_factory(
+            payload=message, slack=slack, source=source, sequence=self._sequence
+        )
         root = endpoint_node(source)
         # The transaction enters the network after the entry overhead and is
         # then at the root of its broadcast tree.  Every event this network
         # schedules rides a pre-bound handler plus a packed payload, so the
         # per-broadcast path allocates no closures.
-        self.schedule(self.timing.overhead_ns, self._inject,
-                      priority=_MESSAGE_PRIORITY, label="inject",
-                      arg=(root, transaction, tree))
+        self.schedule(
+            self.timing.overhead_ns,
+            self._inject,
+            priority=_MESSAGE_PRIORITY,
+            label="inject",
+            arg=(root, transaction, tree),
+        )
 
     def _inject(self, packed) -> None:
         root, transaction, tree = packed
         self._arrive(root, None, transaction, tree)
 
     # -------------------------------------------------------- hop-copy reuse
-    def _copy_factory(self, payload=None, slack: int = 0, source: int = 0,
-                      sequence: int = 0) -> BufferedTransaction:
+    def _copy_factory(
+        self, payload=None, slack: int = 0, source: int = 0, sequence: int = 0
+    ) -> BufferedTransaction:
         """Build a hop copy, reusing a retired shell when one is free."""
         free = self._txn_free
         if not free:
-            return BufferedTransaction(payload=payload, slack=slack,
-                                       source=source, sequence=sequence)
+            return BufferedTransaction(
+                payload=payload, slack=slack, source=source, sequence=sequence
+            )
         txn = free.pop()
         txn.payload = payload
         txn.slack = slack
@@ -207,8 +237,13 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         self._txn_free.append(txn)
 
     # ----------------------------------------------------- transaction events
-    def _arrive(self, node: NodeId, input_port: Optional[NodeId],
-                transaction: BufferedTransaction, tree: BroadcastTree) -> None:
+    def _arrive(
+        self,
+        node: NodeId,
+        input_port: Optional[NodeId],
+        transaction: BufferedTransaction,
+        tree: BroadcastTree,
+    ) -> None:
         """A transaction copy reaches fabric node ``node``."""
         switch = self.switches[node]
         source_node = endpoint_node(tree.source)
@@ -220,8 +255,7 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         # A copy that returned to the source endpoint through the network is a
         # leaf delivery (butterfly): it is consumed here, never forwarded back
         # into the fabric, and carries no remaining tree depth.
-        is_returned_source_copy = (input_port is not None
-                                   and node == source_node)
+        is_returned_source_copy = input_port is not None and node == source_node
 
         # Local delivery: endpoints take a copy whose slack is padded by the
         # remaining tree depth below this node so its OT matches the copies
@@ -242,14 +276,21 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             self._try_propagate(node)
             return
 
-        if self.hold_probability > 0.0 and transaction.slack > 0 \
-                and self.rng.random() < self.hold_probability:
+        if (
+            self.hold_probability > 0.0
+            and transaction.slack > 0
+            and self.rng.random() < self.hold_probability
+        ):
             # Emulated contention: keep the transaction buffered for one
             # switch traversal time, then forward it.
             self._ctr_held.increment()
-            self.schedule(self.timing.switch_ns, self._release_held,
-                          priority=_MESSAGE_PRIORITY, label="release-held",
-                          arg=(node, transaction, tree))
+            self.schedule(
+                self.timing.switch_ns,
+                self._release_held,
+                priority=_MESSAGE_PRIORITY,
+                label="release-held",
+                arg=(node, transaction, tree),
+            )
         else:
             self._forward(node, transaction, tree)
 
@@ -257,16 +298,19 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         node, transaction, tree = packed
         self._forward(node, transaction, tree)
 
-    def _forward(self, node: NodeId, transaction: BufferedTransaction,
-                 tree: BroadcastTree) -> None:
+    def _forward(
+        self, node: NodeId, transaction: BufferedTransaction, tree: BroadcastTree
+    ) -> None:
         """Forward a buffered transaction along its tree branches."""
         switch = self.switches[node]
         if transaction not in switch.buffer:
             return
         branches = tree.branches_from(node)
         outputs = switch.release_transaction(
-            transaction, [(child, delta) for child, delta in branches],
-            factory=self._copy_factory)
+            transaction,
+            [(child, delta) for child, delta in branches],
+            factory=self._copy_factory,
+        )
         # The parent shell dies here: its copies (if any) carry the payload
         # onward and nothing else references it.
         self._retire_txn(transaction)
@@ -275,9 +319,13 @@ class TimestampAddressNetwork(AddressNetworkInterface):
             # same Dswitch interval, so they ride a single batched event;
             # the batch body preserves the branch (seq) order the individual
             # events would have had.
-            self.schedule(self.timing.switch_ns, self._arrive_batch,
-                          priority=_MESSAGE_PRIORITY, label="hop",
-                          arg=(node, outputs, tree))
+            self.schedule(
+                self.timing.switch_ns,
+                self._arrive_batch,
+                priority=_MESSAGE_PRIORITY,
+                label="hop",
+                arg=(node, outputs, tree),
+            )
         # Forwarding may have unblocked token propagation (zero-slack rule).
         self._try_propagate(node)
 
@@ -286,8 +334,13 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         for child, copy in outputs:
             self._arrive(child, node, copy, tree)
 
-    def _deliver_local(self, node: NodeId, transaction: BufferedTransaction,
-                       tree: BroadcastTree, pad: int) -> None:
+    def _deliver_local(
+        self,
+        node: NodeId,
+        transaction: BufferedTransaction,
+        tree: BroadcastTree,
+        pad: int,
+    ) -> None:
         endpoint = endpoint_index(node)
         port = self.ports[endpoint]
         padded_slack = transaction.slack + pad
@@ -295,8 +348,9 @@ class TimestampAddressNetwork(AddressNetworkInterface):
         port.arrival_times[message.msg_id] = self.now
         if port.early_handler is not None:
             port.early_handler(message, self.now)
-        port.queue.insert(message, padded_slack, transaction.source,
-                          transaction.sequence)
+        port.queue.insert(
+            message, padded_slack, transaction.source, transaction.sequence
+        )
         self._ctr_deliveries.increment()
         # Zero-slack arrivals are processable immediately.
         self._release(port, port.queue.release_current())
@@ -323,13 +377,17 @@ class TimestampAddressNetwork(AddressNetworkInterface):
                 # same Dswitch interval: deliver the whole wave with one
                 # batched event (the batch body keeps the per-output order
                 # the individual events would have had).
-                self.schedule(self.timing.switch_ns,
-                              self._receive_token_batch,
-                              priority=_TOKEN_PRIORITY, label="token",
-                              arg=(node, outputs))
+                self.schedule(
+                    self.timing.switch_ns,
+                    self._receive_token_batch,
+                    priority=_TOKEN_PRIORITY,
+                    label="token",
+                    arg=(node, outputs),
+                )
 
-    def _release(self, port: _EndpointPort,
-                 released: List[PendingTransaction]) -> None:
+    def _release(
+        self, port: _EndpointPort, released: List[PendingTransaction]
+    ) -> None:
         for entry in released:
             message: Message = entry.payload
             if port.ordered_handler is None:
@@ -339,7 +397,8 @@ class TimestampAddressNetwork(AddressNetworkInterface):
                 endpoint=port.endpoint,
                 arrival_time=port.arrival_times.pop(message.msg_id, self.now),
                 ordered_time=self.now,
-                logical_time=port.queue.guarantee_time)
+                logical_time=port.queue.guarantee_time,
+            )
             port.ordered_handler(delivery)
 
     # ------------------------------------------------------------- inspection

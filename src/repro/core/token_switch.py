@@ -51,18 +51,23 @@ class TokenSwitch:
     network uses upstream/downstream node ids).
     """
 
-    def __init__(self, name: str, input_ports: Sequence[str],
-                 output_ports: Sequence[str],
-                 initial_tokens: int = 1) -> None:
+    def __init__(
+        self,
+        name: str,
+        input_ports: Sequence[str],
+        output_ports: Sequence[str],
+        initial_tokens: int = 1,
+    ) -> None:
         if initial_tokens < 0:
             raise ValueError("initial_tokens must be non-negative")
         self.name = name
         self.input_ports = list(input_ports)
         self.output_ports = list(output_ports)
         self.token_counts: Dict[str, int] = {
-            port: initial_tokens for port in self.input_ports}
+            port: initial_tokens for port in self.input_ports
+        }
         self.buffer: List[BufferedTransaction] = []
-        self.tokens_propagated = 0          # == this switch's GT progress
+        self.tokens_propagated = 0  # == this switch's GT progress
         self.transactions_seen = 0
 
     # -------------------------------------------------------------- tokens
@@ -108,13 +113,15 @@ class TokenSwitch:
         return self.tokens_propagated
 
     # -------------------------------------------------------- transactions
-    def receive_transaction(self, port: str,
-                            transaction: BufferedTransaction) -> None:
+    def receive_transaction(
+        self, port: str, transaction: BufferedTransaction
+    ) -> None:
         """A transaction entered on ``port``: apply rule 1 and buffer it."""
         if port not in self.token_counts:
             raise KeyError(f"{self.name}: unknown input port {port!r}")
         transaction.slack = SlackRules.on_enter_switch(
-            transaction.slack, self.token_counts[port])
+            transaction.slack, self.token_counts[port]
+        )
         self.buffer.append(transaction)
         self.transactions_seen += 1
 
@@ -124,9 +131,10 @@ class TokenSwitch:
         self.transactions_seen += 1
 
     def release_transaction(
-            self, transaction: BufferedTransaction,
-            branches: Iterable[Tuple[str, int]],
-            factory=BufferedTransaction,
+        self,
+        transaction: BufferedTransaction,
+        branches: Iterable[Tuple[str, int]],
+        factory=BufferedTransaction,
     ) -> List[Tuple[str, BufferedTransaction]]:
         """Remove a buffered transaction and emit one copy per branch.
 
@@ -144,7 +152,8 @@ class TokenSwitch:
                 payload=transaction.payload,
                 slack=SlackRules.on_branch(transaction.slack, delta_d),
                 source=transaction.source,
-                sequence=transaction.sequence)
+                sequence=transaction.sequence,
+            )
             outputs.append((port, copy))
         return outputs
 
@@ -156,5 +165,7 @@ class TokenSwitch:
         return [txn for txn in self.buffer if txn.slack == 0]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"<TokenSwitch {self.name} tokens={self.token_counts} "
-                f"buffered={len(self.buffer)} GT={self.guarantee_time}>")
+        return (
+            f"<TokenSwitch {self.name} tokens={self.token_counts} "
+            f"buffered={len(self.buffer)} GT={self.guarantee_time}>"
+        )

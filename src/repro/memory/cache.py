@@ -223,6 +223,13 @@ class PackedCacheArray:
         self._dirty = array("b")
         self._versions = array("q")
         self._set_base: Dict[int, int] = {}
+        #: block -> live state code; a redundant index over the packed
+        #: columns so ``state_of`` -- the once-per-snooped-transaction-
+        #: per-node query, the hottest in the simulator -- is one dict get
+        #: instead of a set probe.  Maintained at every state mutation
+        #: (install / set_state / evict); the columns stay the source of
+        #: truth for lookup/victim logic.
+        self._state_index: Dict[int, int] = {}
         self._access_clock = 0
         # Extension templates: array-from-array extends are a straight
         # memcpy, list literals are not.
@@ -275,18 +282,10 @@ class PackedCacheArray:
                          version=self._versions[slot])
 
     def state_of(self, block: int) -> CacheState:
-        # _slot_of inlined: this probe runs once per snooped transaction per
-        # node, the single hottest query in the simulator.
-        slot = self._set_base.get(block % self.num_sets)
-        if slot is not None:
-            tags = self._tags
-            states = self._states
-            end = slot + self.associativity
-            while slot < end:
-                if tags[slot] == block and states[slot]:
-                    return STATE_FROM_CODE[states[slot]]
-                slot += 1
-        return CacheState.INVALID
+        # One dict get against the state index: this probe runs once per
+        # snooped transaction per node, the single hottest query in the
+        # simulator (code 0 is INVALID, the default for absent blocks).
+        return STATE_FROM_CODE[self._state_index.get(block, 0)]
 
     def version_of(self, block: int) -> int:
         slot = self._slot_of(block)
@@ -332,7 +331,9 @@ class PackedCacheArray:
         # (choose_victim's semantics fused with the slot search).  Victim
         # choice depends only on LRU stamps, never on slot positions, so the
         # outcome is identical to the reference implementation's.
-        base = self._base_for(block)
+        base = self._set_base.get(block % self.num_sets)
+        if base is None:
+            base = self._base_for(block)
         tags = self._tags
         states = self._states
         lru = self._lru
@@ -364,12 +365,14 @@ class PackedCacheArray:
                                       bool(self._dirty[victim]),
                                       self._versions[victim])
             target = victim
+            del self._state_index[tags[victim]]
         self._access_clock += 1
         tags[target] = block
         states[target] = state.code
         lru[target] = self._access_clock
         self._dirty[target] = 1 if dirty else 0
         self._versions[target] = version
+        self._state_index[block] = state.code
         return eviction
 
     def set_state(self, block: int, state: CacheState) -> None:
@@ -377,10 +380,12 @@ class PackedCacheArray:
         if state is CacheState.INVALID:
             if slot >= 0:
                 self._states[slot] = 0
+                del self._state_index[block]
             return
         if slot < 0:
             raise KeyError(f"set_state on missing block {block}")
         self._states[slot] = state.code
+        self._state_index[block] = state.code
         if state is not CacheState.MODIFIED and state is not CacheState.OWNED:
             self._dirty[slot] = 0
 
@@ -394,6 +399,7 @@ class PackedCacheArray:
                          dirty=bool(self._dirty[slot]),
                          version=self._versions[slot])
         self._states[slot] = 0
+        del self._state_index[block]
         return line
 
     def write(self, block: int, version: int) -> None:

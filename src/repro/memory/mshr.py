@@ -9,7 +9,7 @@ races still require multiple simultaneous entries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 
@@ -19,7 +19,14 @@ class MSHRFullError(RuntimeError):
 
 @dataclass(slots=True)
 class MSHREntry:
-    """State of one in-flight transaction for a single block."""
+    """State of one in-flight transaction for a single block.
+
+    The protocol-specific bookkeeping that used to live in a per-entry
+    ``metadata`` dict is typed slots now: an entry is touched several times
+    per miss on the hottest protocol paths, and slot access is both faster
+    and self-documenting.  ``deferred_forwards`` / ``owed`` stay ``None``
+    until first use so the common raceless miss allocates no lists.
+    """
 
     block: int
     kind: str                       # e.g. "GETS", "GETM", "UPGRADE", "PUTM"
@@ -31,7 +38,29 @@ class MSHREntry:
     data_received: bool = False
     ordered: bool = False           # TS-Snoop: own transaction seen in order
     retries: int = 0
-    metadata: Dict[str, Any] = field(default_factory=dict)
+    #: completion callback handed to the controller by the processor
+    done: Optional[Any] = None
+    #: the AccessType that missed
+    access_type: Any = None
+    #: the request MessageKind in flight (directory retries re-send it)
+    req_kind: Any = None
+    #: version token carried by the data response
+    data_version: int = 0
+    #: the data came from another cache (3-hop / dirty miss)
+    data_from_cache: bool = False
+    #: invalidation acks the directory told us to expect; None = no data yet
+    acks_required: Optional[int] = None
+    #: forwards deferred while our own fill is in flight (directory caches)
+    deferred_forwards: Optional[List[Any]] = None
+    #: an invalidation raced with our GETS fill; drop the line on completion
+    invalidate_on_fill: bool = False
+    #: TS-Snoop logical state our ordered-but-unfilled miss holds
+    logical_state: Any = None
+    #: TS-Snoop data responses owed to requesters ordered behind our miss
+    owed: Optional[List[Any]] = None
+    #: physical times recorded for latency accounting (TS-Snoop)
+    data_time: Optional[int] = None
+    ordered_time: Optional[int] = None
 
     @property
     def all_acks_received(self) -> bool:

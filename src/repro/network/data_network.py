@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.network.link import TrafficAccountant
-from repro.network.message import Message, MessageKind
+from repro.network.message import Message
 from repro.network.timing import NetworkTiming
 from repro.network.topology import Topology
 from repro.sim.component import Component
@@ -22,10 +22,6 @@ from repro.sim.kernel import Simulator
 from repro.sim.randomness import PerturbationModel
 
 DeliveryCallback = Callable[[Message], None]
-
-#: Event labels per message kind, precomputed so the send fast path does not
-#: build an f-string per delivery.
-DELIVER_LABELS = {kind: f"deliver:{kind.label}" for kind in MessageKind}
 
 
 class DataNetwork(Component):
@@ -44,6 +40,7 @@ class DataNetwork(Component):
         accountant: TrafficAccountant,
         perturbation: Optional[PerturbationModel] = None,
         name: str = "data-network",
+        routes: Optional[dict] = None,
     ) -> None:
         super().__init__(sim, name)
         self.topology = topology
@@ -59,16 +56,23 @@ class DataNetwork(Component):
             else None
         )
         self._receivers: dict[int, DeliveryCallback] = {}
-        #: (src, dst) -> (latency, traversals); unloaded routes are static,
-        #: so each pair is computed once per run.
-        self._routes: dict[tuple[int, int], tuple[int, int]] = {}
+        #: src * num_endpoints + dst -> (latency, traversals); unloaded
+        #: routes are static, so each pair is computed once per run.  The
+        #: packed int key skips a tuple allocation per send, and networks
+        #: sharing a topology and timing (the directory protocols' three
+        #: virtual networks) can share one table via ``routes``.
+        self._routes: dict[int, tuple[int, int]] = routes if routes is not None else {}
+        self._route_stride = topology.num_endpoints
+        #: hops -> unloaded latency; at most max_hops distinct values.
+        self._latency_by_hops: dict[int, int] = {}
         # Pre-bound stat handles for the per-message fast path.
         self._ctr_messages = self.stats.counter("messages")
         self._ctr_bytes = self.stats.counter("bytes")
         self._record_traffic = accountant.record
-        #: Pre-bound kernel push: each delivery is one pooled event carrying
-        #: the message as its payload -- no per-send closure.
-        self._schedule = sim.schedule
+        #: Pre-bound batched push: deliveries are fire-and-forget, so each
+        #: one is two appends to the destination tick's batch (or one pooled
+        #: event per tick when batching is off) -- no per-send closure.
+        self._schedule = sim.schedule_batched
 
     # -------------------------------------------------------------- receivers
     def attach(self, node: int, handler: DeliveryCallback) -> None:
@@ -96,7 +100,7 @@ class DataNetwork(Component):
                 raise ValueError(
                     f"{self.name}: no receiver attached for node {message.dst}"
                 )
-        route = (message.src, message.dst)
+        route = message.src * self._route_stride + message.dst
         cached = self._routes.get(route)
         if cached is None:
             cached = self._latency_and_traversals(message.src, message.dst)
@@ -121,13 +125,37 @@ class DataNetwork(Component):
         explicit ``on_deliver`` override).  Messages whose source and
         destination are the same node are delivered locally (zero link
         traversals).
+
+        The ``_prepare_send`` prologue is inlined here: this is the
+        simulator's hottest function after the kernel dispatch loop, and
+        the extra call layer costs more than the shared code saves.
         """
-        handler, latency = self._prepare_send(message, on_deliver)
+        dst = message.dst
+        if dst is None:
+            raise ValueError(f"{self.name} only carries unicast messages")
+        if on_deliver is not None:
+            handler = on_deliver
+        else:
+            handler = self._receivers.get(dst)
+            if handler is None:
+                raise ValueError(
+                    f"{self.name}: no receiver attached for node {dst}"
+                )
+        route = message.src * self._route_stride + dst
+        cached = self._routes.get(route)
+        if cached is None:
+            cached = self._latency_and_traversals(message.src, dst)
+            self._routes[route] = cached
+        latency, traversals = cached
+        perturbation = self._active_perturbation
+        if perturbation is not None:
+            latency += perturbation.response_delay()
+        self._record_traffic(message, traversals)
+        self._ctr_messages.value += 1
+        self._ctr_bytes.value += message.kind.size_bytes
         now = self.sim.now
         message.sent_at = now
-        self._schedule(
-            latency, handler, label=DELIVER_LABELS[message.kind], arg=message
-        )
+        self._schedule(latency, handler, message)
         return now + latency
 
     def latency(self, src: int, dst: int) -> int:
@@ -139,4 +167,7 @@ class DataNetwork(Component):
         if src == dst:
             return self.timing.local_delivery_ns, 0
         hops = self.topology.hop_count(src, dst)
-        return self.timing.one_way_latency(hops), hops
+        latency = self._latency_by_hops.get(hops)
+        if latency is None:
+            latency = self._latency_by_hops[hops] = self.timing.one_way_latency(hops)
+        return latency, hops

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.network.routing import build_torus_broadcast_tree, ring_distance
+from repro.network.routing import build_torus_broadcast_tree
 from repro.network.topology import BroadcastTree, NodeId, Topology, endpoint_node
 
 
@@ -28,6 +28,19 @@ class TorusTopology(Topology):
         self.width = width
         self.height = height
         self._tree_cache: Dict[int, BroadcastTree] = {}
+        # Per-axis ring-distance tables plus a lazily-filled per-source
+        # distance row: hop_count is two index operations on warm paths
+        # instead of coordinate maths per call (a 256-node torus asks for
+        # up to 65k pairs per run).
+        self._axis_x = [
+            [min(abs(a - b), width - abs(a - b)) for b in range(width)]
+            for a in range(width)
+        ]
+        self._axis_y = [
+            [min(abs(a - b), height - abs(a - b)) for b in range(height)]
+            for a in range(height)
+        ]
+        self._dist_rows: List[List[int]] = [None] * (width * height)
 
     @classmethod
     def for_endpoints(cls, num_endpoints: int) -> "TorusTopology":
@@ -65,9 +78,18 @@ class TorusTopology(Topology):
 
     # ----------------------------------------------------- analytic interface
     def hop_count(self, src: int, dst: int) -> int:
-        sx, sy = self.coordinates(src)
-        dx, dy = self.coordinates(dst)
-        return ring_distance(sx, dx, self.width) + ring_distance(sy, dy, self.height)
+        n = self.num_endpoints
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(f"endpoint out of range 0..{n - 1}")
+        row = self._dist_rows[src]
+        if row is None:
+            width = self.width
+            axis_x = self._axis_x[src % width]
+            axis_y = self._axis_y[src // width]
+            row = self._dist_rows[src] = [
+                axis_x[d % width] + axis_y[d // width] for d in range(n)
+            ]
+        return row[dst]
 
     @property
     def max_hops(self) -> int:

@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.network.data_network import (
-    DELIVER_LABELS,
     DataNetwork,
     DeliveryCallback,
 )
@@ -38,9 +37,16 @@ class VirtualNetwork(DataNetwork):
         accountant: TrafficAccountant,
         perturbation: Optional[PerturbationModel] = None,
         name: str = "vnet",
+        routes: Optional[dict] = None,
     ) -> None:
         super().__init__(
-            sim, topology, timing, accountant, perturbation=perturbation, name=name
+            sim,
+            topology,
+            timing,
+            accountant,
+            perturbation=perturbation,
+            name=name,
+            routes=routes,
         )
 
 
@@ -60,9 +66,16 @@ class PointToPointOrderedNetwork(VirtualNetwork):
         accountant: TrafficAccountant,
         perturbation: Optional[PerturbationModel] = None,
         name: str = "ordered-vnet",
+        routes: Optional[dict] = None,
     ) -> None:
         super().__init__(
-            sim, topology, timing, accountant, perturbation=perturbation, name=name
+            sim,
+            topology,
+            timing,
+            accountant,
+            perturbation=perturbation,
+            name=name,
+            routes=routes,
         )
         self._last_delivery: Dict[Tuple[int, int], int] = {}
         self._ctr_ordering_stalls = self.stats.counter("ordering_stalls")
@@ -81,10 +94,5 @@ class PointToPointOrderedNetwork(VirtualNetwork):
         if ordered_delivery > natural_delivery:
             self._ctr_ordering_stalls.increment()
         self._last_delivery[pair] = ordered_delivery
-        self.sim.schedule_at(
-            ordered_delivery,
-            handler,
-            label=DELIVER_LABELS[message.kind],
-            arg=message,
-        )
+        self.sim.schedule_batched_at(ordered_delivery, handler, message)
         return ordered_delivery

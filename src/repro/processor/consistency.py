@@ -96,6 +96,143 @@ class CoherenceChecker:
         return list(self._writes_seen.get(block, []))
 
 
+def _collect_holders(controllers):
+    """Stable cache states and version tokens held across ``controllers``.
+
+    Returns ``(holders, versions)``: ``holders[block]`` maps node -> state
+    for every non-INVALID resident line, ``versions[(node, block)]`` its
+    version token.  Shared by the quiescence invariant checkers below.
+    """
+    holders: Dict[int, Dict[int, CacheState]] = {}
+    versions: Dict[Tuple[int, int], int] = {}
+    for controller in controllers:
+        cache = controller.cache
+        node = controller.node
+        for block in cache.resident_blocks():
+            state = cache.state_of(block)
+            if state is CacheState.INVALID:
+                continue
+            holders.setdefault(block, {})[node] = state
+            versions[(node, block)] = cache.version_of(block)
+    return holders, versions
+
+
+def check_directory_invariant(controllers: Iterable) -> List[str]:
+    """Check that directory state agrees with the caches' stable states.
+
+    ``controllers`` are per-node directory cache controllers, each linking
+    its home ``DirectoryMemoryController`` as ``memory_controller`` (the
+    protocol factory wires this).  Call at quiescence (no in-flight
+    transactions).  Clean S evictions are silent, so a sharer vector may be
+    a strict *superset* of the actual holders; the invariant is containment
+    plus ownership agreement:
+
+    * a MODIFIED entry's owner -- and nobody else -- holds the block, in M;
+    * SHARED/UNCACHED entries have no M holder anywhere, and every actual
+      holder appears in the sharer vector;
+    * S holders agree with the home's version token;
+    * busy states (DirClassic) have drained.
+
+    Returns human-readable violations (empty when the invariant holds).
+    """
+    from repro.protocols.directory_state import DirectoryState
+
+    controllers = list(controllers)
+    holders, versions = _collect_holders(controllers)
+    problems: List[str] = []
+    for controller in controllers:
+        memory = controller.memory_controller
+        if memory is None:
+            problems.append(
+                f"node {controller.node}: no linked memory controller")
+            continue
+        for block, entry in memory.directory.entries():
+            block_holders = holders.get(block, {})
+            modified = sorted(
+                node for node, state in block_holders.items()
+                if state in (CacheState.MODIFIED, CacheState.EXCLUSIVE))
+            if entry.state.is_busy:
+                problems.append(
+                    f"block {block}: entry busy ({entry.state.value}) at "
+                    f"quiescence")
+            elif entry.state is DirectoryState.MODIFIED:
+                if modified != [entry.owner]:
+                    problems.append(
+                        f"block {block}: directory owner {entry.owner} but "
+                        f"M holders {modified}")
+                extra = sorted(set(block_holders) - {entry.owner})
+                if extra:
+                    problems.append(
+                        f"block {block}: non-owner holders {extra} while "
+                        f"directory state is M")
+            else:
+                if modified:
+                    problems.append(
+                        f"block {block}: M holders {modified} but directory "
+                        f"state is {entry.state.value}")
+                mask = entry.sharers_mask
+                for node in block_holders:
+                    if not (mask >> node) & 1:
+                        problems.append(
+                            f"block {block}: node {node} holds a copy but "
+                            f"is missing from the sharer vector")
+                for node in block_holders:
+                    version = versions[(node, block)]
+                    if version != entry.version:
+                        problems.append(
+                            f"block {block}: node {node} holds version "
+                            f"{version}, home has {entry.version}")
+    return problems
+
+
+def check_snoop_home_invariant(nodes: Iterable) -> List[str]:
+    """Check TS-Snoop home-block owner bits against the caches.
+
+    ``nodes`` are the per-node ``TSSnoopNode`` controllers (each is both
+    the cache side and the memory side for its slice).  Call at quiescence.
+
+    * an owner bit naming cache C means C -- and nobody else -- holds the
+      block in M;
+    * a cleared owner bit (memory owns) means no cache holds the block M,
+      and every S holder agrees with memory's version token;
+    * no writeback may still be buffered.
+    """
+    node_list = list(nodes)
+    holders, versions = _collect_holders(node_list)
+    problems: List[str] = []
+    for controller in node_list:
+        if controller.writeback_buffer:
+            problems.append(
+                f"node {controller.node}: writeback buffer not drained "
+                f"({sorted(controller.writeback_buffer)})")
+        for block, home_state in controller.home_blocks.items():
+            block_holders = holders.get(block, {})
+            modified = sorted(
+                node for node, state in block_holders.items()
+                if state in (CacheState.MODIFIED, CacheState.EXCLUSIVE))
+            if home_state.awaiting_data:
+                problems.append(
+                    f"block {block}: home still awaiting writeback data at "
+                    f"quiescence")
+            if home_state.owner is not None:
+                if modified != [home_state.owner]:
+                    problems.append(
+                        f"block {block}: owner bit names {home_state.owner} "
+                        f"but M holders are {modified}")
+            else:
+                if modified:
+                    problems.append(
+                        f"block {block}: memory owns the block but M "
+                        f"holders are {modified}")
+                for node in block_holders:
+                    version = versions[(node, block)]
+                    if version != home_state.version:
+                        problems.append(
+                            f"block {block}: node {node} holds version "
+                            f"{version}, memory has {home_state.version}")
+    return problems
+
+
 def check_swmr_invariant(controllers: Iterable) -> List[str]:
     """Check the single-writer / multiple-reader invariant on stable states.
 

@@ -145,8 +145,10 @@ class Processor(Component):
         self.schedule(0, self._next_reference, label="resume")
 
     def _next_reference(self) -> None:
-        if (self._phase_boundary is not None
-                and not self._phase_passed
+        # Guard order matters: after the warm-up barrier _phase_passed is
+        # True, so the measured phase pays one boolean test per reference.
+        if (not self._phase_passed
+                and self._phase_boundary is not None
                 and self.references_issued >= self._phase_boundary
                 and not self._stalled_at_phase):
             # Warm-up complete: wait here until the harness resumes us so all
@@ -165,10 +167,12 @@ class Processor(Component):
         think_ns = (think + ipns - 1) // ipns
         # The blocking processor has at most one reference in flight, so the
         # pending reference rides on the instance instead of a per-reference
-        # closure; sim.schedule directly, one call layer per reference adds up.
+        # closure; the issue event is fire-and-forget, so it rides the
+        # per-tick dispatch batches (one call layer and one kernel push+pop
+        # per reference add up).
         self._pending_block = block
         self._pending_access = access_type
-        self.sim.schedule(think_ns, self._issue_pending, label="compute")
+        self.sim.schedule_batched(think_ns, self._issue_pending)
 
     def _issue_pending(self) -> None:
         self._issue(self._pending_block, self._pending_access)

@@ -20,7 +20,11 @@ from repro.protocols.base import (
     ProtocolName,
     ProtocolTiming,
 )
-from repro.protocols.directory_state import DirectoryBank, DirectoryEntry, DirectoryState
+from repro.protocols.directory_state import (
+    DirectoryBank,
+    DirectoryEntry,
+    DirectoryState,
+)
 from repro.protocols.ts_snoop import TSSnoopNode, TSSnoopProtocol
 from repro.protocols.directory import (
     DirectoryCacheController,
@@ -62,4 +66,5 @@ def make_protocol(name: str):
     if key in ("diropt", "dir-opt", "opt"):
         return DirOptProtocol()
     raise ValueError(
-        f"unknown protocol {name!r}; expected 'ts-snoop', 'dirclassic' or 'diropt'")
+        f"unknown protocol {name!r}; expected 'ts-snoop', 'dirclassic' or 'diropt'"
+    )

@@ -32,9 +32,11 @@ class MissSource(str, Enum):
     """Where the data for a miss was ultimately sourced from."""
 
     MEMORY = "memory"
-    CACHE = "cache"          # cache-to-cache transfer (a "3-hop" miss for
-                             # directories, a "dirty miss" for snooping)
-    UPGRADE = "upgrade"      # permission-only transition (no data movement)
+    #: cache-to-cache transfer (a "3-hop" miss for directories, a "dirty
+    #: miss" for snooping)
+    CACHE = "cache"
+    #: permission-only transition (no data movement)
+    UPGRADE = "upgrade"
 
 
 @dataclass(frozen=True)
@@ -56,8 +58,12 @@ class ProtocolTiming:
     nack_retry_ns: int = 20
 
     def __post_init__(self) -> None:
-        for name in ("cache_access_ns", "memory_access_ns", "l2_hit_ns",
-                     "nack_retry_ns"):
+        for name in (
+            "cache_access_ns",
+            "memory_access_ns",
+            "l2_hit_ns",
+            "nack_retry_ns",
+        ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
 
@@ -141,9 +147,16 @@ class CacheControllerBase(Component, ABC):
     proceed in the background.
     """
 
-    def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
-                 cache: AnyCacheArray, timing: ProtocolTiming,
-                 name: str, pool: Optional[MessagePool] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        address_space: AddressSpace,
+        cache: AnyCacheArray,
+        timing: ProtocolTiming,
+        name: str,
+        pool: Optional[MessagePool] = None,
+    ) -> None:
         super().__init__(sim, name)
         self.node = node
         self.address_space = address_space
@@ -151,10 +164,11 @@ class CacheControllerBase(Component, ABC):
         self.timing = timing
         self.pool = pool if pool is not None else MessagePool()
         self.mshrs = MSHRFile(capacity=32, name=f"{name}.mshr")
-        # Hot-path pre-binds: MSHR lookup and home-node interleaving run on
-        # every snooped/forwarded message.
+        # Hot-path pre-binds: MSHR lookup, the cache-state probe and
+        # home-node interleaving run on every snooped/forwarded message.
         self._mshr_get = self.mshrs.get_entry
         self._home_of = address_space.home_of
+        self._state_of = cache.state_of
         self.miss_records: List[MissRecord] = []
         #: optional CoherenceChecker; concrete protocols overwrite this with
         #: the checker handed to them by the system builder.
@@ -166,18 +180,20 @@ class CacheControllerBase(Component, ABC):
         self._ctr_hits = self.stats.counter("hits")
         self._ctr_c2c_misses = self.stats.counter("cache_to_cache_misses")
         self._ctr_memory_misses = self.stats.counter("memory_misses")
-        self._hist_miss_latency = self.stats.histogram("miss_latency",
-                                                       bin_width=20)
+        self._hist_miss_latency = self.stats.histogram("miss_latency", bin_width=20)
 
     # ------------------------------------------------------------ processor
-    def access(self, block: int, access_type: AccessType,
-               done: DoneCallback) -> None:
+    def access(
+        self, block: int, access_type: AccessType, done: DoneCallback
+    ) -> None:
         """Handle one processor reference to ``block``."""
         # _is_hit is inlined here: this runs once per reference.
-        state = self.cache.state_of(block)
-        if (state in (CacheState.MODIFIED, CacheState.EXCLUSIVE)
-                if access_type.needs_write_permission
-                else state is not CacheState.INVALID):
+        state = self._state_of(block)
+        if (
+            state in (CacheState.MODIFIED, CacheState.EXCLUSIVE)
+            if access_type.needs_write_permission
+            else state is not CacheState.INVALID
+        ):
             self._complete_hit(block, access_type, done)
             return
         self._ctr_misses.value += 1
@@ -187,29 +203,32 @@ class CacheControllerBase(Component, ABC):
             self._ctr_read_misses.value += 1
         self._start_miss(block, access_type, done)
 
-    def _complete_hit(self, block: int, access_type: AccessType,
-                      done: DoneCallback) -> None:
+    def _complete_hit(
+        self, block: int, access_type: AccessType, done: DoneCallback
+    ) -> None:
         self._ctr_hits.value += 1
         self.cache.touch(block)
         if access_type.needs_write_permission:
             new_version = self.cache.version_of(block) + 1
             self.cache.write(block, new_version)
             if self.checker is not None:
-                self.checker.record_write(self.node, block, new_version,
-                                          self.now)
-        self.sim.schedule(self.timing.l2_hit_ns, done, label="l2-hit")
+                self.checker.record_write(self.node, block, new_version, self.now)
+        # Hits are the most frequent event in the simulator; completing them
+        # through the per-tick dispatch batches costs two list appends
+        # instead of a kernel push+pop per hit.
+        self.sim.schedule_batched(self.timing.l2_hit_ns, done)
 
     # -------------------------------------------------------------- protocol
     @abstractmethod
-    def _start_miss(self, block: int, access_type: AccessType,
-                    done: DoneCallback) -> None:
+    def _start_miss(
+        self, block: int, access_type: AccessType, done: DoneCallback
+    ) -> None:
         """Issue the coherence transaction(s) needed to satisfy a miss."""
 
     # ------------------------------------------------------------ accounting
     def record_miss(self, record: MissRecord) -> None:
         self.miss_records.append(record)
-        self._hist_miss_latency.record(record.complete_time
-                                       - record.issue_time)
+        self._hist_miss_latency.record(record.complete_time - record.issue_time)
         if record.source is MissSource.CACHE:
             self._ctr_c2c_misses.value += 1
         elif record.source is MissSource.MEMORY:

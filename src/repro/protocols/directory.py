@@ -20,6 +20,12 @@ The two protocols differ only in their :class:`DirectoryPolicy`:
 Three virtual networks are used (requests, forwarded requests, responses),
 exactly as described in Section 4.2; they all share the physical links for
 traffic accounting.
+
+Every delayed directory action -- forwards, invalidation fan-outs, NACKs,
+writeback acks, memory data -- is a fire-and-forget send, so they all go
+through the kernel's per-tick batched dispatch (``schedule_batched``): one
+home controller tick schedules O(distinct delays) kernel events instead of
+O(messages).
 """
 
 from __future__ import annotations
@@ -70,25 +76,43 @@ class DirectoryPolicy:
 class DirectoryCacheController(CacheControllerBase):
     """Cache side of the directory protocols (one per node)."""
 
-    def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
-                 cache: AnyCacheArray, timing: ProtocolTiming,
-                 policy: DirectoryPolicy,
-                 request_network: VirtualNetwork,
-                 forward_network: VirtualNetwork,
-                 response_network: VirtualNetwork,
-                 checker: Optional[Any] = None,
-                 pool: Optional[MessagePool] = None) -> None:
-        super().__init__(sim, node, address_space, cache, timing,
-                         name=f"{policy.protocol.value.lower()}.cache.n{node}",
-                         pool=pool)
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        address_space: AddressSpace,
+        cache: AnyCacheArray,
+        timing: ProtocolTiming,
+        policy: DirectoryPolicy,
+        request_network: VirtualNetwork,
+        forward_network: VirtualNetwork,
+        response_network: VirtualNetwork,
+        checker: Optional[Any] = None,
+        pool: Optional[MessagePool] = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            node,
+            address_space,
+            cache,
+            timing,
+            name=f"{policy.protocol.value.lower()}.cache.n{node}",
+            pool=pool,
+        )
         self.policy = policy
         self.request_network = request_network
         self.forward_network = forward_network
         self.response_network = response_network
-        #: Pre-bound send: delayed responses schedule this handler with the
-        #: message as the event payload (no per-response closure).
+        #: Pre-bound send: delayed responses ride the per-tick dispatch
+        #: batches with the message as the payload (no per-response closure,
+        #: no kernel event per message).
         self._send_on_response = response_network.send
+        self._sched_batched = sim.schedule_batched
         self.checker = checker
+        #: the home DirectoryMemoryController of this node, linked by the
+        #: protocol factory so invariant checkers can reach the directory
+        #: slices from the controllers the builder exposes.
+        self.memory_controller = None
         #: dirty blocks whose PUTM/writeback has not been acknowledged yet
         self.writeback_buffer: Dict[int, int] = {}
         forward_network.attach(node, self._on_forward)
@@ -97,7 +121,9 @@ class DirectoryCacheController(CacheControllerBase):
         self._ctr_deferred_forwards = self.stats.counter("deferred_forwards")
         self._ctr_dirty_evictions = self.stats.counter("dirty_evictions")
         self._ctr_forwarded_responses = self.stats.counter("forwarded_responses")
-        self._ctr_invalidations_received = self.stats.counter("invalidations_received")
+        self._ctr_invalidations_received = self.stats.counter(
+            "invalidations_received"
+        )
         self._ctr_nacks_received = self.stats.counter("nacks_received")
         self._ctr_orphan_data = self.stats.counter("orphan_data")
         self._ctr_orphan_inv_ack = self.stats.counter("orphan_inv_ack")
@@ -108,25 +134,23 @@ class DirectoryCacheController(CacheControllerBase):
         self._ctr_unexpected_transfer = self.stats.counter("unexpected_transfer")
 
     # ------------------------------------------------------------------ miss
-    def _start_miss(self, block: int, access_type: AccessType,
-                    done: DoneCallback) -> None:
+    def _start_miss(
+        self, block: int, access_type: AccessType, done: DoneCallback
+    ) -> None:
         if block in self.mshrs:
             raise RuntimeError(
                 f"{self.name}: blocking processor issued a second miss to "
-                f"block {block} while one is outstanding")
-        kind = (MessageKind.GETM if access_type.needs_write_permission
-                else MessageKind.GETS)
+                f"block {block} while one is outstanding"
+            )
+        kind = (
+            MessageKind.GETM
+            if access_type.needs_write_permission
+            else MessageKind.GETS
+        )
         entry = self.mshrs.allocate(block, kind.label, self.now, self.node)
-        metadata = entry.metadata
-        metadata["done"] = done
-        metadata["access_type"] = access_type
-        metadata["kind"] = kind
-        metadata["data_version"] = 0
-        metadata["data_from_cache"] = False
-        metadata["acks_expected"] = None
-        metadata["deferred_forwards"] = []
-        metadata["invalidate_on_fill"] = False
-        metadata["downgrade_on_fill"] = False
+        entry.done = done
+        entry.access_type = access_type
+        entry.req_kind = kind
         self._send_request(block, kind)
 
     def _send_request(self, block: int, kind: MessageKind) -> None:
@@ -150,8 +174,9 @@ class DirectoryCacheController(CacheControllerBase):
         # neither we nor the home deadlocks waiting on the other.
         if block in self.writeback_buffer:
             version = self.writeback_buffer[block]
-            self._service_forward(block, requester, exclusive, version,
-                                  from_writeback_buffer=True)
+            self._service_forward(
+                block, requester, exclusive, version, from_writeback_buffer=True
+            )
             self.pool.release(message)
             return
 
@@ -162,13 +187,17 @@ class DirectoryCacheController(CacheControllerBase):
             # forward and service it right after the fill completes.  The
             # message stays alive in the MSHR; it is released when the
             # deferred re-dispatch consumes it.
-            entry.metadata["deferred_forwards"].append(message)
+            if entry.deferred_forwards is None:
+                entry.deferred_forwards = [message]
+            else:
+                entry.deferred_forwards.append(message)
             self._ctr_deferred_forwards.increment()
             return
 
         if entry is None and self.cache.state_of(block) is CacheState.MODIFIED:
-            self._service_forward(block, requester, exclusive,
-                                  self.cache.version_of(block))
+            self._service_forward(
+                block, requester, exclusive, self.cache.version_of(block)
+            )
             self.pool.release(message)
             return
 
@@ -176,23 +205,33 @@ class DirectoryCacheController(CacheControllerBase):
         # forward and has already been acknowledged), or the directory
         # forwarded our own request back to us after we lost the data.
         # NACK the requester, who will retry at the home.
-        nack = self.pool.acquire(MessageKind.NACK, self.node, requester,
-                                 block, **{"from": "owner"})
+        nack = self.pool.acquire(
+            MessageKind.NACK, self.node, requester, block, **{"from": "owner"}
+        )
         self.response_network.send(nack)
         self._ctr_owner_nacks_sent.increment()
         self.pool.release(message)
 
-    def _service_forward(self, block: int, requester: int, exclusive: bool,
-                         version: int,
-                         from_writeback_buffer: bool = False) -> None:
+    def _service_forward(
+        self,
+        block: int,
+        requester: int,
+        exclusive: bool,
+        version: int,
+        from_writeback_buffer: bool = False,
+    ) -> None:
         """Send data for a forwarded request that found us owning the block."""
         send_time = self.now + self.timing.cache_access_ns
         data = self.pool.acquire(
             MessageKind.DATA_EXCLUSIVE if exclusive else MessageKind.DATA,
-            self.node, requester, block,
-            version=version, from_cache=True, acks_expected=0)
-        self.sim.schedule(max(0, send_time - self.now),
-                          self._send_on_response, label="fwd-data", arg=data)
+            self.node,
+            requester,
+            block,
+            version=version,
+            from_cache=True,
+            acks_expected=0,
+        )
+        self._sched_batched(max(0, send_time - self.now), self._send_on_response, data)
         self._ctr_forwarded_responses.increment()
 
         home = self._home_of(block)
@@ -202,20 +241,30 @@ class DirectoryCacheController(CacheControllerBase):
             else:
                 self.writeback_buffer.pop(block, None)
             if self.policy.requires_transfer_ack:
-                transfer = self.pool.acquire(MessageKind.TRANSFER, self.node,
-                                             home, block, new_owner=requester)
+                transfer = self.pool.acquire(
+                    MessageKind.TRANSFER,
+                    self.node,
+                    home,
+                    block,
+                    new_owner=requester,
+                )
                 self.response_network.send(transfer)
         else:
             if not from_writeback_buffer:
                 # MSI sharing writeback: the home regains ownership and an
                 # up-to-date memory copy; we keep an S copy.
                 self.cache.set_state(block, CacheState.SHARED)
-                writeback = self.pool.acquire(MessageKind.WRITEBACK_DATA,
-                                              self.node, home, block,
-                                              version=version, sharing=True)
-                self.sim.schedule(max(0, send_time - self.now),
-                                  self._send_on_response,
-                                  label="sharing-wb", arg=writeback)
+                writeback = self.pool.acquire(
+                    MessageKind.WRITEBACK_DATA,
+                    self.node,
+                    home,
+                    block,
+                    version=version,
+                    sharing=True,
+                )
+                self._sched_batched(
+                    max(0, send_time - self.now), self._send_on_response, writeback
+                )
             # When serving from the writeback buffer the eviction's
             # WRITEBACK_DATA is already on its way to the home.
 
@@ -231,15 +280,14 @@ class DirectoryCacheController(CacheControllerBase):
             # the invalidation refers to the stale S copy we held before the
             # upgrade (the directory never invalidates the owner it just
             # created -- it forwards to it instead), so the fill stands.
-            if entry.metadata["kind"] is MessageKind.GETS:
-                entry.metadata["invalidate_on_fill"] = True
+            if entry.req_kind is MessageKind.GETS:
+                entry.invalidate_on_fill = True
         else:
             state = self.cache.state_of(block)
             if state is not CacheState.INVALID:
                 self.cache.set_state(block, CacheState.INVALID)
         self._ctr_invalidations_received.increment()
-        ack = self.pool.acquire(MessageKind.INV_ACK, self.node, requester,
-                                block)
+        ack = self.pool.acquire(MessageKind.INV_ACK, self.node, requester, block)
         self.response_network.send(ack)
         self.pool.release(message)
 
@@ -270,11 +318,11 @@ class DirectoryCacheController(CacheControllerBase):
             self._ctr_orphan_data.increment()
             return
         entry.data_received = True
-        entry.metadata["data_version"] = message.payload.get("version", 0)
-        entry.metadata["data_from_cache"] = message.payload.get("from_cache",
-                                                                False)
-        acks = message.payload.get("acks_expected", 0)
-        entry.metadata["acks_expected"] = acks
+        payload = message.payload
+        entry.data_version = payload.get("version", 0)
+        entry.data_from_cache = payload.get("from_cache", False)
+        acks = payload.get("acks_expected", 0)
+        entry.acks_required = acks
         entry.acks_expected = acks
         self._maybe_complete(message.block)
 
@@ -292,11 +340,11 @@ class DirectoryCacheController(CacheControllerBase):
             return
         entry.retries += 1
         self._ctr_nacks_received.increment()
-        kind: MessageKind = entry.metadata["kind"]
         # Bind the block now: the message shell may be recycled before the
         # retry fires.
-        self.sim.schedule(self.timing.nack_retry_ns, self._retry,
-                          label="nack-retry", arg=(message.block, kind))
+        self._sched_batched(
+            self.timing.nack_retry_ns, self._retry, (message.block, entry.req_kind)
+        )
 
     def _retry(self, packed) -> None:
         block, kind = packed
@@ -310,68 +358,79 @@ class DirectoryCacheController(CacheControllerBase):
         entry = self._mshr_get(block)
         if entry is None or not entry.data_received:
             return
-        metadata = entry.metadata
-        expected = metadata["acks_expected"]
+        expected = entry.acks_required
         if expected is None or entry.acks_received < expected:
             return
         entry = self.mshrs.release(block)
-        access_type: AccessType = metadata["access_type"]
-        version = metadata["data_version"]
-        from_cache = metadata["data_from_cache"]
+        access_type: AccessType = entry.access_type
+        version = entry.data_version
         complete_time = self.sim.now
 
         if access_type.needs_write_permission:
             version += 1
             if self.checker is not None:
-                self.checker.record_write(self.node, block, version,
-                                          complete_time)
+                self.checker.record_write(self.node, block, version, complete_time)
         elif self.checker is not None:
             self.checker.record_read(self.node, block, version, complete_time)
 
         wants_modified = access_type.needs_write_permission
         install_state = CacheState.MODIFIED if wants_modified else CacheState.SHARED
-        deferred: List[Message] = metadata["deferred_forwards"]
-        invalidate_on_fill = metadata["invalidate_on_fill"]
+        deferred: Optional[List[Message]] = entry.deferred_forwards
+        invalidate_on_fill = entry.invalidate_on_fill
         if invalidate_on_fill and not deferred:
             install_state = None
         if install_state is not None:
             eviction = self.cache.install(
-                block, install_state, version=version,
-                dirty=install_state is CacheState.MODIFIED)
+                block,
+                install_state,
+                version=version,
+                dirty=install_state is CacheState.MODIFIED,
+            )
             if eviction.needs_writeback:
-                self._evict_dirty(eviction.victim_block,
-                                  eviction.victim_version)
+                self._evict_dirty(eviction.victim_block, eviction.victim_version)
 
-        record = MissRecord(node=self.node, block=block, access=access_type,
-                            issue_time=entry.issue_time,
-                            complete_time=complete_time,
-                            source=(MissSource.CACHE if from_cache
-                                    else MissSource.MEMORY),
-                            retries=entry.retries)
+        record = MissRecord(
+            node=self.node,
+            block=block,
+            access=access_type,
+            issue_time=entry.issue_time,
+            complete_time=complete_time,
+            source=(
+                MissSource.CACHE if entry.data_from_cache else MissSource.MEMORY
+            ),
+            retries=entry.retries,
+        )
         self.record_miss(record)
-        done: DoneCallback = metadata["done"]
+        done: DoneCallback = entry.done
         done()
 
         # Service forwards that arrived while the fill was in flight, in
         # arrival order.
-        for forward in deferred:
-            self._on_forward(forward)
-        if invalidate_on_fill and deferred:
-            # The invalidation that raced with the fill still applies after
-            # any deferred forwards have been serviced.
-            if self.cache.state_of(block) is not CacheState.INVALID:
-                self.cache.set_state(block, CacheState.INVALID)
+        if deferred:
+            for forward in deferred:
+                self._on_forward(forward)
+            if invalidate_on_fill:
+                # The invalidation that raced with the fill still applies
+                # after any deferred forwards have been serviced.
+                if self.cache.state_of(block) is not CacheState.INVALID:
+                    self.cache.set_state(block, CacheState.INVALID)
 
     def _evict_dirty(self, block: int, version: int) -> None:
         """Write a dirty victim back to its home node."""
         home = self._home_of(block)
         self.writeback_buffer[block] = version
-        putm = self.pool.acquire(MessageKind.PUTM, self.node, home, block,
-                                 version=version)
+        putm = self.pool.acquire(
+            MessageKind.PUTM, self.node, home, block, version=version
+        )
         self.request_network.send(putm)
-        writeback = self.pool.acquire(MessageKind.WRITEBACK_DATA, self.node,
-                                      home, block, version=version,
-                                      sharing=False)
+        writeback = self.pool.acquire(
+            MessageKind.WRITEBACK_DATA,
+            self.node,
+            home,
+            block,
+            version=version,
+            sharing=False,
+        )
         self.response_network.send(writeback)
         self._ctr_dirty_evictions.increment()
 
@@ -379,12 +438,18 @@ class DirectoryCacheController(CacheControllerBase):
 class DirectoryMemoryController(Component):
     """Home memory controller + directory slice for one node."""
 
-    def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
-                 timing: ProtocolTiming, policy: DirectoryPolicy,
-                 request_network: VirtualNetwork,
-                 forward_network: VirtualNetwork,
-                 response_network: VirtualNetwork,
-                 pool: Optional[MessagePool] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        address_space: AddressSpace,
+        timing: ProtocolTiming,
+        policy: DirectoryPolicy,
+        request_network: VirtualNetwork,
+        forward_network: VirtualNetwork,
+        response_network: VirtualNetwork,
+        pool: Optional[MessagePool] = None,
+    ) -> None:
         super().__init__(sim, f"{policy.protocol.value.lower()}.home.n{node}")
         self.node = node
         self.address_space = address_space
@@ -395,29 +460,37 @@ class DirectoryMemoryController(Component):
         self.request_network = request_network
         self.forward_network = forward_network
         self.response_network = response_network
-        # Pre-bound sends: every delayed directory action schedules one of
-        # these handlers with the message as the event payload.
+        # Pre-bound sends: every delayed directory action rides the per-tick
+        # dispatch batches with the message as the payload.  All of them
+        # share one delay (the directory+memory access), so a request tick's
+        # whole fan-out lands in a single kernel event.
         self._send_on_response = response_network.send
         self._send_on_forward = forward_network.send
+        self._sched_batched = sim.schedule_batched
         self.directory = DirectoryBank(node)
         #: responses waiting for an in-flight writeback's data
         self._deferred_data: Dict[int, List[Message]] = {}
         request_network.attach(node, self._on_request)
         # Pre-bound counter handles for the directory hot path.
-        self._ctr_deferred_memory_responses = self.stats.counter("deferred_memory_responses")
+        self._ctr_deferred_memory_responses = self.stats.counter(
+            "deferred_memory_responses"
+        )
         self._ctr_forwards_sent = self.stats.counter("forwards_sent")
         self._ctr_invalidations_sent = self.stats.counter("invalidations_sent")
         self._ctr_memory_responses = self.stats.counter("memory_responses")
         self._ctr_nacks_sent = self.stats.counter("nacks_sent")
         self._ctr_stale_writebacks = self.stats.counter("stale_writebacks")
         self._ctr_transfers_received = self.stats.counter("transfers_received")
-        self._ctr_writeback_data_received = self.stats.counter("writeback_data_received")
+        self._ctr_writeback_data_received = self.stats.counter(
+            "writeback_data_received"
+        )
 
     # -------------------------------------------------------------- requests
     def _on_request(self, message: Message) -> None:
         if self._home_of(message.block) != self.node:
-            raise RuntimeError(f"{self.name}: request for a block homed "
-                               f"elsewhere: {message}")
+            raise RuntimeError(
+                f"{self.name}: request for a block homed elsewhere: {message}"
+            )
         kind = message.kind
         if kind is MessageKind.GETS:
             self._on_gets(message)
@@ -444,8 +517,9 @@ class DirectoryMemoryController(Component):
                 entry.state = DirectoryState.BUSY_SHARED
                 entry.busy_for = requester
             else:
-                entry.make_shared(entry.sharers_mask
-                                  | (1 << owner) | (1 << requester))
+                entry.make_shared(
+                    entry.sharers_mask | (1 << owner) | (1 << requester)
+                )
                 entry.awaiting_data = True
             return
         # Memory owns the block: serve it after the directory+memory access.
@@ -470,66 +544,93 @@ class DirectoryMemoryController(Component):
         # Memory owns the block; invalidate sharers and grant M.  The mask
         # iterates in ascending node order, matching the old sorted() walk.
         targets = entry.sharers_excluding(requester)
+        sched_batched = self._sched_batched
+        delay = self.timing.memory_access_ns
+        send_on_forward = self._send_on_forward
         for sharer in iter_sharers(targets):
-            invalidate = self.pool.acquire(MessageKind.INVALIDATE, self.node,
-                                           sharer, message.block,
-                                           requester=requester)
-            self.sim.schedule(self.timing.memory_access_ns,
-                              self._send_on_forward, label="invalidate",
-                              arg=invalidate)
+            invalidate = self.pool.acquire(
+                MessageKind.INVALIDATE,
+                self.node,
+                sharer,
+                message.block,
+                requester=requester,
+            )
+            sched_batched(delay, send_on_forward, invalidate)
             self._ctr_invalidations_sent.increment()
-        self._send_data(message, entry, exclusive=True,
-                        acks_expected=targets.bit_count())
+        self._send_data(
+            message, entry, exclusive=True, acks_expected=targets.bit_count()
+        )
         entry.make_modified(requester)
 
     def _on_putm(self, message: Message) -> None:
         entry = self.directory.entry(message.block)
         requester = message.src
-        stale = not (entry.owner == requester
-                     and entry.state in (DirectoryState.MODIFIED,
-                                         DirectoryState.BUSY_SHARED,
-                                         DirectoryState.BUSY_MODIFIED))
+        stale = not (
+            entry.owner == requester
+            and entry.state
+            in (
+                DirectoryState.MODIFIED,
+                DirectoryState.BUSY_SHARED,
+                DirectoryState.BUSY_MODIFIED,
+            )
+        )
         if not stale:
             entry.reset_to_uncached()
             entry.awaiting_data = entry.early_data_from != requester
             entry.early_data_from = None
         if stale:
             self._ctr_stale_writebacks.increment()
-        ack = self.pool.acquire(MessageKind.WRITEBACK_ACK, self.node,
-                                requester, message.block)
-        self.sim.schedule(self.timing.memory_access_ns,
-                          self._send_on_response, label="wb-ack", arg=ack)
+        ack = self.pool.acquire(
+            MessageKind.WRITEBACK_ACK, self.node, requester, message.block
+        )
+        self._sched_batched(self.timing.memory_access_ns, self._send_on_response, ack)
 
     # --------------------------------------------------------------- helpers
     def _busy(self, message: Message, entry: DirectoryEntry) -> None:
         """A request found the entry busy (DirClassic only)."""
-        nack = self.pool.acquire(MessageKind.NACK, self.node, message.src,
-                                 message.block, **{"from": "home"})
-        self.sim.schedule(self.timing.memory_access_ns,
-                          self._send_on_response, label="nack", arg=nack)
+        nack = self.pool.acquire(
+            MessageKind.NACK,
+            self.node,
+            message.src,
+            message.block,
+            **{"from": "home"},
+        )
+        self._sched_batched(
+            self.timing.memory_access_ns, self._send_on_response, nack
+        )
         self._ctr_nacks_sent.increment()
 
     def _forward(self, message: Message, owner: int, exclusive: bool) -> None:
         kind = MessageKind.FORWARD_GETM if exclusive else MessageKind.FORWARD_GETS
-        forward = self.pool.acquire(kind, self.node, owner, message.block,
-                                    requester=message.src)
-        self.sim.schedule(self.timing.memory_access_ns,
-                          self._send_on_forward, label="forward", arg=forward)
+        forward = self.pool.acquire(
+            kind, self.node, owner, message.block, requester=message.src
+        )
+        self._sched_batched(
+            self.timing.memory_access_ns, self._send_on_forward, forward
+        )
         self._ctr_forwards_sent.increment()
 
-    def _send_data(self, message: Message, entry: DirectoryEntry,
-                   exclusive: bool, acks_expected: int) -> None:
+    def _send_data(
+        self,
+        message: Message,
+        entry: DirectoryEntry,
+        exclusive: bool,
+        acks_expected: int,
+    ) -> None:
         data = self.pool.acquire(
             MessageKind.DATA_EXCLUSIVE if exclusive else MessageKind.DATA,
-            self.node, message.src, message.block,
-            version=entry.version, from_cache=False,
-            acks_expected=acks_expected)
+            self.node,
+            message.src,
+            message.block,
+            version=entry.version,
+            from_cache=False,
+            acks_expected=acks_expected,
+        )
         if entry.awaiting_data:
             self._deferred_data.setdefault(message.block, []).append(data)
             self._ctr_deferred_memory_responses.increment()
             return
-        self.sim.schedule(self.timing.memory_access_ns,
-                          self._send_on_response, label="mem-data", arg=data)
+        self._sched_batched(self.timing.memory_access_ns, self._send_on_response, data)
         self._ctr_memory_responses.increment()
 
     # ------------------------------------------------------- writeback plane
@@ -537,9 +638,11 @@ class DirectoryMemoryController(Component):
         """WRITEBACK_DATA (sharing or eviction) arrived for a homed block."""
         entry = self.directory.entry(message.block)
         entry.version = max(entry.version, message.payload.get("version", 0))
-        if (entry.state is DirectoryState.MODIFIED
-                and entry.owner == message.src
-                and not message.payload.get("sharing", False)):
+        if (
+            entry.state is DirectoryState.MODIFIED
+            and entry.owner == message.src
+            and not message.payload.get("sharing", False)
+        ):
             # Eviction data racing ahead of its PUTM; remember it so the PUTM
             # does not leave the entry waiting for a second copy.
             entry.early_data_from = message.src
@@ -558,9 +661,9 @@ class DirectoryMemoryController(Component):
         pending = self._deferred_data.pop(message.block, [])
         for data in pending:
             data.payload["version"] = entry.version
-            self.sim.schedule(self.timing.memory_access_ns,
-                              self._send_on_response, label="deferred-data",
-                              arg=data)
+            self._sched_batched(
+                self.timing.memory_access_ns, self._send_on_response, data
+            )
         self.pool.release(message)
 
     def on_transfer(self, message: Message) -> None:
@@ -580,9 +683,13 @@ class _HomeResponseRouter(Component):
     network; this tiny router keeps each controller's handler simple.
     """
 
-    def __init__(self, sim: Simulator, node: int,
-                 cache: DirectoryCacheController,
-                 memory: DirectoryMemoryController) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        cache: DirectoryCacheController,
+        memory: DirectoryMemoryController,
+    ) -> None:
         super().__init__(sim, f"resp-router.n{node}")
         self.cache = cache
         self.memory = memory
@@ -605,36 +712,78 @@ class DirectoryProtocol(CoherenceProtocol):
 
     def build(self, context: ProtocolBuildContext) -> List[DirectoryCacheController]:
         sim = context.sim
+        # The three virtual networks share one topology and one timing, so
+        # they share one memoised route table (up to num_nodes**2 entries
+        # that would otherwise be computed three times over).
+        routes: dict = {}
         request_network = VirtualNetwork(
-            sim, context.topology, context.network_timing, context.accountant,
-            perturbation=context.perturbation, name="dir-request-vnet")
+            sim,
+            context.topology,
+            context.network_timing,
+            context.accountant,
+            perturbation=context.perturbation,
+            name="dir-request-vnet",
+            routes=routes,
+        )
         if self.policy.ordered_forward_network:
             forward_network: VirtualNetwork = PointToPointOrderedNetwork(
-                sim, context.topology, context.network_timing,
-                context.accountant, perturbation=context.perturbation,
-                name="dir-forward-vnet")
+                sim,
+                context.topology,
+                context.network_timing,
+                context.accountant,
+                perturbation=context.perturbation,
+                name="dir-forward-vnet",
+                routes=routes,
+            )
         else:
             forward_network = VirtualNetwork(
-                sim, context.topology, context.network_timing,
-                context.accountant, perturbation=context.perturbation,
-                name="dir-forward-vnet")
+                sim,
+                context.topology,
+                context.network_timing,
+                context.accountant,
+                perturbation=context.perturbation,
+                name="dir-forward-vnet",
+                routes=routes,
+            )
         response_network = VirtualNetwork(
-            sim, context.topology, context.network_timing, context.accountant,
-            perturbation=context.perturbation, name="dir-response-vnet")
+            sim,
+            context.topology,
+            context.network_timing,
+            context.accountant,
+            perturbation=context.perturbation,
+            name="dir-response-vnet",
+            routes=routes,
+        )
 
         caches: List[DirectoryCacheController] = []
         pool = context.message_pool
         for node in range(context.num_nodes):
             cache = DirectoryCacheController(
-                sim, node, context.address_space, context.caches[node],
-                context.protocol_timing, self.policy, request_network,
-                forward_network, response_network, checker=context.checker,
-                pool=pool)
+                sim,
+                node,
+                context.address_space,
+                context.caches[node],
+                context.protocol_timing,
+                self.policy,
+                request_network,
+                forward_network,
+                response_network,
+                checker=context.checker,
+                pool=pool,
+            )
             memory = DirectoryMemoryController(
-                sim, node, context.address_space, context.protocol_timing,
-                self.policy, request_network, forward_network,
-                response_network, pool=pool)
+                sim,
+                node,
+                context.address_space,
+                context.protocol_timing,
+                self.policy,
+                request_network,
+                forward_network,
+                response_network,
+                pool=pool,
+            )
             router = _HomeResponseRouter(sim, node, cache, memory)
             response_network.attach(node, router.route)
+            cache.memory_controller = memory
             caches.append(cache)
         return caches

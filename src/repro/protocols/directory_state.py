@@ -22,11 +22,11 @@ from typing import Dict, Iterable, Iterator, Optional, Set, Union
 class DirectoryState(Enum):
     """Stable and transient directory states."""
 
-    UNCACHED = "I"          # memory owns the block; no cached copies tracked
-    SHARED = "S"            # memory owns the block; sharers hold S copies
-    MODIFIED = "M"          # a single cache owns the block
-    BUSY_SHARED = "BS"      # DirClassic: GETS forwarded, awaiting writeback
-    BUSY_MODIFIED = "BM"    # DirClassic: GETM forwarded, awaiting transfer
+    UNCACHED = "I"  # memory owns the block; no cached copies tracked
+    SHARED = "S"  # memory owns the block; sharers hold S copies
+    MODIFIED = "M"  # a single cache owns the block
+    BUSY_SHARED = "BS"  # DirClassic: GETS forwarded, awaiting writeback
+    BUSY_MODIFIED = "BM"  # DirClassic: GETM forwarded, awaiting transfer
 
     @property
     def is_busy(self) -> bool:
@@ -86,8 +86,9 @@ class DirectoryEntry:
         """Enter SHARED with the given sharer vector (mask or node ids)."""
         self.state = DirectoryState.SHARED
         self.owner = None
-        self.sharers_mask = (sharers if isinstance(sharers, int)
-                             else sharer_mask(sharers))
+        self.sharers_mask = (
+            sharers if isinstance(sharers, int) else sharer_mask(sharers)
+        )
         self.busy_for = None
 
     def add_sharer(self, node: int) -> None:
@@ -137,9 +138,13 @@ class DirectoryBank:
         return iter(self._entries.items())
 
     def busy_blocks(self) -> Set[int]:
-        return {block for block, entry in self._entries.items()
-                if entry.state.is_busy}
+        return {
+            block for block, entry in self._entries.items() if entry.state.is_busy
+        }
 
     def blocks_owned_by_caches(self) -> Set[int]:
-        return {block for block, entry in self._entries.items()
-                if entry.state is DirectoryState.MODIFIED}
+        return {
+            block
+            for block, entry in self._entries.items()
+            if entry.state is DirectoryState.MODIFIED
+        }

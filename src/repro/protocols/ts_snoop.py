@@ -18,6 +18,11 @@ DRAM/SRAM as soon as a transaction *arrives*, sending it only once the
 transaction is *ordered*); optimisation 2 (early processing of other
 processors' transactions) is left disabled, as in the paper's evaluation.
 Both can be toggled for ablation studies.
+
+Delayed data responses (memory data, cache-to-cache data, writeback data)
+are fire-and-forget sends, so they ride the kernel's per-tick batched
+dispatch: an ordered broadcast that triggers responses from many nodes at
+one instant costs O(distinct send ticks) kernel events, not O(messages).
 """
 
 from __future__ import annotations
@@ -82,20 +87,35 @@ class _WritebackEntry:
 class TSSnoopNode(CacheControllerBase):
     """Combined cache-side / memory-side controller for one node."""
 
-    def __init__(self, sim: Simulator, node: int, address_space: AddressSpace,
-                 cache: AnyCacheArray, timing: ProtocolTiming,
-                 address_network: AddressNetworkInterface,
-                 data_network: DataNetwork,
-                 prefetch: bool = True,
-                 checker: Optional[Any] = None,
-                 pool: Optional[MessagePool] = None) -> None:
-        super().__init__(sim, node, address_space, cache, timing,
-                         name=f"ts-snoop.n{node}", pool=pool)
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        address_space: AddressSpace,
+        cache: AnyCacheArray,
+        timing: ProtocolTiming,
+        address_network: AddressNetworkInterface,
+        data_network: DataNetwork,
+        prefetch: bool = True,
+        checker: Optional[Any] = None,
+        pool: Optional[MessagePool] = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            node,
+            address_space,
+            cache,
+            timing,
+            name=f"ts-snoop.n{node}",
+            pool=pool,
+        )
         self.address_network = address_network
         self.data_network = data_network
-        #: Pre-bound send: delayed data responses schedule this handler with
-        #: the message as the event payload (no per-response closure).
+        #: Pre-bound send: delayed data responses ride the per-tick dispatch
+        #: batches with the message as the payload (no per-response closure,
+        #: no kernel event per message).
         self._send_on_data = data_network.send
+        self._sched_batched = sim.schedule_batched
         self.prefetch = prefetch
         self.checker = checker
         self.home_blocks: Dict[int, _HomeBlockState] = {}
@@ -106,35 +126,43 @@ class TSSnoopNode(CacheControllerBase):
         self._ctr_address_broadcasts = self.stats.counter("address_broadcasts")
         self._ctr_cache_data_responses = self.stats.counter("cache_data_responses")
         self._ctr_dirty_evictions = self.stats.counter("dirty_evictions")
-        self._ctr_invalidations_observed = self.stats.counter("invalidations_observed")
-        self._ctr_memory_data_responses = self.stats.counter("memory_data_responses")
-        self._ctr_memory_deferred_responses = self.stats.counter("memory_deferred_responses")
+        self._ctr_invalidations_observed = self.stats.counter(
+            "invalidations_observed"
+        )
+        self._ctr_memory_data_responses = self.stats.counter(
+            "memory_data_responses"
+        )
+        self._ctr_memory_deferred_responses = self.stats.counter(
+            "memory_deferred_responses"
+        )
         self._ctr_orphan_data = self.stats.counter("orphan_data")
         self._ctr_owed_responses = self.stats.counter("owed_responses")
         self._ctr_stale_putm = self.stats.counter("stale_putm")
-        self._ctr_writeback_buffer_responses = self.stats.counter("writeback_buffer_responses")
-        self._ctr_writeback_data_received = self.stats.counter("writeback_data_received")
+        self._ctr_writeback_buffer_responses = self.stats.counter(
+            "writeback_buffer_responses"
+        )
+        self._ctr_writeback_data_received = self.stats.counter(
+            "writeback_data_received"
+        )
         self._ctr_writebacks_sent = self.stats.counter("writebacks_sent")
 
     # ------------------------------------------------------------------ miss
-    def _start_miss(self, block: int, access_type: AccessType,
-                    done: DoneCallback) -> None:
+    def _start_miss(
+        self, block: int, access_type: AccessType, done: DoneCallback
+    ) -> None:
         if block in self.mshrs:
             raise RuntimeError(
                 f"{self.name}: blocking processor issued a second miss to "
-                f"block {block} while one is outstanding")
-        kind = (MessageKind.GETM if access_type.needs_write_permission
-                else MessageKind.GETS)
+                f"block {block} while one is outstanding"
+            )
+        kind = (
+            MessageKind.GETM
+            if access_type.needs_write_permission
+            else MessageKind.GETS
+        )
         entry = self.mshrs.allocate(block, kind.label, self.now, self.node)
-        metadata = entry.metadata
-        metadata["done"] = done
-        metadata["access_type"] = access_type
-        metadata["logical_state"] = None
-        metadata["owed"] = []
-        metadata["data_version"] = 0
-        metadata["data_from_cache"] = False
-        metadata["data_time"] = None
-        metadata["ordered_time"] = None
+        entry.done = done
+        entry.access_type = access_type
         # Broadcast shells are owned by the address network, which releases
         # them once the last endpoint has processed the ordered delivery.
         request = self.pool.acquire(kind, self.node, None, block)
@@ -147,14 +175,18 @@ class TSSnoopNode(CacheControllerBase):
         # endpoint per broadcast, the widest fan-out in the simulator.
         message = delivery.message
         node = self.node
-        if self._home_of(message.block) == node:
+        home = delivery.home
+        if home < 0:
+            # The detailed network does not resolve homes; do it here.
+            home = self._home_of(message.block)
+        if home == node:
             self._memory_side(delivery)
         if message.src == node:
             self._own_transaction_ordered(delivery)
             return
         kind = message.kind
         if kind is MessageKind.PUTM:
-            return                      # another node's writeback: no action
+            return  # another node's writeback: no action
         exclusive = kind is MessageKind.GETM
         block = message.block
         requester = message.src
@@ -164,7 +196,7 @@ class TSSnoopNode(CacheControllerBase):
         # us the logical owner/holder even though the data is still in
         # flight; fold the remote request into the MSHR.
         entry = self._mshr_get(block)
-        if entry is not None and entry.metadata.get("logical_state") is not None:
+        if entry is not None and entry.logical_state is not None:
             self._snoop_against_mshr(entry, requester, exclusive)
             return
 
@@ -172,7 +204,7 @@ class TSSnoopNode(CacheControllerBase):
             self._respond_from_writeback_buffer(delivery, requester, exclusive)
             return
 
-        state = self.cache.state_of(block)
+        state = self._state_of(block)
         if state is CacheState.MODIFIED:
             self._respond_from_cache(delivery, requester, exclusive)
         elif state is CacheState.SHARED and exclusive:
@@ -214,14 +246,17 @@ class TSSnoopNode(CacheControllerBase):
                 # ordered ahead of the PUTM).  Ignore it.
                 self._ctr_stale_putm.increment()
 
-    def _memory_respond(self, delivery: OrderedDelivery,
-                        state: _HomeBlockState, exclusive: bool) -> None:
+    def _memory_respond(
+        self, delivery: OrderedDelivery, state: _HomeBlockState, exclusive: bool
+    ) -> None:
         """Send data from memory for an ordered GETS/GETM."""
         message = delivery.message
         requester = message.src
         if self.prefetch:
-            ready = max(delivery.arrival_time + self.timing.memory_access_ns,
-                        delivery.ordered_time)
+            ready = max(
+                delivery.arrival_time + self.timing.memory_access_ns,
+                delivery.ordered_time,
+            )
         else:
             ready = delivery.ordered_time + self.timing.memory_access_ns
         if state.awaiting_data:
@@ -231,17 +266,23 @@ class TSSnoopNode(CacheControllerBase):
             self._ctr_memory_deferred_responses.increment()
             return
         ready = max(ready, state.data_ready_time)
-        self._send_memory_data(requester, message.block, state.version,
-                               exclusive, ready)
+        self._send_memory_data(
+            requester, message.block, state.version, exclusive, ready
+        )
 
-    def _send_memory_data(self, requester: int, block: int, version: int,
-                          exclusive: bool, send_time: int) -> None:
+    def _send_memory_data(
+        self,
+        requester: int,
+        block: int,
+        version: int,
+        exclusive: bool,
+        send_time: int,
+    ) -> None:
         kind = MessageKind.DATA_EXCLUSIVE if exclusive else MessageKind.DATA
-        data = self.pool.acquire(kind, self.node, requester, block,
-                                 version=version, from_cache=False)
-        delay = max(0, send_time - self.now)
-        self.sim.schedule(delay, self._send_on_data, label="mem-data",
-                          arg=data)
+        data = self.pool.acquire(
+            kind, self.node, requester, block, version=version, from_cache=False
+        )
+        self._sched_batched(max(0, send_time - self.now), self._send_on_data, data)
         self._ctr_memory_data_responses.increment()
 
     def _on_writeback_data(self, message: Message) -> None:
@@ -258,8 +299,7 @@ class TSSnoopNode(CacheControllerBase):
                 # ordered, does not wait for a second copy.
                 state.early_data_from = message.src
                 state.data_ready_time = self.now
-                state.version = max(state.version,
-                                    message.payload.get("version", 0))
+                state.version = max(state.version, message.payload.get("version", 0))
             # Otherwise the data is stale (ownership already moved on).
             return
         state.awaiting_data = False
@@ -267,25 +307,34 @@ class TSSnoopNode(CacheControllerBase):
         state.version = max(state.version, message.payload.get("version", 0))
         deferred, state.deferred = state.deferred, []
         for requester, exclusive, earliest in deferred:
-            self._send_memory_data(requester, block, state.version, exclusive,
-                                   max(earliest, self.now))
+            self._send_memory_data(
+                requester,
+                block,
+                state.version,
+                exclusive,
+                max(earliest, self.now),
+            )
 
     # ------------------------------------------------------------- cache side
-    def _snoop_against_mshr(self, entry, requester: int,
-                            exclusive: bool) -> None:
+    def _snoop_against_mshr(self, entry, requester: int, exclusive: bool) -> None:
         """Remote request ordered after our own, before our data arrived."""
-        logical = entry.metadata["logical_state"]
+        logical = entry.logical_state
         if logical is CacheState.MODIFIED:
-            entry.metadata["owed"].append((requester, exclusive))
-            entry.metadata["logical_state"] = (
-                CacheState.INVALID if exclusive else CacheState.SHARED)
+            if entry.owed is None:
+                entry.owed = [(requester, exclusive)]
+            else:
+                entry.owed.append((requester, exclusive))
+            entry.logical_state = (
+                CacheState.INVALID if exclusive else CacheState.SHARED
+            )
             self._ctr_owed_responses.increment()
         elif logical is CacheState.SHARED and exclusive:
-            entry.metadata["logical_state"] = CacheState.INVALID
+            entry.logical_state = CacheState.INVALID
             self._ctr_invalidations_observed.increment()
 
-    def _respond_from_cache(self, delivery: OrderedDelivery, requester: int,
-                            exclusive: bool) -> None:
+    def _respond_from_cache(
+        self, delivery: OrderedDelivery, requester: int, exclusive: bool
+    ) -> None:
         block = delivery.message.block
         version = self.cache.version_of(block)
         send_time = self._cache_response_time(delivery)
@@ -299,8 +348,9 @@ class TSSnoopNode(CacheControllerBase):
             self.cache.set_state(block, CacheState.SHARED)
             self._send_writeback_data(block, version, send_time)
 
-    def _respond_from_writeback_buffer(self, delivery: OrderedDelivery,
-                                       requester: int, exclusive: bool) -> None:
+    def _respond_from_writeback_buffer(
+        self, delivery: OrderedDelivery, requester: int, exclusive: bool
+    ) -> None:
         block = delivery.message.block
         wb_entry = self.writeback_buffer.pop(block)
         send_time = self._cache_response_time(delivery)
@@ -311,27 +361,34 @@ class TSSnoopNode(CacheControllerBase):
 
     def _cache_response_time(self, delivery: OrderedDelivery) -> int:
         if self.prefetch:
-            return max(delivery.arrival_time + self.timing.cache_access_ns,
-                       delivery.ordered_time)
+            return max(
+                delivery.arrival_time + self.timing.cache_access_ns,
+                delivery.ordered_time,
+            )
         return delivery.ordered_time + self.timing.cache_access_ns
 
-    def _send_cache_data(self, requester: int, block: int, version: int,
-                         send_time: int) -> None:
-        data = self.pool.acquire(MessageKind.DATA, self.node, requester,
-                                 block, version=version, from_cache=True)
-        delay = max(0, send_time - self.now)
-        self.sim.schedule(delay, self._send_on_data, label="cache-data",
-                          arg=data)
+    def _send_cache_data(
+        self, requester: int, block: int, version: int, send_time: int
+    ) -> None:
+        data = self.pool.acquire(
+            MessageKind.DATA,
+            self.node,
+            requester,
+            block,
+            version=version,
+            from_cache=True,
+        )
+        self._sched_batched(max(0, send_time - self.now), self._send_on_data, data)
         self._ctr_cache_data_responses.increment()
 
-    def _send_writeback_data(self, block: int, version: int,
-                             send_time: int) -> None:
+    def _send_writeback_data(self, block: int, version: int, send_time: int) -> None:
         home = self._home_of(block)
-        writeback = self.pool.acquire(MessageKind.WRITEBACK_DATA, self.node,
-                                      home, block, version=version)
-        delay = max(0, send_time - self.now)
-        self.sim.schedule(delay, self._send_on_data, label="wb-data",
-                          arg=writeback)
+        writeback = self.pool.acquire(
+            MessageKind.WRITEBACK_DATA, self.node, home, block, version=version
+        )
+        self._sched_batched(
+            max(0, send_time - self.now), self._send_on_data, writeback
+        )
         self._ctr_writebacks_sent.increment()
 
     # --------------------------------------------------- own request ordered
@@ -348,10 +405,12 @@ class TSSnoopNode(CacheControllerBase):
         if entry is None:
             return
         entry.ordered = True
-        entry.metadata["ordered_time"] = delivery.ordered_time
-        entry.metadata["logical_state"] = (
-            CacheState.MODIFIED if message.kind is MessageKind.GETM
-            else CacheState.SHARED)
+        entry.ordered_time = delivery.ordered_time
+        entry.logical_state = (
+            CacheState.MODIFIED
+            if message.kind is MessageKind.GETM
+            else CacheState.SHARED
+        )
         self._maybe_complete(block)
 
     # ------------------------------------------------------------ data plane
@@ -371,10 +430,10 @@ class TSSnoopNode(CacheControllerBase):
             self.pool.release(message)
             return
         entry.data_received = True
-        entry.metadata["data_version"] = message.payload.get("version", 0)
-        entry.metadata["data_from_cache"] = message.payload.get("from_cache",
-                                                                False)
-        entry.metadata["data_time"] = self.now
+        payload = message.payload
+        entry.data_version = payload.get("version", 0)
+        entry.data_from_cache = payload.get("from_cache", False)
+        entry.data_time = self.now
         block = message.block
         self.pool.release(message)
         self._maybe_complete(block)
@@ -385,46 +444,52 @@ class TSSnoopNode(CacheControllerBase):
         if entry is None or not entry.ordered or not entry.data_received:
             return
         entry = self.mshrs.release(block)
-        metadata = entry.metadata
-        access_type: AccessType = metadata["access_type"]
-        logical_state: CacheState = metadata["logical_state"]
-        version = metadata["data_version"]
-        from_cache = metadata["data_from_cache"]
+        access_type: AccessType = entry.access_type
+        logical_state: CacheState = entry.logical_state
+        version = entry.data_version
+        from_cache = entry.data_from_cache
         complete_time = self.sim.now
 
         if access_type.needs_write_permission:
             version += 1
             if self.checker is not None:
-                self.checker.record_write(self.node, block, version,
-                                          complete_time)
+                self.checker.record_write(self.node, block, version, complete_time)
         elif self.checker is not None:
             self.checker.record_read(self.node, block, version, complete_time)
 
         if logical_state is not CacheState.INVALID:
-            install_state = (CacheState.MODIFIED
-                             if access_type.needs_write_permission
-                             and logical_state is CacheState.MODIFIED
-                             else CacheState.SHARED)
-            eviction = self.cache.install(block, install_state,
-                                          version=version,
-                                          dirty=install_state is CacheState.MODIFIED)
+            install_state = (
+                CacheState.MODIFIED
+                if access_type.needs_write_permission
+                and logical_state is CacheState.MODIFIED
+                else CacheState.SHARED
+            )
+            eviction = self.cache.install(
+                block,
+                install_state,
+                version=version,
+                dirty=install_state is CacheState.MODIFIED,
+            )
             if eviction.needs_writeback:
                 self._evict_dirty(eviction.victim_block, eviction.victim_version)
 
         self._settle_owed_responses(entry, block, version)
 
-        record = MissRecord(node=self.node, block=block, access=access_type,
-                            issue_time=entry.issue_time,
-                            complete_time=complete_time,
-                            source=(MissSource.CACHE if from_cache
-                                    else MissSource.MEMORY))
+        record = MissRecord(
+            node=self.node,
+            block=block,
+            access=access_type,
+            issue_time=entry.issue_time,
+            complete_time=complete_time,
+            source=(MissSource.CACHE if from_cache else MissSource.MEMORY),
+        )
         self.record_miss(record)
-        done: DoneCallback = metadata["done"]
+        done: DoneCallback = entry.done
         done()
 
     def _settle_owed_responses(self, entry, block: int, version: int) -> None:
         """Send data owed to requesters ordered behind our own miss."""
-        owed: List[Tuple[int, bool]] = entry.metadata["owed"]
+        owed: Optional[List[Tuple[int, bool]]] = entry.owed
         if not owed:
             return
         send_time = self.now + self.timing.cache_access_ns
@@ -441,7 +506,8 @@ class TSSnoopNode(CacheControllerBase):
         if len(owed) > 1:
             raise AssertionError(
                 f"{self.name}: more than one owed response queued for block "
-                f"{block}; the logical-state tracking is inconsistent")
+                f"{block}; the logical-state tracking is inconsistent"
+            )
 
     def _evict_dirty(self, block: int, version: int) -> None:
         """Broadcast a PUTM for a dirty victim and ship its data home."""
@@ -462,8 +528,9 @@ class TSSnoopProtocol(CoherenceProtocol):
 
     name = ProtocolName.TS_SNOOP
 
-    def __init__(self, prefetch: bool = True, slack: int = 0,
-                 detailed_network: bool = False) -> None:
+    def __init__(
+        self, prefetch: bool = True, slack: int = 0, detailed_network: bool = False
+    ) -> None:
         if slack < 0:
             raise ValueError("slack must be non-negative")
         self.prefetch = prefetch
@@ -478,24 +545,47 @@ class TSSnoopProtocol(CoherenceProtocol):
             # buffers with no single release point, so they are simply not
             # pooled there (unicast data messages still are).
             address_network: AddressNetworkInterface = TimestampAddressNetwork(
-                sim, context.topology, context.network_timing,
-                accountant=context.accountant, default_slack=self.slack)
+                sim,
+                context.topology,
+                context.network_timing,
+                accountant=context.accountant,
+                default_slack=self.slack,
+            )
         else:
             address_network = AnalyticalTimestampNetwork(
-                sim, context.topology, context.network_timing,
-                accountant=context.accountant, default_slack=self.slack,
-                perturbation=context.perturbation, message_pool=pool)
-        data_network = DataNetwork(sim, context.topology,
-                                   context.network_timing,
-                                   context.accountant,
-                                   perturbation=context.perturbation,
-                                   name="ts-data-network")
+                sim,
+                context.topology,
+                context.network_timing,
+                accountant=context.accountant,
+                default_slack=self.slack,
+                perturbation=context.perturbation,
+                message_pool=pool,
+                home_resolver=context.address_space.home_of,
+            )
+        data_network = DataNetwork(
+            sim,
+            context.topology,
+            context.network_timing,
+            context.accountant,
+            perturbation=context.perturbation,
+            name="ts-data-network",
+        )
         nodes = []
         for node in range(context.num_nodes):
-            nodes.append(TSSnoopNode(
-                sim, node, context.address_space, context.caches[node],
-                context.protocol_timing, address_network, data_network,
-                prefetch=self.prefetch, checker=context.checker, pool=pool))
+            nodes.append(
+                TSSnoopNode(
+                    sim,
+                    node,
+                    context.address_space,
+                    context.caches[node],
+                    context.protocol_timing,
+                    address_network,
+                    data_network,
+                    prefetch=self.prefetch,
+                    checker=context.checker,
+                    pool=pool,
+                )
+            )
         if isinstance(address_network, TimestampAddressNetwork):
             address_network.start()
         return nodes

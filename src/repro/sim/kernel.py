@@ -39,6 +39,22 @@ Scheduling also carries an optional ``arg`` payload: ``schedule(delay,
 callback, arg=payload)`` invokes ``callback(payload)``.  Hot producers pass
 a pre-bound method plus its payload instead of building a per-event
 closure, which is both faster and allocation-free once shells are pooled.
+
+Fire-and-forget work is *batched per tick*: a producer that never cancels
+calls ``schedule_batched(delay, callback, arg)`` and the calendar queue
+appends a bare ``(callback, arg)`` pair -- no :class:`Event` shell, no seq
+ticket -- straight into the exact-tick bucket's priority-0 lane, the same
+FIFO lane cancellable events of that tick live in.  The dispatcher drains
+whole lanes at a time (``pop_due_batch``), so a 256-node directory tick
+costs one bucket lookup plus a tight pair-dispatch loop instead of a
+scheduler push and pop per message.  Because pairs and event shells share
+one lane, the global dispatch order -- ``(time, priority, FIFO)`` -- is
+bit-identical to unbatched dispatch by construction, whatever mix of
+producers shares a tick.  ``Simulator(batched_dispatch=False)`` /
+``SystemConfig.batched_dispatch`` restores one kernel event per callback
+(the reference behaviour; results are bit-identical either way, enforced by
+the differential property suite in ``tests/sim/test_tick_batch.py``), and
+schedulers without lane storage (``heapq``) fall back to it transparently.
 """
 
 from __future__ import annotations
@@ -177,7 +193,8 @@ class EventQueueBase:
 
     ``len()`` counts *live* events only: entries that have been neither
     popped nor cancelled.  Cancelled entries stay queued until they surface
-    (lazy deletion) but are never counted.
+    (lazy deletion) but are never counted.  Batched pairs pushed with
+    :meth:`push_batched` count like any other live entry.
 
     ``pool`` is an optional :class:`EventPool`; when given, ``push`` reuses
     released shells and the queue releases cancelled entries as they
@@ -214,7 +231,9 @@ class EventQueueBase:
         """Recycle whatever is left in a dropped exact-tick bucket.
 
         Buckets are only dropped once their live count reaches zero, so any
-        remaining entries are cancelled shells awaiting lazy deletion.
+        remaining entries are cancelled shells awaiting lazy deletion
+        (batched pairs are always live, so none can be left here; the
+        guard is defensive).
         """
         pool = self._pool
         if pool is None:
@@ -222,7 +241,8 @@ class EventQueueBase:
         lane = bucket[1]
         if lane is not None:
             for event in lane:
-                pool.release(event)
+                if event.__class__ is not tuple:
+                    pool.release(event)
         lanes = bucket[2]
         if lanes is not None:
             for lane in lanes.values():
@@ -252,6 +272,31 @@ class EventQueueBase:
         queue's internal structure once per event.
         """
         raise NotImplementedError
+
+    def push_batched(self, time: int, callback: Callable[..., None], arg: Any) -> None:
+        """Insert fire-and-forget priority-0 work with no cancel handle.
+
+        Lane-based schedulers (the calendar queue) override this to append
+        a bare ``(callback, arg)`` pair into the exact-tick bucket's
+        priority-0 lane -- the per-message fast path behind
+        ``Simulator.schedule_batched``.  The default degrades to a plain
+        :meth:`push` (one event shell per callback), which keeps every
+        scheduler/batching combination bit-identical.
+        """
+        self.push(time, callback, 0, "", arg)
+
+    def pop_due_batch(self, limit: Optional[int]):
+        """Pop the earliest due *dispatch unit*.
+
+        Lane-based schedulers return ``(time, lane, bucket)`` when the next
+        unit is a whole exact-tick priority-0 lane: the caller dispatches
+        the lane's entries in place (popping left; pairs and event shells
+        interleave in FIFO = seq order) and then settles the live counts by
+        subtracting the number of live entries it consumed from both
+        ``bucket[0]`` and ``_live``.  Otherwise -- and always, in this
+        default -- behaves exactly like :meth:`pop_due`.
+        """
+        return self.pop_due(limit)
 
     def peek_time(self) -> Optional[int]:
         raise NotImplementedError
@@ -355,14 +400,25 @@ class CalendarQueue(EventQueueBase):
 
     Pop order is identical to :class:`EventQueue`:
     ``(time, priority, seq)`` -- verified by property tests.
+
+    :meth:`push_batched` appends bare ``(callback, arg)`` pairs into the
+    priority-0 lanes alongside regular event shells; a queue holding such
+    pairs must be drained with :meth:`pop_due_batch` (as the simulator's
+    dispatch loops do) -- the per-event ``pop``/``pop_due`` are only
+    type-safe on lanes of shells.
     """
 
-    __slots__ = ("_buckets", "_times")
+    __slots__ = ("_buckets", "_times", "_saw_negative_priority")
 
     name = "calendar"
 
     def __init__(self, pool: Optional[EventPool] = None) -> None:
         super().__init__(pool)
+        #: Sticky: a negative-priority push ever happened.  Negative
+        #: priorities only appear in tests, so the lane-drain loops can
+        #: guard their orders-before-the-lane re-check behind this flag
+        #: instead of paying a min() over the priority lanes per entry.
+        self._saw_negative_priority = False
         # time -> [live_count, deque[Event] | None, {priority: deque} | None].
         # Slot 1 is the dedicated priority-0 lane: virtually every event the
         # simulated system schedules has priority 0, so the common bucket is
@@ -403,6 +459,8 @@ class CalendarQueue(EventQueueBase):
             if priority == 0:
                 self._buckets[time] = [1, deque((event,)), None]
             else:
+                if priority < 0:
+                    self._saw_negative_priority = True
                 self._buckets[time] = [1, None, {priority: deque((event,))}]
             heapq.heappush(self._times, time)
         else:
@@ -414,6 +472,8 @@ class CalendarQueue(EventQueueBase):
                 else:
                     lane.append(event)
             else:
+                if priority < 0:
+                    self._saw_negative_priority = True
                 _bucket_append_lane(bucket, event, priority)
         return event
 
@@ -532,6 +592,65 @@ class CalendarQueue(EventQueueBase):
             heapq.heappop(times)
         return None
 
+    def push_batched(self, time: int, callback: Callable[..., None], arg: Any) -> None:
+        """Append a fire-and-forget ``(callback, arg)`` pair to the exact-tick
+        priority-0 lane.
+
+        No :class:`Event` shell, no seq ticket: FIFO position inside the
+        lane *is* seq order, so dispatch order is bit-identical to a plain
+        ``push`` of the same callback.  This is the per-message fast path of
+        batched dispatch.
+        """
+        self._live += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [1, deque(((callback, arg),)), None]
+            heapq.heappush(self._times, time)
+        else:
+            bucket[0] += 1
+            lane = bucket[1]
+            if lane is None:
+                bucket[1] = deque(((callback, arg),))
+            else:
+                lane.append((callback, arg))
+
+    def pop_due_batch(self, limit: Optional[int]):
+        """Pop the earliest due dispatch unit: a whole priority-0 lane when
+        possible (returned as ``(time, lane, bucket)``), else one event.
+
+        Negative-priority lanes (tests only) order before the priority-0
+        lane and are popped per event; buckets holding only positive
+        priority lanes fall back to per-event popping too (those lanes
+        never contain batched pairs).
+        """
+        buckets = self._buckets
+        times = self._times
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            live = bucket[0]
+            if live > 0:
+                if limit is not None and time > limit:
+                    return None
+                lanes = bucket[2]
+                if lanes:
+                    priority = min(lanes)
+                    if priority < 0:
+                        event = self._pop_from_lane(bucket, lanes, priority, live)
+                        if event is not None:
+                            return event
+                        continue
+                lane = bucket[1]
+                if lane:
+                    return (time, lane, bucket)
+                event = self._pop_from_bucket(bucket, live)
+                if event is not None:
+                    return event
+            self._release_bucket_events(bucket)
+            del buckets[time]
+            heapq.heappop(times)
+        return None
+
     def peek_time(self) -> Optional[int]:
         """Return the time of the earliest pending event, or ``None``."""
         buckets = self._buckets
@@ -584,7 +703,8 @@ def _bucket_disown(bucket: list) -> None:
     """Drop the queue backlink of every event still inside a bucket."""
     if bucket[1] is not None:
         for event in bucket[1]:
-            event._queue = None
+            if event.__class__ is not tuple:
+                event._queue = None
     if bucket[2] is not None:
         for lane in bucket[2].values():
             for event in lane:
@@ -1007,13 +1127,20 @@ class Simulator:
     """The event-driven simulation engine.
 
     A :class:`Simulator` owns the clock and the event queue.  Model
-    components call :meth:`schedule` / :meth:`schedule_at` to arrange future
-    work; :meth:`run` drains events until the queue empties, a time limit is
-    hit, or an event budget is exhausted.
+    components call :meth:`schedule` / :meth:`schedule_at` to arrange
+    future cancellable work (one event shell each), or
+    :meth:`schedule_batched` / :meth:`schedule_batched_at` for
+    fire-and-forget work, which is batched per tick: a bare ``(callback,
+    arg)`` pair appended to the tick's priority-0 lane.  :meth:`run` drains
+    events until the queue empties, a time limit is hit, or an event budget
+    is exhausted.
 
     ``scheduler`` selects the event-queue implementation (see
     :data:`SCHEDULERS`); ``event_pool`` recycles event shells through an
-    :class:`EventPool` (the default).  Every combination yields bit-identical
+    :class:`EventPool` (the default); ``batched_dispatch`` enables the
+    per-tick pair batching (one event shell per callback when False -- the
+    reference dispatch; schedulers without lane storage, like ``heapq``,
+    always behave that way).  Every combination yields bit-identical
     simulations.
     """
 
@@ -1021,11 +1148,26 @@ class Simulator:
         self,
         scheduler: str = DEFAULT_SCHEDULER,
         event_pool: bool = True,
+        batched_dispatch: bool = True,
     ) -> None:
         self._event_pool = EventPool() if event_pool else None
         self._queue = make_event_queue(scheduler, self._event_pool)
-        #: Bound push: the scheduling fast path skips one attribute hop.
+        #: Bound pushes: the scheduling fast paths skip one attribute hop.
+        #: ``_push_batched`` is None when batching is off, which routes
+        #: ``schedule_batched`` through the reference one-event-per-callback
+        #: path.
         self._push = self._queue.push
+        self._push_batched = self._queue.push_batched if batched_dispatch else None
+        self._batched = batched_dispatch
+        # Direct lane handles for the calendar queue: schedule_batched runs
+        # the bucket ops inline instead of paying a second call layer per
+        # message.  Other schedulers go through queue.push_batched.
+        if batched_dispatch and type(self._queue) is CalendarQueue:
+            self._lane_buckets = self._queue._buckets
+            self._lane_times = self._queue._times
+        else:
+            self._lane_buckets = None
+            self._lane_times = None
         self._now = 0
         self._events_processed = 0
         self._running = False
@@ -1043,6 +1185,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
+        """Live entries awaiting dispatch (batched pairs count like events).
+
+        Exact at dispatch-unit boundaries; while a tick lane is mid-drain
+        its already-dispatched entries are only subtracted when the lane is
+        settled (end of the lane, budget pause, or ``stop``).
+        """
         return len(self._queue)
 
     @property
@@ -1054,6 +1202,11 @@ class Simulator:
     def event_pool(self) -> Optional[EventPool]:
         """The shell pool, or ``None`` when pooling is disabled."""
         return self._event_pool
+
+    @property
+    def batched_dispatch(self) -> bool:
+        """Whether fire-and-forget work is batched into per-tick lanes."""
+        return self._batched
 
     # -------------------------------------------------------------- schedule
     def schedule(
@@ -1092,6 +1245,85 @@ class Simulator:
             )
         return self._push(time, callback, priority, label, arg)
 
+    def schedule_batched(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        arg: Any = None,
+        priority: int = 0,
+    ) -> None:
+        """Schedule fire-and-forget work, batched into its tick's lane.
+
+        The per-message fast path for producers that never cancel: on a
+        lane-based scheduler this appends a bare ``(callback, arg)`` pair to
+        the exact-tick priority-0 lane -- no event shell, no per-entry pop
+        -- and the dispatcher drains the whole lane at once.  Dispatch
+        order is bit-identical to an equivalent ``schedule()`` call because
+        pairs and event shells share the same FIFO lane.
+
+        No handle is returned; use :meth:`schedule` for cancellable work.
+        Non-zero priorities (the ordered fan-out's source tie-break) and
+        ``batched_dispatch=False`` degrade to exactly one kernel event per
+        callback, the reference behaviour.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        buckets = self._lane_buckets
+        if buckets is None or priority != 0:
+            push_batched = self._push_batched
+            if push_batched is not None and priority == 0:
+                push_batched(self._now + delay, callback, arg)
+            else:
+                self._push(self._now + delay, callback, priority, "", arg)
+            return
+        # Inlined CalendarQueue.push_batched: the per-message fast path.
+        time = self._now + delay
+        self._queue._live += 1
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [1, deque(((callback, arg),)), None]
+            heapq.heappush(self._lane_times, time)
+        else:
+            bucket[0] += 1
+            lane = bucket[1]
+            if lane is None:
+                bucket[1] = deque(((callback, arg),))
+            else:
+                lane.append((callback, arg))
+
+    def schedule_batched_at(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        arg: Any = None,
+        priority: int = 0,
+    ) -> None:
+        """Absolute-time variant of :meth:`schedule_batched`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        buckets = self._lane_buckets
+        if buckets is None or priority != 0:
+            push_batched = self._push_batched
+            if push_batched is not None and priority == 0:
+                push_batched(time, callback, arg)
+            else:
+                self._push(time, callback, priority, "", arg)
+            return
+        self._queue._live += 1
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [1, deque(((callback, arg),)), None]
+            heapq.heappush(self._lane_times, time)
+        else:
+            bucket[0] += 1
+            lane = bucket[1]
+            if lane is None:
+                bucket[1] = deque(((callback, arg),))
+            else:
+                lane.append((callback, arg))
+
     # ------------------------------------------------------------------- run
     def run(
         self,
@@ -1101,9 +1333,12 @@ class Simulator:
     ) -> int:
         """Drain the event queue.
 
-        Returns the number of events processed during this call.  ``until``
-        is an inclusive simulated-time bound; ``max_events`` bounds the work
-        done by this call (useful for watchdogs in tests).
+        Returns the number of events processed during this call (batched
+        pairs count exactly like events).  ``until`` is an inclusive
+        simulated-time bound; ``max_events`` bounds the work done by this
+        call (useful for watchdogs in tests); both are honoured per entry,
+        including inside a tick lane, so runs slice identically whether or
+        not dispatch is batched.
 
         Clock semantics: when ``until`` is given and the call covers the full
         interval -- every event at or before ``until`` ran, whether the queue
@@ -1117,28 +1352,103 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         queue = self._queue
-        pop_due = queue.pop_due
+        pop_due_batch = queue.pop_due_batch
         pool = self._event_pool
         free_append = pool._free.append if pool is not None else None
-        # The loop leans on pop_due returning None for "drained or beyond
-        # the bound" instead of re-testing the queue per event, and folds
-        # the events_processed total in once at the end: both cost a Python
-        # call (or two bytecodes) per event otherwise.
+        budget = 0x7FFFFFFFFFFFFFFF if max_events is None else max_events
+        # The loop pulls one *dispatch unit* at a time: a single event, or a
+        # whole exact-tick priority-0 lane drained in place -- one queue
+        # call per tick instead of per event.  events_processed is folded in
+        # once at the end; per-event bookkeeping costs a Python call (or two
+        # bytecodes) per event otherwise.
         try:
             while True:
                 if self._stop_requested:
                     completed = False
                     break
-                if max_events is not None and processed >= max_events:
+                if processed >= budget:
                     # The budget only makes this an early exit if an
                     # eligible event was actually left unprocessed.
                     next_time = queue.peek_time()
                     if next_time is not None and (until is None or next_time <= until):
                         completed = False
                     break
-                event = pop_due(until)
-                if event is None:
+                unit = pop_due_batch(until)
+                if unit is None:
                     break
+                if unit.__class__ is tuple:
+                    # A whole tick lane.  Batched (callback, arg) pairs and
+                    # cancellable event shells interleave in FIFO = seq
+                    # order; work appended to this tick's lane by the
+                    # callbacks themselves is picked up by this same drain,
+                    # exactly as per-event popping would.  The lane stays
+                    # attached to its bucket, so an early exit (stop/budget)
+                    # just leaves the remainder queued; the live counts the
+                    # in-place pops bypassed are settled at the end.
+                    time, lane, bucket = unit
+                    self._now = time
+                    dispatched = 0
+                    popped = 0
+                    remaining = budget - processed
+                    popleft = lane.popleft
+                    # The settlement must survive a raising callback, or the
+                    # live counts drift for the rest of the process; the
+                    # entry mid-dispatch counts as popped (live dropped, like
+                    # the reference pop) but not as processed (the reference
+                    # loop counts after the callback returns).
+                    try:
+                        while lane:
+                            if (
+                                queue._saw_negative_priority
+                                and bucket[2]
+                                and min(bucket[2]) < 0
+                            ):
+                                # A callback scheduled a negative-priority
+                                # event at this same tick: it orders before
+                                # the rest of this lane, so fall back to the
+                                # per-event pop path.  The sticky flag keeps
+                                # the common case (no negative priorities
+                                # ever) to one attribute test per entry.
+                                break
+                            entry = popleft()
+                            if entry.__class__ is tuple:
+                                popped += 1
+                                callback, arg = entry
+                                if arg is None:
+                                    callback()
+                                else:
+                                    callback(arg)
+                            else:
+                                if entry.cancelled:
+                                    # Already uncounted when it was cancelled.
+                                    if free_append is not None:
+                                        entry.generation += 1
+                                        entry.callback = None
+                                        entry.arg = None
+                                        free_append(entry)
+                                    continue
+                                popped += 1
+                                entry._queue = None
+                                callback = entry.callback
+                                arg = entry.arg
+                                if arg is None:
+                                    callback()
+                                else:
+                                    callback(arg)
+                                if free_append is not None:
+                                    entry.generation += 1
+                                    entry.callback = None
+                                    entry.arg = None
+                                    free_append(entry)
+                            dispatched += 1
+                            if dispatched >= remaining or self._stop_requested:
+                                break
+                    finally:
+                        bucket[0] -= popped
+                        queue._live -= popped
+                        processed += dispatched
+                    continue
+                event = unit
                 self._now = event.time
                 callback = event.callback
                 arg = event.arg
@@ -1168,11 +1478,58 @@ class Simulator:
             self._running = False
         return processed
 
-    def step(self) -> bool:
-        """Process a single event.  Returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        event = self._queue.pop()
+    def _dispatch_unit(self, unit) -> int:
+        """Dispatch one unit from ``pop_due_batch`` (cold paths).
+
+        ``step`` and ``iterate_events`` share this; ``run`` inlines the
+        same logic.  Returns the number of entries dispatched.
+        """
+        pool = self._event_pool
+        if unit.__class__ is tuple:
+            time, lane, bucket = unit
+            self._now = time
+            dispatched = 0
+            popped = 0
+            popleft = lane.popleft
+            try:
+                while lane:
+                    if (
+                        self._queue._saw_negative_priority
+                        and bucket[2]
+                        and min(bucket[2]) < 0
+                    ):
+                        # A newly scheduled negative-priority event at this
+                        # tick orders before the rest of the lane.
+                        break
+                    entry = popleft()
+                    if entry.__class__ is tuple:
+                        popped += 1
+                        callback, arg = entry
+                        if arg is None:
+                            callback()
+                        else:
+                            callback(arg)
+                    else:
+                        if entry.cancelled:
+                            if pool is not None:
+                                pool.release(entry)
+                            continue
+                        popped += 1
+                        entry._queue = None
+                        callback = entry.callback
+                        arg = entry.arg
+                        if arg is None:
+                            callback()
+                        else:
+                            callback(arg)
+                        if pool is not None:
+                            pool.release(entry)
+                    dispatched += 1
+            finally:
+                bucket[0] -= popped
+                self._queue._live -= popped
+            return dispatched
+        event = unit
         self._now = event.time
         callback = event.callback
         arg = event.arg
@@ -1180,9 +1537,22 @@ class Simulator:
             callback()
         else:
             callback(arg)
-        if self._event_pool is not None:
-            self._event_pool.release(event)
-        self._events_processed += 1
+        if pool is not None:
+            pool.release(event)
+        return 1
+
+    def step(self) -> bool:
+        """Process a single dispatch unit.  Returns False when the queue is
+        empty.
+
+        A batched tick lane is one step but counts as ``len(lane)``
+        processed events (matching what the unbatched kernel would have
+        counted).
+        """
+        unit = self._queue.pop_due_batch(None)
+        if unit is None:
+            return False
+        self._events_processed += self._dispatch_unit(unit)
         return True
 
     def stop(self) -> None:
@@ -1201,7 +1571,7 @@ class Simulator:
 
     # --------------------------------------------------------------- utility
     def iterate_events(self, *, until: Optional[int] = None) -> Iterator[int]:
-        """Yield the simulation time after each processed event.
+        """Yield the simulation time after each processed dispatch unit.
 
         Convenience generator used by interactive examples and a handful of
         tests that want to observe the simulation advancing.
@@ -1209,25 +1579,15 @@ class Simulator:
         Matches :meth:`run`'s clock semantics: once the generator is
         exhausted (queue drained or no event at or before ``until`` remains),
         the clock lands on ``until``.  Abandoning the generator early leaves
-        the clock at the last processed event.
+        the clock at the last processed event.  A batched tick lane is one
+        yield (its entries all share one timestamp) but counts as
+        ``len(lane)`` processed events.
         """
-        while self._queue:
-            next_time = self._queue.peek_time()
-            if next_time is None:
+        while True:
+            unit = self._queue.pop_due_batch(until)
+            if unit is None:
                 break
-            if until is not None and next_time > until:
-                break
-            event = self._queue.pop()
-            self._now = event.time
-            callback = event.callback
-            arg = event.arg
-            if arg is None:
-                callback()
-            else:
-                callback(arg)
-            if self._event_pool is not None:
-                self._event_pool.release(event)
-            self._events_processed += 1
+            self._events_processed += self._dispatch_unit(unit)
             yield self._now
         if until is not None and until > self._now:
             self._now = until

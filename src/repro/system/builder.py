@@ -87,7 +87,8 @@ class SystemBuilder:
                 f"expected {config.num_nodes} streams, got {len(streams)}")
 
         sim = Simulator(scheduler=config.scheduler,
-                        event_pool=config.event_pool)
+                        event_pool=config.event_pool,
+                        batched_dispatch=config.batched_dispatch)
         topology = make_topology(config.network, config.num_nodes)
         address_space = AddressSpace(total_bytes=config.memory_bytes,
                                      block_size=config.block_size_bytes,

@@ -55,10 +55,14 @@ class SystemConfig:
     # ``repro.sim.kernel.SCHEDULERS``): "calendar" is the fast bucket
     # scheduler, "wheel" a timing-wheel alternative, "heapq" the reference
     # heap.  ``event_pool`` recycles kernel event shells through a free
-    # list (fresh allocation per event when False).  Results are
-    # bit-identical regardless of either choice (verified by test).
+    # list (fresh allocation per event when False).  ``batched_dispatch``
+    # aggregates the protocols'/networks' fire-and-forget sends into one
+    # kernel event per (tick, priority) (one event per send when False --
+    # the reference dispatch).  Results are bit-identical regardless of
+    # any of the three choices (verified by test).
     scheduler: str = DEFAULT_SCHEDULER
     event_pool: bool = True
+    batched_dispatch: bool = True
 
     # Per-access data path (see ``repro.memory.cache.CACHE_ARRAYS``):
     # "packed" stores cache state in parallel int columns, "dict" is the

@@ -66,10 +66,11 @@ class TestEventPoolBitIdentity:
         assert pooled == fresh
 
     def test_reference_kernel_against_fast_configs(self):
-        """The fully-reference kernel (heapq + fresh shells) matches both
-        fast schedulers with pooled shells bit for bit, under perturbation
-        replicas."""
+        """The fully-reference kernel (heapq + fresh shells + unbatched
+        dispatch) matches both fast schedulers with pooled shells and
+        batched dispatch bit for bit, under perturbation replicas."""
         reference = _run_all("heapq", event_pool=False,
+                             batched_dispatch=False,
                              perturbation_replicas=2)
         for scheduler in FAST_SCHEDULERS:
             fast = _run_all(scheduler, event_pool=True,
@@ -77,11 +78,43 @@ class TestEventPoolBitIdentity:
             assert fast == reference
 
 
+class TestBatchedDispatchBitIdentity:
+    """SystemConfig.batched_dispatch=False (one kernel event per send)
+    changes nothing."""
+
+    def test_batching_toggle_identical(self):
+        batched = _run_all(DEFAULT_SCHEDULER, batched_dispatch=True)
+        unbatched = _run_all(DEFAULT_SCHEDULER, batched_dispatch=False)
+        assert batched == unbatched
+
+    def test_batching_toggle_identical_on_detailed_network(self):
+        batched = _run_all(DEFAULT_SCHEDULER, batched_dispatch=True,
+                           detailed_address_network=True)
+        unbatched = _run_all(DEFAULT_SCHEDULER, batched_dispatch=False,
+                             detailed_address_network=True)
+        assert batched == unbatched
+
+    def test_batching_toggle_identical_under_perturbation(self):
+        batched = _run_all(DEFAULT_SCHEDULER, batched_dispatch=True,
+                           perturbation_replicas=2)
+        unbatched = _run_all(DEFAULT_SCHEDULER, batched_dispatch=False,
+                             perturbation_replicas=2)
+        assert batched == unbatched
+
+    def test_batching_on_fallback_schedulers_identical(self):
+        """Schedulers without lane storage run batched requests through
+        the plain push path; results must not change either way."""
+        calendar = _run_all("calendar", batched_dispatch=True)
+        for scheduler in ("heapq", "wheel"):
+            assert _run_all(scheduler, batched_dispatch=True) == calendar
+
+
 class TestSchedulerConfig:
-    def test_default_is_calendar_with_pooling(self):
+    def test_default_is_calendar_with_pooling_and_batching(self):
         assert DEFAULT_SCHEDULER == "calendar"
         assert SystemConfig().scheduler == "calendar"
         assert SystemConfig().event_pool is True
+        assert SystemConfig().batched_dispatch is True
 
     def test_unknown_scheduler_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,416 @@
+"""Differential property tests for per-tick batched dispatch.
+
+``schedule_batched`` appends bare ``(callback, arg)`` pairs into the
+calendar queue's exact-tick priority-0 lanes; the dispatcher drains whole
+lanes at a time.  Every observable -- dispatch order, ``events_processed``,
+``run(max_events=)`` slice boundaries, ``pending_events``, the clock -- must
+be bit-identical to unbatched dispatch (one pooled event shell per
+callback), for every interleaving of batched work, cancellable work and
+cancellations, including callbacks that schedule more work mid-drain.
+Randomised programs are driven by hypothesis.
+"""
+
+import pytest
+
+from repro.sim.kernel import (
+    CalendarQueue,
+    SimulationError,
+    Simulator,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+# A program is a tree of commands; children are scheduled from inside the
+# parent's callback, so nesting exercises scheduling during a lane drain.
+# ops: "batched" / "batched_arg" / "plain" / "cancelled" (a plain schedule
+# whose handle is cancelled by the next command's callback).
+_ops = st.sampled_from(["batched", "batched_arg", "plain", "cancelled"])
+
+
+def _commands(depth: int):
+    children = _commands(depth - 1) if depth > 0 else st.just(())
+    return st.lists(
+        st.tuples(
+            _ops,
+            st.integers(min_value=0, max_value=12),  # delay
+            st.integers(min_value=0, max_value=2),  # priority
+            children,  # scheduled mid-callback
+        ),
+        max_size=4 if depth < 2 else 6,
+    ).map(tuple)
+
+
+def _program():
+    return _commands(2)
+
+
+def _run_program(
+    program,
+    batched,
+    event_pool=True,
+    slice_size=None,
+    until=None,
+    scheduler="calendar",
+):
+    """Interpret ``program`` on one simulator; return the observables."""
+    sim = Simulator(
+        scheduler=scheduler, event_pool=event_pool, batched_dispatch=batched
+    )
+    log = []
+    uid = [0]
+    cancellable = []
+
+    def schedule_commands(commands):
+        for op, delay, priority, children in commands:
+            uid[0] += 1
+            ident = uid[0]
+
+            def callback(ident=ident, children=children, arg=None):
+                log.append((ident, sim.now))
+                schedule_commands(children)
+
+            if op == "batched":
+                sim.schedule_batched(delay, callback, None, priority)
+            elif op == "batched_arg":
+                sim.schedule_batched(delay, callback, "payload", priority)
+            elif op == "plain":
+                event = sim.schedule(delay, callback, priority=priority)
+                cancellable.append((event, event.generation))
+            else:  # "cancelled": cancel the oldest live cancellable handle
+                sim.schedule(delay, _make_canceller(), priority=priority)
+
+    def _make_canceller():
+        def cancel_one(arg=None):
+            log.append(("cancel", sim.now))
+            if cancellable:
+                event, generation = cancellable.pop(0)
+                event.cancel(generation)
+
+        return cancel_one
+
+    schedule_commands(program)
+    slices = []
+    if slice_size is None:
+        sim.run(until=until)
+    else:
+        while True:
+            processed = sim.run(until=until, max_events=slice_size)
+            slices.append(processed)
+            if processed == 0:
+                break
+    return {
+        "log": log,
+        "slices": slices,
+        "events_processed": sim.events_processed,
+        "now": sim.now,
+        "pending": sim.pending_events,
+    }
+
+
+class TestBatchedDispatchDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(program=_program())
+    def test_dispatch_order_and_counts_identical(self, program):
+        assert _run_program(program, True) == _run_program(program, False)
+
+    @settings(max_examples=60, deadline=None)
+    @given(program=_program())
+    def test_identical_without_event_pool(self, program):
+        batched = _run_program(program, True, event_pool=False)
+        unbatched = _run_program(program, False, event_pool=False)
+        assert batched == unbatched
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        program=_program(),
+        slice_size=st.integers(min_value=1, max_value=5),
+    )
+    def test_budget_slices_identical(self, program, slice_size):
+        """run(max_events=) must pause at the same entry, even mid-lane."""
+        batched = _run_program(program, True, slice_size=slice_size)
+        unbatched = _run_program(program, False, slice_size=slice_size)
+        assert batched == unbatched
+
+    @settings(max_examples=60, deadline=None)
+    @given(program=_program(), until=st.integers(min_value=0, max_value=15))
+    def test_until_bound_identical(self, program, until):
+        batched = _run_program(program, True, until=until)
+        unbatched = _run_program(program, False, until=until)
+        assert batched == unbatched
+
+    @settings(max_examples=40, deadline=None)
+    @given(program=_program())
+    def test_heapq_fallback_identical(self, program):
+        """schedule_batched degrades to plain events on non-lane schedulers."""
+        heapq_run = _run_program(program, True, scheduler="heapq")
+        calendar_run = _run_program(program, True, scheduler="calendar")
+        assert heapq_run == calendar_run
+
+    @settings(max_examples=40, deadline=None)
+    @given(program=_program())
+    def test_wheel_fallback_identical(self, program):
+        wheel_run = _run_program(program, True, scheduler="wheel")
+        calendar_run = _run_program(program, False, scheduler="calendar")
+        assert wheel_run == calendar_run
+
+    @settings(max_examples=40, deadline=None)
+    @given(program=_program())
+    def test_pool_recycles_across_batch_drains(self, program):
+        """Pooled shells released by lane drains are reused, not leaked:
+        the pool never holds more shells than events were ever live."""
+        sim = Simulator(batched_dispatch=True)
+        total = [0]
+
+        def schedule_commands(commands):
+            for op, delay, priority, children in commands:
+                def callback(children=children, arg=None):
+                    schedule_commands(children)
+
+                total[0] += 1
+                if op in ("batched", "batched_arg"):
+                    sim.schedule_batched(delay, callback, None, priority)
+                else:
+                    sim.schedule(delay, callback, priority=priority)
+
+        schedule_commands(program)
+        sim.run()
+        assert sim.pending_events == 0
+        # Only plain schedules consume shells; batched pairs never do.
+        assert len(sim.event_pool) <= total[0]
+
+
+class TestBatchedDispatchUnits:
+    def test_pairs_and_events_share_lane_fifo(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batched(5, log.append, "pair-1")
+        sim.schedule(5, lambda: log.append("event"))
+        sim.schedule_batched(5, log.append, "pair-2")
+        sim.run()
+        assert log == ["pair-1", "event", "pair-2"]
+
+    def test_noarg_pair_dispatches_without_payload(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batched(3, lambda: log.append("called"))
+        sim.run()
+        assert log == ["called"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_batched(-1, lambda: None)
+
+    def test_schedule_batched_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_batched_at(2, lambda: None)
+
+    def test_schedule_batched_at_orders_with_relative(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batched_at(7, log.append, "absolute")
+        sim.schedule_batched(7, log.append, "relative")
+        sim.schedule_batched_at(6, log.append, "earlier")
+        sim.run()
+        assert log == ["earlier", "absolute", "relative"]
+
+    def test_nonzero_priority_falls_back_to_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batched(4, log.append, "fanout", 1)
+        sim.schedule_batched(4, log.append, "lane", 0)
+        sim.run()
+        assert log == ["lane", "fanout"]
+        assert sim.events_processed == 2
+
+    def test_pending_events_counts_pairs(self):
+        sim = Simulator()
+        sim.schedule_batched(1, lambda: None)
+        sim.schedule_batched(1, lambda: None)
+        sim.schedule(1, lambda: None)
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancelled_event_in_lane_is_skipped_and_uncounted(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batched(2, log.append, "before")
+        event = sim.schedule(2, lambda: log.append("cancelled"))
+        sim.schedule_batched(2, log.append, "after")
+        event.cancel(event.generation)
+        assert sim.pending_events == 2
+        processed = sim.run()
+        assert log == ["before", "after"]
+        assert processed == 2
+        assert sim.events_processed == 2
+
+    def test_stop_mid_lane_leaves_rest_queued(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batched(1, lambda _: (log.append("first"), sim.stop()), 0)
+        sim.schedule_batched(1, log.append, "second")
+        sim.run()
+        assert log == ["first"]
+        assert sim.pending_events == 1
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_step_counts_lane_members(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batched(1, log.append, "a")
+        sim.schedule_batched(1, log.append, "b")
+        assert sim.step() is True
+        assert log == ["a", "b"]
+        assert sim.events_processed == 2
+        assert sim.step() is False
+
+    def test_iterate_events_yields_once_per_unit(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_batched(2, log.append, "x")
+        sim.schedule_batched(2, log.append, "y")
+        sim.schedule(5, lambda: log.append("z"))
+        assert list(sim.iterate_events()) == [2, 5]
+        assert log == ["x", "y", "z"]
+        assert sim.events_processed == 3
+
+    def test_mid_drain_same_tick_work_runs_in_drain(self):
+        sim = Simulator()
+        log = []
+
+        def first(arg=None):
+            log.append("first")
+            sim.schedule_batched(0, log.append, "nested")
+
+        sim.schedule_batched(3, first, None)
+        sim.run()
+        assert log == ["first", "nested"]
+        assert sim.now == 3
+        assert sim.events_processed == 2
+
+    def test_reset_discards_pending_pairs(self):
+        sim = Simulator()
+        sim.schedule_batched(4, lambda: None)
+        sim.reset()
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_batched_dispatch_property(self):
+        assert Simulator().batched_dispatch is True
+        assert Simulator(batched_dispatch=False).batched_dispatch is False
+
+    def test_unbatched_simulator_never_creates_pairs(self):
+        sim = Simulator(batched_dispatch=False)
+        log = []
+        sim.schedule_batched(1, log.append, "x")
+        sim.run()
+        assert log == ["x"]
+        assert sim.events_processed == 1
+
+
+class TestLaneDrainEdgeCases:
+    def test_negative_priority_scheduled_mid_drain_preempts_lane(self):
+        """A callback scheduling priority<0 at the current tick must run it
+        before the rest of the tick's priority-0 lane (exact (time,
+        priority, FIFO) order), on every scheduler and batching mode."""
+
+        def run(scheduler, batched):
+            sim = Simulator(scheduler=scheduler, batched_dispatch=batched)
+            log = []
+
+            def first(arg=None):
+                log.append("a")
+                sim.schedule(0, lambda: log.append("neg"), priority=-1)
+
+            sim.schedule_batched(5, first, None)
+            sim.schedule_batched(5, log.append, "b")
+            sim.run()
+            return log
+
+        expected = run("heapq", False)
+        assert expected == ["a", "neg", "b"]
+        for scheduler in ("calendar", "wheel", "heapq"):
+            for batched in (True, False):
+                assert run(scheduler, batched) == expected, (scheduler, batched)
+
+    def test_raising_callback_keeps_live_counts_truthful(self):
+        """An exception mid-lane must not corrupt pending_events: the
+        settlement runs even when a callback raises."""
+        sim = Simulator()
+        log = []
+
+        def boom(arg=None):
+            raise RuntimeError("mid-lane failure")
+
+        sim.schedule_batched(5, log.append, "before")
+        sim.schedule_batched(5, boom, None)
+        sim.schedule_batched(5, log.append, "after")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert log == ["before"]
+        # The raising entry was consumed (live dropped, like a reference
+        # pop); only the untouched entry remains pending.
+        assert sim.pending_events == 1
+        sim.run()
+        assert log == ["before", "after"]
+        assert sim.pending_events == 0
+
+    def test_raising_callback_in_step_keeps_counts(self):
+        sim = Simulator()
+        log = []
+
+        def boom(arg=None):
+            raise RuntimeError("mid-lane failure")
+
+        sim.schedule_batched(5, boom, None)
+        sim.schedule_batched(5, log.append, "after")
+        with pytest.raises(RuntimeError):
+            sim.step()
+        assert sim.pending_events == 1
+        assert sim.step() is True
+        assert log == ["after"]
+        assert sim.pending_events == 0
+
+
+class TestRawQueuePairs:
+    def test_push_batched_counts_live_entries(self):
+        queue = CalendarQueue()
+        queue.push_batched(5, lambda: None, None)
+        queue.push_batched(5, lambda: None, None)
+        assert len(queue) == 2
+        queue.clear()
+        assert len(queue) == 0
+
+    def test_pop_due_batch_returns_lane_for_pure_priority_zero(self):
+        queue = CalendarQueue()
+        queue.push_batched(5, lambda: None, "a")
+        queue.push(5, lambda: None)
+        unit = queue.pop_due_batch(None)
+        assert isinstance(unit, tuple)
+        time, lane, bucket = unit
+        assert time == 5
+        assert len(lane) == 2
+
+    def test_pop_due_batch_respects_limit(self):
+        queue = CalendarQueue()
+        queue.push_batched(5, lambda: None, None)
+        assert queue.pop_due_batch(4) is None
+        assert queue.pop_due_batch(5) is not None
+
+    def test_negative_priority_lane_pops_first_per_event(self):
+        queue = CalendarQueue()
+        order = []
+        queue.push_batched(5, order.append, "pair")
+        event = queue.push(5, lambda: order.append("neg"), priority=-1)
+        unit = queue.pop_due_batch(None)
+        # The negative-priority event orders before the priority-0 lane and
+        # is returned individually.
+        assert unit is event
