@@ -23,6 +23,7 @@ The class exposes the same interface as
 TS-Snoop protocol can run on either.  Agreement between the two models on
 unloaded latency and ordering is covered by tests.
 """
+# repro-lint: hot
 
 from __future__ import annotations
 
@@ -160,6 +161,8 @@ class AnalyticalTimestampNetwork(AddressNetworkInterface):
         # time, so the dispatcher passes only (handler, message) and
         # _deliver_early reads the clock.
         sched_batched = self._sched_batched
+        # repro-lint: disable=DET002 -- insertion order is attach order, which
+        # build() fixes to ascending node id; every run replays it identically.
         for endpoint, early in self._early_handlers.items():
             arrival_delay = (
                 self.timing.overhead_ns

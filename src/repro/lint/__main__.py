@@ -1,0 +1,13 @@
+"""``python -m repro.lint`` entry point."""
+
+import sys
+
+from repro.lint.cli import main
+
+try:
+    status = main()
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe; exit quietly like a CLI should.
+    sys.stderr.close()
+    status = 0
+sys.exit(status)

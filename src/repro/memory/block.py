@@ -54,8 +54,12 @@ class AddressSpace:
     * bounds checking against the configured memory size.
     """
 
-    def __init__(self, total_bytes: int = 1 << 30, block_size: int = 64,
-                 num_nodes: int = 16) -> None:
+    def __init__(
+        self,
+        total_bytes: int = 1 << 30,
+        block_size: int = 64,
+        num_nodes: int = 16,
+    ) -> None:
         if block_size <= 0 or block_size & (block_size - 1):
             raise ValueError("block_size must be a positive power of two")
         if total_bytes % block_size:
@@ -72,7 +76,8 @@ class AddressSpace:
         """Block number containing ``byte_address``."""
         if not 0 <= byte_address < self.total_bytes:
             raise ValueError(
-                f"address {byte_address:#x} outside 0..{self.total_bytes:#x}")
+                f"address {byte_address:#x} outside 0..{self.total_bytes:#x}"
+            )
         return byte_address // self.block_size
 
     def block_base(self, block_number: int) -> int:
@@ -106,8 +111,7 @@ class AddressSpace:
     # --------------------------------------------------------------- helpers
     def _check_block(self, block_number: int) -> None:
         if not 0 <= block_number < self.num_blocks:
-            raise ValueError(
-                f"block {block_number} outside 0..{self.num_blocks - 1}")
+            raise ValueError(f"block {block_number} outside 0..{self.num_blocks - 1}")
 
     def contiguous_region(self, start_block: int, num_blocks: int) -> range:
         """A range of block numbers; validates that it fits in memory."""

@@ -18,6 +18,7 @@ same pattern as ``repro.sim.kernel.SCHEDULERS``):
 Both are behaviourally identical (verified by property tests and whole-run
 equivalence tests); ``SystemConfig.cache_array`` selects one.
 """
+# repro-lint: hot
 
 from __future__ import annotations
 
@@ -50,8 +51,10 @@ class EvictionResult:
 
     @property
     def needs_writeback(self) -> bool:
-        return (self.victim_block is not None
-                and self.victim_state in (CacheState.MODIFIED, CacheState.OWNED))
+        return self.victim_block is not None and self.victim_state in (
+            CacheState.MODIFIED,
+            CacheState.OWNED,
+        )
 
 
 class CacheArray:
@@ -62,8 +65,13 @@ class CacheArray:
     installed with :meth:`install`.
     """
 
-    def __init__(self, size_bytes: int = 4 * 1024 * 1024, associativity: int = 4,
-                 block_size: int = 64, name: str = "L2") -> None:
+    def __init__(
+        self,
+        size_bytes: int = 4 * 1024 * 1024,
+        associativity: int = 4,
+        block_size: int = 64,
+        name: str = "L2",
+    ) -> None:
         if size_bytes % (associativity * block_size):
             raise ValueError("cache size must divide evenly into sets")
         self.name = name
@@ -116,16 +124,19 @@ class CacheArray:
         cache_set = self._set_for(block)
         if block in cache_set and cache_set[block].state is not CacheState.INVALID:
             return EvictionResult(None, CacheState.INVALID, False)
-        live = {b: l for b, l in cache_set.items()
-                if l.state is not CacheState.INVALID}
+        live = {
+            b: l for b, l in cache_set.items() if l.state is not CacheState.INVALID
+        }
         if len(live) < self.associativity:
             return EvictionResult(None, CacheState.INVALID, False)
+        # repro-lint: disable=HOT001 -- dict reference implementation; the
+        # packed array is the hot default and never takes this path.
         victim = min(live.values(), key=lambda line: line.lru_stamp)
-        return EvictionResult(victim.block, victim.state, victim.dirty,
-                              victim.version)
+        return EvictionResult(victim.block, victim.state, victim.dirty, victim.version)
 
-    def install(self, block: int, state: CacheState, *,
-                version: int = 0, dirty: bool = False) -> EvictionResult:
+    def install(
+        self, block: int, state: CacheState, *, version: int = 0, dirty: bool = False
+    ) -> EvictionResult:
         """Install ``block`` in ``state``, evicting an LRU victim if needed."""
         if state is CacheState.INVALID:
             raise ValueError("cannot install a line in state I")
@@ -134,9 +145,13 @@ class CacheArray:
         if eviction.victim_block is not None:
             del cache_set[eviction.victim_block]
         self._access_clock += 1
-        cache_set[block] = CacheLine(block=block, state=state,
-                                     lru_stamp=self._access_clock,
-                                     dirty=dirty, version=version)
+        cache_set[block] = CacheLine(
+            block=block,
+            state=state,
+            lru_stamp=self._access_clock,
+            dirty=dirty,
+            version=version,
+        )
         return eviction
 
     def set_state(self, block: int, state: CacheState) -> None:
@@ -177,8 +192,11 @@ class CacheArray:
         return sum(1 for _ in self.resident_blocks())
 
     def set_occupancy(self, set_index: int) -> int:
-        return sum(1 for line in self._sets.get(set_index, {}).values()
-                   if line.state is not CacheState.INVALID)
+        return sum(
+            1
+            for line in self._sets.get(set_index, {}).values()
+            if line.state is not CacheState.INVALID
+        )
 
     def __contains__(self, block: int) -> bool:
         return self.lookup(block) is not None
@@ -207,8 +225,13 @@ class PackedCacheArray:
     does not write back to the array.
     """
 
-    def __init__(self, size_bytes: int = 4 * 1024 * 1024, associativity: int = 4,
-                 block_size: int = 64, name: str = "L2") -> None:
+    def __init__(
+        self,
+        size_bytes: int = 4 * 1024 * 1024,
+        associativity: int = 4,
+        block_size: int = 64,
+        name: str = "L2",
+    ) -> None:
         if size_bytes % (associativity * block_size):
             raise ValueError("cache size must divide evenly into sets")
         self.name = name
@@ -275,11 +298,13 @@ class PackedCacheArray:
         slot = self._slot_of(block)
         if slot < 0:
             return None
-        return CacheLine(block=block,
-                         state=STATE_FROM_CODE[self._states[slot]],
-                         lru_stamp=self._lru[slot],
-                         dirty=bool(self._dirty[slot]),
-                         version=self._versions[slot])
+        return CacheLine(
+            block=block,
+            state=STATE_FROM_CODE[self._states[slot]],
+            lru_stamp=self._lru[slot],
+            dirty=bool(self._dirty[slot]),
+            version=self._versions[slot],
+        )
 
     def state_of(self, block: int) -> CacheState:
         # One dict get against the state index: this probe runs once per
@@ -318,13 +343,16 @@ class PackedCacheArray:
                 victim_stamp = lru[slot]
         if live < self.associativity:
             return EvictionResult(None, CacheState.INVALID, False)
-        return EvictionResult(tags[victim_slot],
-                              STATE_FROM_CODE[states[victim_slot]],
-                              bool(self._dirty[victim_slot]),
-                              self._versions[victim_slot])
+        return EvictionResult(
+            tags[victim_slot],
+            STATE_FROM_CODE[states[victim_slot]],
+            bool(self._dirty[victim_slot]),
+            self._versions[victim_slot],
+        )
 
-    def install(self, block: int, state: CacheState, *,
-                version: int = 0, dirty: bool = False) -> EvictionResult:
+    def install(
+        self, block: int, state: CacheState, *, version: int = 0, dirty: bool = False
+    ) -> EvictionResult:
         if state is CacheState.INVALID:
             raise ValueError("cannot install a line in state I")
         # Single pass finds the existing line, a free way or the LRU victim
@@ -360,10 +388,12 @@ class PackedCacheArray:
             if target < 0:
                 target = free
         else:
-            eviction = EvictionResult(tags[victim],
-                                      STATE_FROM_CODE[states[victim]],
-                                      bool(self._dirty[victim]),
-                                      self._versions[victim])
+            eviction = EvictionResult(
+                tags[victim],
+                STATE_FROM_CODE[states[victim]],
+                bool(self._dirty[victim]),
+                self._versions[victim],
+            )
             target = victim
             del self._state_index[tags[victim]]
         self._access_clock += 1
@@ -393,11 +423,13 @@ class PackedCacheArray:
         slot = self._slot_of(block)
         if slot < 0:
             return None
-        line = CacheLine(block=block,
-                         state=STATE_FROM_CODE[self._states[slot]],
-                         lru_stamp=self._lru[slot],
-                         dirty=bool(self._dirty[slot]),
-                         version=self._versions[slot])
+        line = CacheLine(
+            block=block,
+            state=STATE_FROM_CODE[self._states[slot]],
+            lru_stamp=self._lru[slot],
+            dirty=bool(self._dirty[slot]),
+            version=self._versions[slot],
+        )
         self._states[slot] = 0
         del self._state_index[block]
         return line
@@ -424,8 +456,9 @@ class PackedCacheArray:
         base = self._set_base.get(set_index)
         if base is None:
             return 0
-        return sum(1 for slot in range(base, base + self.associativity)
-                   if self._states[slot])
+        return sum(
+            1 for slot in range(base, base + self.associativity) if self._states[slot]
+        )
 
     def __contains__(self, block: int) -> bool:
         return self._slot_of(block) >= 0
@@ -446,6 +479,7 @@ def make_cache_array(impl: str = DEFAULT_CACHE_ARRAY, **kwargs):
     try:
         factory = CACHE_ARRAYS[impl]
     except KeyError:
-        raise ValueError(f"unknown cache array {impl!r}; "
-                         f"choose one of {sorted(CACHE_ARRAYS)}") from None
+        raise ValueError(
+            f"unknown cache array {impl!r}; choose one of {sorted(CACHE_ARRAYS)}"
+        ) from None
     return factory(**kwargs)

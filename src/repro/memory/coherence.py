@@ -27,8 +27,13 @@ class CacheState(Enum):
 
 #: Dense integer codes for packed (array-backed) cache storage.  INVALID is
 #: 0 so a zero-initialised state column reads as an empty way.
-STATE_FROM_CODE = (CacheState.INVALID, CacheState.SHARED, CacheState.EXCLUSIVE,
-                   CacheState.OWNED, CacheState.MODIFIED)
+STATE_FROM_CODE = (
+    CacheState.INVALID,
+    CacheState.SHARED,
+    CacheState.EXCLUSIVE,
+    CacheState.OWNED,
+    CacheState.MODIFIED,
+)
 for _code, _state in enumerate(STATE_FROM_CODE):
     _state.code = _code
 del _code, _state
@@ -39,7 +44,7 @@ class AccessType(Enum):
 
     LOAD = auto()
     STORE = auto()
-    ATOMIC = auto()   # read-modify-write (test-and-set style)
+    ATOMIC = auto()  # read-modify-write (test-and-set style)
 
 
 #: Dense integer codes for packed reference streams.
@@ -53,11 +58,11 @@ del _code, _access
 
 
 _STABLE = frozenset(CacheState)
-_READABLE = frozenset({CacheState.MODIFIED, CacheState.OWNED,
-                       CacheState.EXCLUSIVE, CacheState.SHARED})
+_READABLE = frozenset(
+    {CacheState.MODIFIED, CacheState.OWNED, CacheState.EXCLUSIVE, CacheState.SHARED}
+)
 _WRITABLE = frozenset({CacheState.MODIFIED, CacheState.EXCLUSIVE})
-_OWNER = frozenset({CacheState.MODIFIED, CacheState.OWNED,
-                    CacheState.EXCLUSIVE})
+_OWNER = frozenset({CacheState.MODIFIED, CacheState.OWNED, CacheState.EXCLUSIVE})
 
 
 def is_stable(state: CacheState) -> bool:
@@ -98,8 +103,9 @@ def store_transition(state: CacheState) -> CacheState:
     raise ValueError(f"store is not a hit in state {state}")
 
 
-def downgrade_for_remote_gets(state: CacheState,
-                              protocol_has_owned_state: bool) -> CacheState:
+def downgrade_for_remote_gets(
+    state: CacheState, protocol_has_owned_state: bool
+) -> CacheState:
     """State after observing another processor's GETS while holding data.
 
     MOESI protocols with an O state keep ownership (M/E -> O); plain MSI

@@ -29,14 +29,14 @@ class MSHREntry:
     """
 
     block: int
-    kind: str                       # e.g. "GETS", "GETM", "UPGRADE", "PUTM"
+    kind: str  # e.g. "GETS", "GETM", "UPGRADE", "PUTM"
     issue_time: int
     requester: int
     transient_state: str = "pending"
     acks_expected: int = 0
     acks_received: int = 0
     data_received: bool = False
-    ordered: bool = False           # TS-Snoop: own transaction seen in order
+    ordered: bool = False  # TS-Snoop: own transaction seen in order
     retries: int = 0
     #: completion callback handed to the controller by the processor
     done: Optional[Any] = None
@@ -88,15 +88,16 @@ class MSHRFile:
         self.total_allocations = 0
 
     # ------------------------------------------------------------ life cycle
-    def allocate(self, block: int, kind: str, issue_time: int,
-                 requester: int) -> MSHREntry:
+    def allocate(
+        self, block: int, kind: str, issue_time: int, requester: int
+    ) -> MSHREntry:
         if block in self._entries:
             raise ValueError(f"{self.name}: block {block} already in flight")
         if len(self._entries) >= self.capacity:
-            raise MSHRFullError(
-                f"{self.name}: all {self.capacity} MSHRs in use")
-        entry = MSHREntry(block=block, kind=kind, issue_time=issue_time,
-                          requester=requester)
+            raise MSHRFullError(f"{self.name}: all {self.capacity} MSHRs in use")
+        entry = MSHREntry(
+            block=block, kind=kind, issue_time=issue_time, requester=requester
+        )
         self._entries[block] = entry
         self.total_allocations += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))

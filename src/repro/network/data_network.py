@@ -8,6 +8,7 @@ machinery (see :mod:`repro.network.virtual_network`).
 The performance model is the paper's: unloaded latencies only, computed from
 the topology hop count, plus the optional perturbation delay of Section 4.3.
 """
+# repro-lint: hot
 
 from __future__ import annotations
 

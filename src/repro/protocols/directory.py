@@ -27,6 +27,7 @@ through the kernel's per-tick batched dispatch (``schedule_batched``): one
 home controller tick schedules O(distinct delays) kernel events instead of
 O(messages).
 """
+# repro-lint: hot
 
 from __future__ import annotations
 
@@ -556,7 +557,7 @@ class DirectoryMemoryController(Component):
                 requester=requester,
             )
             sched_batched(delay, send_on_forward, invalidate)
-            self._ctr_invalidations_sent.increment()
+        self._ctr_invalidations_sent.increment(targets.bit_count())
         self._send_data(
             message, entry, exclusive=True, acks_expected=targets.bit_count()
         )

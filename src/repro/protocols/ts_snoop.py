@@ -24,6 +24,7 @@ are fire-and-forget sends, so they ride the kernel's per-tick batched
 dispatch: an ordered broadcast that triggers responses from many nodes at
 one instant costs O(distinct send ticks) kernel events, not O(messages).
 """
+# repro-lint: hot
 
 from __future__ import annotations
 

@@ -56,10 +56,12 @@ producers shares a tick.  ``Simulator(batched_dispatch=False)`` /
 the differential property suite in ``tests/sim/test_tick_batch.py``), and
 schedulers without lane storage (``heapq``) fall back to it transparently.
 """
+# repro-lint: hot
 
 from __future__ import annotations
 
 import heapq
+import sys
 from collections import deque
 from typing import Any, Callable, Dict, Iterator, List, Optional, Type
 
@@ -186,6 +188,64 @@ class EventPool:
     def __len__(self) -> int:
         """Shells currently free (ready for reuse)."""
         return len(self._free)
+
+
+class _CheckedFreeList(list):
+    """A free list that rejects double releases (sanitizer mode).
+
+    The kernel's fast paths bypass :meth:`EventPool.release` and append
+    consumed shells straight to ``pool._free`` through a captured bound
+    method, so the checking has to live on the list itself: ``append`` is
+    the single funnel every release takes, ``pop`` the single funnel every
+    reuse takes.  The list's own strong references keep tracked shells
+    alive, so identity keys stay unambiguous while tracked.
+    """
+
+    __slots__ = ("_sites",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sites: Dict[int, str] = {}
+
+    @staticmethod
+    def _site() -> str:
+        frame = sys._getframe(2)
+        code = frame.f_code
+        return f"{code.co_filename}:{frame.f_lineno} in {code.co_name}"
+
+    def append(self, event: "Event") -> None:
+        # repro-lint: disable=DET005 -- diagnostic identity keys over the
+        # list's own strong references; never feeds back into model state.
+        key = id(event)
+        site = self._sites.get(key)
+        if site is not None:
+            raise SimulationError(
+                f"double release of event shell {event!r}: first released "
+                f"at {site}, released again at {self._site()}"
+            )
+        self._sites[key] = self._site()
+        super().append(event)
+
+    def pop(self, index: int = -1) -> "Event":
+        event = super().pop(index)
+        # repro-lint: disable=DET005 -- diagnostic identity key (see append).
+        del self._sites[id(event)]
+        return event
+
+
+class CheckedEventPool(EventPool):
+    """An :class:`EventPool` whose free list rejects double releases.
+
+    ``Simulator(sanitize=True)`` (via ``SystemConfig.sanitize``) swaps this
+    in; the run loop and the schedulers need no changes because they reach
+    the free list only through ``_free.append`` / ``_free.pop``.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._free = _CheckedFreeList()
 
 
 class EventQueueBase:
@@ -1141,7 +1201,9 @@ class Simulator:
     per-tick pair batching (one event shell per callback when False -- the
     reference dispatch; schedulers without lane storage, like ``heapq``,
     always behave that way).  Every combination yields bit-identical
-    simulations.
+    simulations.  ``sanitize`` swaps the pool for a
+    :class:`CheckedEventPool` that raises on double releases (slower;
+    used by the invariant test suite).
     """
 
     def __init__(
@@ -1149,8 +1211,14 @@ class Simulator:
         scheduler: str = DEFAULT_SCHEDULER,
         event_pool: bool = True,
         batched_dispatch: bool = True,
+        sanitize: bool = False,
     ) -> None:
-        self._event_pool = EventPool() if event_pool else None
+        if not event_pool:
+            self._event_pool = None
+        elif sanitize:
+            self._event_pool = CheckedEventPool()
+        else:
+            self._event_pool = EventPool()
         self._queue = make_event_queue(scheduler, self._event_pool)
         #: Bound pushes: the scheduling fast paths skip one attribute hop.
         #: ``_push_batched`` is None when batching is off, which routes

@@ -9,7 +9,7 @@ from repro.memory.block import AddressSpace
 from repro.memory.cache import make_cache_array
 from repro.network import make_topology
 from repro.network.link import TrafficAccountant
-from repro.network.message import MessagePool
+from repro.network.message import MessagePool, SanitizedMessagePool
 from repro.network.topology import Topology
 from repro.processor.consistency import CoherenceChecker
 from repro.processor.processor import Processor, ProcessorConfig
@@ -37,6 +37,9 @@ class BuiltSystem:
     controllers: List[CacheControllerBase]
     processors: List[Processor]
     checker: Optional[CoherenceChecker]
+    #: The protocol message pool; a SanitizedMessagePool when
+    #: ``config.sanitize`` is set (leak reports, double-release checks).
+    message_pool: MessagePool
 
     @property
     def num_nodes(self) -> int:
@@ -88,7 +91,8 @@ class SystemBuilder:
 
         sim = Simulator(scheduler=config.scheduler,
                         event_pool=config.event_pool,
-                        batched_dispatch=config.batched_dispatch)
+                        batched_dispatch=config.batched_dispatch,
+                        sanitize=config.sanitize)
         topology = make_topology(config.network, config.num_nodes)
         address_space = AddressSpace(total_bytes=config.memory_bytes,
                                      block_size=config.block_size_bytes,
@@ -104,6 +108,8 @@ class SystemBuilder:
 
         protocol = make_protocol(config.protocol)
         self._apply_protocol_options(protocol)
+        pool_type = SanitizedMessagePool if config.sanitize else MessagePool
+        message_pool = pool_type(enabled=config.message_pooling)
         context = ProtocolBuildContext(
             sim=sim,
             topology=topology,
@@ -114,7 +120,7 @@ class SystemBuilder:
             accountant=accountant,
             perturbation=perturbation,
             checker=checker,
-            message_pool=MessagePool(enabled=config.message_pooling),
+            message_pool=message_pool,
         )
         controllers = protocol.build(context)
 
@@ -132,7 +138,7 @@ class SystemBuilder:
         return BuiltSystem(config=config, sim=sim, topology=topology,
                            address_space=address_space, accountant=accountant,
                            controllers=controllers, processors=processors,
-                           checker=checker)
+                           checker=checker, message_pool=message_pool)
 
     def _apply_protocol_options(self, protocol) -> None:
         """Push config knobs into the protocol factory where they exist."""

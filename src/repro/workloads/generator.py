@@ -51,8 +51,7 @@ class PackedReferenceStream(Sequence):
 
     __slots__ = ("blocks", "access_codes", "think")
 
-    def __init__(self, blocks: array, access_codes: array,
-                 think: array) -> None:
+    def __init__(self, blocks: array, access_codes: array, think: array) -> None:
         if not (len(blocks) == len(access_codes) == len(think)):
             raise ValueError("packed columns must have equal length")
         self.blocks = blocks
@@ -60,8 +59,10 @@ class PackedReferenceStream(Sequence):
         self.think = think
 
     @classmethod
-    def from_references(cls, references: Sequence[Reference],
-                        ) -> "PackedReferenceStream":
+    def from_references(
+        cls,
+        references: Sequence[Reference],
+    ) -> "PackedReferenceStream":
         blocks = array("q")
         codes = array("b")
         think = array("q")
@@ -83,32 +84,36 @@ class PackedReferenceStream(Sequence):
     def __getitem__(self, index) -> Union[Reference, List[Reference]]:
         if isinstance(index, slice):
             return [self[i] for i in range(*index.indices(len(self)))]
-        return Reference(block=self.blocks[index],
-                         access_type=ACCESS_FROM_CODE[self.access_codes[index]],
-                         think_instructions=self.think[index])
+        return Reference(
+            block=self.blocks[index],
+            access_type=ACCESS_FROM_CODE[self.access_codes[index]],
+            think_instructions=self.think[index],
+        )
 
     def __iter__(self) -> Iterator[Reference]:
         decode = ACCESS_FROM_CODE
-        for block, code, think in zip(self.blocks, self.access_codes,
-                                      self.think):
-            yield Reference(block=block, access_type=decode[code],
-                            think_instructions=think)
+        for block, code, think in zip(self.blocks, self.access_codes, self.think):
+            yield Reference(
+                block=block, access_type=decode[code], think_instructions=think
+            )
 
     def __eq__(self, other) -> bool:
         if isinstance(other, PackedReferenceStream):
-            return (self.blocks == other.blocks
-                    and self.access_codes == other.access_codes
-                    and self.think == other.think)
+            return (
+                self.blocks == other.blocks
+                and self.access_codes == other.access_codes
+                and self.think == other.think
+            )
         if isinstance(other, Sequence):
             return len(self) == len(other) and all(
-                mine == theirs for mine, theirs in zip(self, other))
+                mine == theirs for mine, theirs in zip(self, other)
+            )
         return NotImplemented
 
     __hash__ = None
 
     def __reduce__(self):
-        return (PackedReferenceStream,
-                (self.blocks, self.access_codes, self.think))
+        return (PackedReferenceStream, (self.blocks, self.access_codes, self.think))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<PackedReferenceStream {len(self)} refs>"
@@ -146,11 +151,11 @@ class WorkloadGenerator:
     def build_streams(self, packed: bool = True) -> List[StreamLike]:
         """One eager reference stream per node (warm-up + measured phases)."""
         total = self.profile.references_per_node
-        return [self._build_stream(node, total, packed)
-                for node in range(self.num_nodes)]
+        return [
+            self._build_stream(node, total, packed) for node in range(self.num_nodes)
+        ]
 
-    def _build_stream(self, node: int, length: int,
-                      packed: bool = True) -> StreamLike:
+    def _build_stream(self, node: int, length: int, packed: bool = True) -> StreamLike:
         node_rng = self.rng.fork(node + 1)
         rng_random = node_rng.random
         patterns = self._pattern_objects
@@ -167,8 +172,7 @@ class WorkloadGenerator:
         append_code = codes.append
         append_think = think.append
         for _ in range(length):
-            pattern = patterns[bisect(cum_weights, rng_random() * total_weight,
-                                      0, hi)]
+            pattern = patterns[bisect(cum_weights, rng_random() * total_weight, 0, hi)]
             block, access_type = pattern.next_access(node, node_rng)
             append_block(block)
             append_code(access_type.code)
@@ -180,8 +184,7 @@ class WorkloadGenerator:
 
     def footprint_blocks(self) -> int:
         """Distinct blocks the profile can touch (reported in Table 3)."""
-        return sum(pattern.footprint_blocks()
-                   for pattern in self._pattern_objects)
+        return sum(pattern.footprint_blocks() for pattern in self._pattern_objects)
 
 
 def stream_iterator(stream: Sequence[Reference]) -> Iterator[Reference]:

@@ -36,8 +36,9 @@ class AccessPattern(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def next_access(self, node: int,
-                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+    def next_access(
+        self, node: int, rng: DeterministicRandom
+    ) -> Tuple[int, AccessType]:
         """Return the next (block, access type) for ``node``."""
 
     @abstractmethod
@@ -50,8 +51,14 @@ class PrivatePattern(AccessPattern):
 
     name = "private"
 
-    def __init__(self, base_block: int, blocks_per_node: int, num_nodes: int,
-                 write_fraction: float = 0.3, locality_skew: float = 0.6) -> None:
+    def __init__(
+        self,
+        base_block: int,
+        blocks_per_node: int,
+        num_nodes: int,
+        write_fraction: float = 0.3,
+        locality_skew: float = 0.6,
+    ) -> None:
         if blocks_per_node <= 0:
             raise ValueError("blocks_per_node must be positive")
         self.base_block = base_block
@@ -60,12 +67,14 @@ class PrivatePattern(AccessPattern):
         self.write_fraction = write_fraction
         self.locality_skew = locality_skew
 
-    def next_access(self, node: int,
-                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+    def next_access(
+        self, node: int, rng: DeterministicRandom
+    ) -> Tuple[int, AccessType]:
         offset = rng.zipf_index(self.blocks_per_node, self.locality_skew)
         block = self.base_block + node * self.blocks_per_node + offset
-        access = (AccessType.STORE if rng.random() < self.write_fraction
-                  else AccessType.LOAD)
+        access = (
+            AccessType.STORE if rng.random() < self.write_fraction else AccessType.LOAD
+        )
         return block, access
 
     def footprint_blocks(self) -> int:
@@ -77,16 +86,16 @@ class ReadSharedPattern(AccessPattern):
 
     name = "read-shared"
 
-    def __init__(self, base_block: int, num_blocks: int,
-                 hot_skew: float = 0.7) -> None:
+    def __init__(self, base_block: int, num_blocks: int, hot_skew: float = 0.7) -> None:
         if num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
         self.base_block = base_block
         self.num_blocks = num_blocks
         self.hot_skew = hot_skew
 
-    def next_access(self, node: int,
-                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+    def next_access(
+        self, node: int, rng: DeterministicRandom
+    ) -> Tuple[int, AccessType]:
         offset = rng.zipf_index(self.num_blocks, self.hot_skew)
         return self.base_block + offset, AccessType.LOAD
 
@@ -110,8 +119,9 @@ class MigratoryPattern(AccessPattern):
         self.base_block = base_block
         self.num_blocks = num_blocks
 
-    def next_access(self, node: int,
-                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+    def next_access(
+        self, node: int, rng: DeterministicRandom
+    ) -> Tuple[int, AccessType]:
         offset = rng.uniform_int(0, self.num_blocks - 1)
         return self.base_block + offset, AccessType.ATOMIC
 
@@ -124,8 +134,13 @@ class ProducerConsumerPattern(AccessPattern):
 
     name = "producer-consumer"
 
-    def __init__(self, base_block: int, num_buffers: int, num_nodes: int,
-                 produce_fraction: float = 0.4) -> None:
+    def __init__(
+        self,
+        base_block: int,
+        num_buffers: int,
+        num_nodes: int,
+        produce_fraction: float = 0.4,
+    ) -> None:
         if num_buffers <= 0:
             raise ValueError("num_buffers must be positive")
         self.base_block = base_block
@@ -133,8 +148,9 @@ class ProducerConsumerPattern(AccessPattern):
         self.num_nodes = num_nodes
         self.produce_fraction = produce_fraction
 
-    def next_access(self, node: int,
-                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+    def next_access(
+        self, node: int, rng: DeterministicRandom
+    ) -> Tuple[int, AccessType]:
         buffer_index = rng.uniform_int(0, self.num_buffers - 1)
         block = self.base_block + buffer_index
         producer = buffer_index % self.num_nodes
@@ -157,16 +173,16 @@ class LockPattern(AccessPattern):
 
     name = "locks"
 
-    def __init__(self, base_block: int, num_locks: int,
-                 hot_skew: float = 0.6) -> None:
+    def __init__(self, base_block: int, num_locks: int, hot_skew: float = 0.6) -> None:
         if num_locks <= 0:
             raise ValueError("num_locks must be positive")
         self.base_block = base_block
         self.num_locks = num_locks
         self.hot_skew = hot_skew
 
-    def next_access(self, node: int,
-                    rng: DeterministicRandom) -> Tuple[int, AccessType]:
+    def next_access(
+        self, node: int, rng: DeterministicRandom
+    ) -> Tuple[int, AccessType]:
         offset = rng.zipf_index(self.num_locks, self.hot_skew)
         return self.base_block + offset, AccessType.ATOMIC
 

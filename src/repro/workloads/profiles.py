@@ -71,9 +71,13 @@ class WorkloadProfile:
         return self.references_per_node - self.warmup_references_per_node
 
     def footprint_blocks(self, num_nodes: int) -> int:
-        return (self.private_blocks_per_node * num_nodes
-                + self.read_shared_blocks + self.migratory_blocks
-                + self.producer_consumer_buffers + self.lock_blocks)
+        return (
+            self.private_blocks_per_node * num_nodes
+            + self.read_shared_blocks
+            + self.migratory_blocks
+            + self.producer_consumer_buffers
+            + self.lock_blocks
+        )
 
     def footprint_mb(self, num_nodes: int, block_size: int = 64) -> float:
         return self.footprint_blocks(num_nodes) * block_size / (1024 * 1024)
@@ -86,24 +90,36 @@ class WorkloadProfile:
             self,
             references_per_node=max(32, int(self.references_per_node * factor)),
             warmup_references_per_node=max(
-                16, int(self.warmup_references_per_node * factor)))
+                16, int(self.warmup_references_per_node * factor)
+            ),
+        )
 
     # ----------------------------------------------------------- patterns
-    def build_patterns(self, num_nodes: int, rng: DeterministicRandom,
-                       ) -> List[Tuple[float, AccessPattern]]:
+    def build_patterns(
+        self,
+        num_nodes: int,
+        rng: DeterministicRandom,
+    ) -> List[Tuple[float, AccessPattern]]:
         """Instantiate the pattern mix over a non-overlapping block layout."""
         base = 0
-        private = PrivatePattern(base, self.private_blocks_per_node, num_nodes,
-                                 write_fraction=self.private_write_fraction,
-                                 locality_skew=self.private_locality_skew)
+        private = PrivatePattern(
+            base,
+            self.private_blocks_per_node,
+            num_nodes,
+            write_fraction=self.private_write_fraction,
+            locality_skew=self.private_locality_skew,
+        )
         base += private.footprint_blocks()
         read_shared = ReadSharedPattern(base, self.read_shared_blocks)
         base += read_shared.footprint_blocks()
         migratory = MigratoryPattern(base, self.migratory_blocks)
         base += migratory.footprint_blocks()
         producer_consumer = ProducerConsumerPattern(
-            base, self.producer_consumer_buffers, num_nodes,
-            produce_fraction=self.producer_fraction)
+            base,
+            self.producer_consumer_buffers,
+            num_nodes,
+            produce_fraction=self.producer_fraction,
+        )
         base += producer_consumer.footprint_blocks()
         locks = LockPattern(base, self.lock_blocks)
 
@@ -216,16 +232,23 @@ def get_profile(name: str) -> WorkloadProfile:
     """Look up a profile by its benchmark name (case-insensitive)."""
     key = name.strip().lower()
     aliases = {
-        "tpc-c": "oltp", "tpcc": "oltp", "db2/tpc-c": "oltp",
-        "tpc-h": "dss", "tpch": "dss", "db2/tpc-h": "dss",
-        "web": "apache", "surge": "apache",
-        "search": "altavista", "web-search": "altavista",
-        "barnes-hut": "barnes", "splash": "barnes", "splash-2": "barnes",
+        "tpc-c": "oltp",
+        "tpcc": "oltp",
+        "db2/tpc-c": "oltp",
+        "tpc-h": "dss",
+        "tpch": "dss",
+        "db2/tpc-h": "dss",
+        "web": "apache",
+        "surge": "apache",
+        "search": "altavista",
+        "web-search": "altavista",
+        "barnes-hut": "barnes",
+        "splash": "barnes",
+        "splash-2": "barnes",
     }
     key = aliases.get(key, key)
     if key not in PROFILES:
-        raise ValueError(f"unknown workload {name!r}; choose from "
-                         f"{sorted(PROFILES)}")
+        raise ValueError(f"unknown workload {name!r}; choose from {sorted(PROFILES)}")
     return PROFILES[key]
 
 

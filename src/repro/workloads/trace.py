@@ -35,8 +35,10 @@ class TraceReference:
 
     def to_line(self) -> str:
         ref = self.reference
-        return (f"{self.node} {_ACCESS_CODES[ref.access_type]} "
-                f"{ref.block} {ref.think_instructions}")
+        return (
+            f"{self.node} {_ACCESS_CODES[ref.access_type]} "
+            f"{ref.block} {ref.think_instructions}"
+        )
 
     @classmethod
     def from_line(cls, line: str) -> "TraceReference":
@@ -46,10 +48,14 @@ class TraceReference:
         node, code, block, think = parts
         if code not in _CODES_TO_ACCESS:
             raise ValueError(f"unknown access code {code!r} in {line!r}")
-        return cls(node=int(node),
-                   reference=Reference(block=int(block),
-                                       access_type=_CODES_TO_ACCESS[code],
-                                       think_instructions=int(think)))
+        return cls(
+            node=int(node),
+            reference=Reference(
+                block=int(block),
+                access_type=_CODES_TO_ACCESS[code],
+                think_instructions=int(think),
+            ),
+        )
 
 
 class TraceRecorder:
@@ -74,8 +80,9 @@ class TraceRecorder:
         return len(lines)
 
 
-def replay_trace(source: Union[str, Path, Iterable[str]],
-                 num_nodes: int) -> List[List[Reference]]:
+def replay_trace(
+    source: Union[str, Path, Iterable[str]], num_nodes: int
+) -> List[List[Reference]]:
     """Read a trace back into per-node reference streams."""
     if isinstance(source, (str, Path)):
         lines: Iterable[str] = Path(source).read_text().splitlines()
@@ -88,7 +95,9 @@ def replay_trace(source: Union[str, Path, Iterable[str]],
             continue
         record = TraceReference.from_line(line)
         if not 0 <= record.node < num_nodes:
-            raise ValueError(f"trace references node {record.node}, but the "
-                             f"system has {num_nodes} nodes")
+            raise ValueError(
+                f"trace references node {record.node}, but the "
+                f"system has {num_nodes} nodes"
+            )
         streams[record.node].append(record.reference)
     return streams

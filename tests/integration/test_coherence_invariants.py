@@ -16,7 +16,15 @@ DirOpt) under both batched and unbatched dispatch:
 
 The checkers themselves are validated negatively: corrupting a quiescent
 system must produce violations.
+
+Setting ``REPRO_SANITIZE=1`` in the environment re-runs the whole suite
+with ``SystemConfig.sanitize`` on: the message/event pools are swapped for
+checked variants that raise on double releases and, at quiescence, every
+run additionally asserts that no pooled message shell leaked.  CI runs the
+suite once in this mode.
 """
+
+import os
 
 import pytest
 
@@ -30,6 +38,7 @@ from repro.system.builder import SystemBuilder, build_streams
 from repro.system.config import SystemConfig
 from repro.workloads.profiles import get_profile
 
+SANITIZE = os.environ.get("REPRO_SANITIZE", "") == "1"
 PROTOCOLS = ("ts-snoop", "dirclassic", "diropt")
 DISPATCH_MODES = (True, False)
 CASES = [
@@ -45,7 +54,8 @@ def _run_with_invariant_hook(
     Returns ``(system, mid_run_checks)`` with the system quiescent.
     """
     config = SystemConfig(
-        protocol=protocol, batched_dispatch=batched, enable_checker=True
+        protocol=protocol, batched_dispatch=batched, enable_checker=True,
+        sanitize=SANITIZE,
     )
     profile = get_profile(workload).scaled(scale)
     streams = build_streams(profile, config)
@@ -65,6 +75,10 @@ def _run_with_invariant_hook(
     # Let in-flight writebacks and acknowledgements drain so the home state
     # is quiescent before the directory invariants are checked.
     sim.run()
+    if SANITIZE:
+        # At true quiescence every pooled message shell must have been
+        # handed back; a leak here is an ownership-contract bug.
+        system.message_pool.assert_no_leaks()
     return system, checks
 
 
@@ -105,7 +119,8 @@ class TestInvariantsInsideProtocolScenarios:
     def test_invariants_hold_on_torus_network(self):
         config_extra = {"network": "torus"}
         config = SystemConfig(
-            protocol="diropt", enable_checker=True, **config_extra
+            protocol="diropt", enable_checker=True, sanitize=SANITIZE,
+            **config_extra
         )
         profile = get_profile("oltp").scaled(0.05)
         streams = build_streams(profile, config)
@@ -113,6 +128,8 @@ class TestInvariantsInsideProtocolScenarios:
         for processor in system.processors:
             processor.start()
         system.sim.run()
+        if SANITIZE:
+            system.message_pool.assert_no_leaks()
         system.checker.assert_clean()
         problems = _final_invariants("diropt", system)
         assert not problems, problems[:8]

@@ -1,0 +1,7 @@
+"""Fixture: malformed directives are themselves findings (LNT001)."""
+# repro-lint: disable=HOT001
+# repro-lint: frobnicate
+
+
+def anything():
+    return None

@@ -1,0 +1,40 @@
+"""Fixture: pool usage that satisfies the ownership contract."""
+
+
+def acquire_and_send(pool, network, kind):
+    message = pool.acquire(kind, 0, 1, 2)
+    network.send(message)
+
+
+def acquire_and_release(pool, kind):
+    message = pool.acquire(kind, 0, 1, 2)
+    pool.release(message)
+
+
+def release_on_every_branch(pool, kind, urgent):
+    message = pool.acquire(kind, 0, 1, 2)
+    if urgent:
+        pool.release(message)
+    else:
+        pool.release(message)
+
+
+def stored_into_container(pool, queue, kind):
+    message = pool.acquire(kind, 0, 1, 2)
+    queue.append(message)
+
+
+def dropped_on_error_path(pool, kind, bad):
+    message = pool.acquire(kind, 0, 1, 2)
+    if bad:
+        raise ValueError("error paths may drop shells")
+    pool.release(message)
+
+
+class TSSnoopNode:
+    """Allowlisted consumption point: may release foreign shells."""
+
+    def _on_data_message(self, pool, message):
+        block = message.block
+        pool.release(message)
+        return block

@@ -1,0 +1,22 @@
+"""Fixture: pool-safety dataflow violations where marked."""
+
+
+def leaks_on_some_path(pool, kind, urgent):
+    message = pool.acquire(kind, 0, 1, 2)  # expect: POOL001
+    if urgent:
+        pool.release(message)
+
+
+def leaks_on_fallthrough(pool, kind):
+    message = pool.acquire(kind, 0, 1, 2)  # expect: POOL001
+    return message.block
+
+
+def double_release(pool, kind):
+    message = pool.acquire(kind, 0, 1, 2)
+    pool.release(message)
+    pool.release(message)  # expect: POOL002
+
+
+def releases_foreign_name(pool, message):
+    pool.release(message)  # expect: POOL003

@@ -1,0 +1,16 @@
+"""Fixture: determinism-scoped code the rules must not flag."""
+
+
+def iterate_sorted(values, sink):
+    for item in sorted(set(values)):
+        sink(item)
+
+
+def fan_out_over_list(rows, sched):
+    for endpoint, handler in rows:
+        sched(0, handler, endpoint)
+
+
+def plain_dict_view_without_scheduling(mapping, sink):
+    for key, value in mapping.items():
+        sink(key, value)

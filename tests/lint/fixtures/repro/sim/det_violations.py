@@ -1,0 +1,38 @@
+"""Fixture: every determinism rule fires where marked.
+
+The ``repro/sim/`` path segment puts this file inside the determinism
+scope; ``tests/lint/test_lint_rules.py`` diffs the analyzer's output
+against the trailing expectation markers.
+"""
+
+import random  # expect: DET003
+import time
+
+
+def iterate_set_literal(sink):
+    for item in {1, 2, 3}:  # expect: DET001
+        sink(item)
+
+
+def iterate_bound_set(values, sink):
+    pending = set(values)
+    for item in pending:  # expect: DET001
+        sink(item)
+
+
+def comprehension_over_frozenset(values):
+    return [item for item in frozenset(values)]  # expect: DET001
+
+
+class Node:
+    def fan_out(self, handlers, payload):
+        for endpoint, handler in handlers.items():  # expect: DET002
+            self.sim.schedule(0, handler, (endpoint, payload))
+
+
+def stamp():
+    return time.time()  # expect: DET004
+
+
+def keyed(obj):
+    return id(obj)  # expect: DET005

@@ -1,0 +1,17 @@
+"""Fixture: every violation below is covered by a suppression directive.
+
+Exercises all three forms: file-level, trailing line-level, and a
+standalone comment covering the next code line.
+"""
+# repro-lint: hot
+# repro-lint: disable-file=HOT003 -- fixture for the file-level form.
+
+
+class Controller:
+    def handle(self, stats, items):
+        stats.counter("misses").increment()
+        callback = lambda e: e  # repro-lint: disable=HOT001 -- trailing form.
+        for item in items:
+            # repro-lint: disable=HOT004 -- standalone form covers next line.
+            self._ctr_events.increment(item)
+        return callback

@@ -1,0 +1,91 @@
+"""Registry-parity (REG001) tests.
+
+Synthetic registries prove each drift category is caught (missing
+method, signature drift, property-vs-method mismatch) and that adding
+public surface is allowed; the live registries prove the shipped fast
+implementations mirror their references today.
+"""
+
+from repro.lint.parity import compare_registry
+from repro.memory.cache import CACHE_ARRAYS
+from repro.sim.kernel import SCHEDULERS
+
+
+class Reference:
+    def push(self, item, when):
+        raise NotImplementedError
+
+    def pop(self):
+        raise NotImplementedError
+
+    @property
+    def depth(self):
+        return 0
+
+
+class Faithful(Reference):
+    def tune(self, knob):
+        """Extra public surface is allowed."""
+
+
+class MissingMethod:
+    def push(self, item, when):
+        raise NotImplementedError
+
+    @property
+    def depth(self):
+        return 0
+
+
+class DriftedSignature(Reference):
+    def push(self, item):  # dropped the `when` parameter
+        raise NotImplementedError
+
+
+class PropertyBecameMethod(Reference):
+    def depth(self):  # type: ignore[override]
+        return 0
+
+
+def _messages(registry):
+    findings = compare_registry(registry, "ref", "TEST", "owner.py")
+    return [finding.message for finding in findings]
+
+
+class TestSyntheticRegistries:
+    def test_faithful_implementation_with_extras_is_clean(self):
+        assert _messages({"ref": Reference, "fast": Faithful}) == []
+
+    def test_missing_method_is_reported(self):
+        messages = _messages({"ref": Reference, "fast": MissingMethod})
+        assert len(messages) == 1
+        assert "missing public method 'pop'" in messages[0]
+
+    def test_signature_drift_is_reported(self):
+        messages = _messages({"ref": Reference, "fast": DriftedSignature})
+        assert len(messages) == 1
+        assert "signature drifted" in messages[0]
+        assert "(self, item)" in messages[0]
+        assert "(self, item, when)" in messages[0]
+
+    def test_property_vs_method_mismatch_is_reported(self):
+        messages = _messages({"ref": Reference, "fast": PropertyBecameMethod})
+        assert len(messages) == 1
+        assert "property vs method mismatch" in messages[0]
+
+    def test_reference_itself_is_never_compared(self):
+        assert _messages({"ref": Reference}) == []
+
+
+class TestLiveRegistries:
+    def test_schedulers_mirror_the_heapq_reference(self):
+        findings = compare_registry(
+            SCHEDULERS, "heapq", "SCHEDULERS", "src/repro/sim/kernel.py"
+        )
+        assert findings == [], [finding.message for finding in findings]
+
+    def test_cache_arrays_mirror_the_dict_reference(self):
+        findings = compare_registry(
+            CACHE_ARRAYS, "dict", "CACHE_ARRAYS", "src/repro/memory/cache.py"
+        )
+        assert findings == [], [finding.message for finding in findings]
