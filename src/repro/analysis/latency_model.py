@@ -37,15 +37,17 @@ class UnloadedLatencies:
     @property
     def snooping_to_directory_ratio(self) -> float:
         """Cache-to-cache latency advantage of snooping over directories."""
-        return (self.block_from_cache_snooping_ns
-                / self.block_from_cache_directory_ns)
+        return self.block_from_cache_snooping_ns / self.block_from_cache_directory_ns
 
 
 class LatencyModel:
     """Composes the Table 2 latencies for an arbitrary topology."""
 
-    def __init__(self, network_timing: NetworkTiming | None = None,
-                 protocol_timing: ProtocolTiming | None = None) -> None:
+    def __init__(
+        self,
+        network_timing: NetworkTiming | None = None,
+        protocol_timing: ProtocolTiming | None = None,
+    ) -> None:
         self.network = network_timing or NetworkTiming()
         self.protocol = protocol_timing or ProtocolTiming()
 
@@ -65,8 +67,11 @@ class LatencyModel:
 
     def block_from_cache_directory(self, hops: float) -> float:
         """``Dnet + Dmem + Dnet + Dcache + Dnet`` (the three-hop path)."""
-        return (3 * self.one_way(hops) + self.protocol.memory_access_ns
-                + self.protocol.cache_access_ns)
+        return (
+            3 * self.one_way(hops)
+            + self.protocol.memory_access_ns
+            + self.protocol.cache_access_ns
+        )
 
     # ---------------------------------------------------------------- tables
     def for_hops(self, topology_name: str, hops: float) -> UnloadedLatencies:
@@ -78,15 +83,17 @@ class LatencyModel:
             block_from_cache_directory_ns=self.block_from_cache_directory(hops),
         )
 
-    def for_topology(self, topology: Topology,
-                     use_mean_hops: bool = True) -> UnloadedLatencies:
+    def for_topology(
+        self, topology: Topology, use_mean_hops: bool = True
+    ) -> UnloadedLatencies:
         """Latencies using the topology's mean (paper's convention) hop count."""
         hops = topology.mean_hop_count() if use_mean_hops else topology.max_hops
         return self.for_hops(topology.name, hops)
 
 
-def table2_latencies(model: LatencyModel | None = None
-                     ) -> Dict[str, UnloadedLatencies]:
+def table2_latencies(
+    model: LatencyModel | None = None,
+) -> Dict[str, UnloadedLatencies]:
     """The exact Table 2 rows: butterfly at 3 hops, torus at its mean 2 hops."""
     model = model or LatencyModel()
     return {

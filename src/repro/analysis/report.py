@@ -7,8 +7,9 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 from repro.system.results import ProtocolComparison
 
 
-def format_table(headers: Sequence[str], rows: Iterable[Sequence],
-                 title: str = "") -> str:
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
     """Render an ASCII table (right-aligned numeric-ish columns)."""
     rendered_rows = [[_cell(value) for value in row] for row in rows]
     widths = [len(header) for header in headers]
@@ -18,13 +19,17 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence],
     lines: List[str] = []
     if title:
         lines.append(title)
-    lines.append("  ".join(header.ljust(width)
-                           for header, width in zip(headers, widths)))
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
     lines.append("  ".join("-" * width for width in widths))
     for row in rendered_rows:
-        lines.append("  ".join(cell.rjust(width) if _numeric(cell)
-                               else cell.ljust(width)
-                               for cell, width in zip(row, widths)))
+        lines.append(
+            "  ".join(
+                cell.rjust(width) if _numeric(cell) else cell.ljust(width)
+                for cell, width in zip(row, widths)
+            )
+        )
     return "\n".join(lines)
 
 
@@ -49,41 +54,56 @@ def normalize(values: Mapping[str, float], baseline: str) -> Dict[str, float]:
     return {key: value / base for key, value in values.items()}
 
 
-def format_figure3(comparisons: Mapping[str, ProtocolComparison],
-                   network: str) -> str:
+def format_figure3(comparisons: Mapping[str, ProtocolComparison], network: str) -> str:
     """Figure 3: normalised runtime per workload (TS-Snoop = 1.00)."""
-    headers = ["workload", "TS-Snoop", "DirClassic", "DirOpt",
-               "TS vs DirClassic", "TS vs DirOpt"]
+    headers = [
+        "workload",
+        "TS-Snoop",
+        "DirClassic",
+        "DirOpt",
+        "TS vs DirClassic",
+        "TS vs DirOpt",
+    ]
     rows = []
     for workload, comparison in comparisons.items():
         dirclassic = comparison.normalized_runtime("dirclassic")
         diropt = comparison.normalized_runtime("diropt")
-        rows.append([
-            workload, 1.0, dirclassic, diropt,
-            f"+{100 * (dirclassic - 1):.0f}%",
-            f"+{100 * (diropt - 1):.0f}%",
-        ])
-    return format_table(headers, rows,
-                        title=f"Figure 3 — normalised runtime ({network})")
+        rows.append(
+            [
+                workload,
+                1.0,
+                dirclassic,
+                diropt,
+                f"+{100 * (dirclassic - 1):.0f}%",
+                f"+{100 * (diropt - 1):.0f}%",
+            ]
+        )
+    return format_table(
+        headers, rows, title=f"Figure 3 — normalised runtime ({network})"
+    )
 
 
-def format_figure4(comparisons: Mapping[str, ProtocolComparison],
-                   network: str) -> str:
+def format_figure4(comparisons: Mapping[str, ProtocolComparison], network: str) -> str:
     """Figure 4: normalised per-link traffic with category breakdown."""
-    headers = ["workload", "protocol", "link traffic", "Data", "Request",
-               "Nack", "Misc."]
+    headers = [
+        "workload", "protocol", "link traffic", "Data", "Request", "Nack", "Misc."
+    ]
     rows = []
     for workload, comparison in comparisons.items():
         for protocol in comparison.protocols():
             result = comparison.results[protocol]
             total = result.total_traffic_bytes or 1
-            rows.append([
-                workload, protocol,
-                comparison.normalized_traffic(protocol),
-                f"{100 * result.traffic_bytes_by_category.get('Data', 0) / total:.0f}%",
-                f"{100 * result.traffic_bytes_by_category.get('Request', 0) / total:.0f}%",
-                f"{100 * result.traffic_bytes_by_category.get('Nack', 0) / total:.0f}%",
-                f"{100 * result.traffic_bytes_by_category.get('Misc.', 0) / total:.0f}%",
-            ])
-    return format_table(headers, rows,
-                        title=f"Figure 4 — normalised link traffic ({network})")
+            rows.append(
+                [
+                    workload,
+                    protocol,
+                    comparison.normalized_traffic(protocol),
+                    f"{100 * result.traffic_bytes_by_category.get('Data', 0) / total:.0f}%",
+                    f"{100 * result.traffic_bytes_by_category.get('Request', 0) / total:.0f}%",
+                    f"{100 * result.traffic_bytes_by_category.get('Nack', 0) / total:.0f}%",
+                    f"{100 * result.traffic_bytes_by_category.get('Misc.', 0) / total:.0f}%",
+                ]
+            )
+    return format_table(
+        headers, rows, title=f"Figure 4 — normalised link traffic ({network})"
+    )

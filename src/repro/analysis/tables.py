@@ -11,7 +11,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import api
-from repro.analysis.latency_model import LatencyModel, UnloadedLatencies, table2_latencies
+from repro.analysis.latency_model import (
+    LatencyModel,
+    UnloadedLatencies,
+    table2_latencies,
+)
 from repro.analysis.traffic_model import TrafficBound, per_miss_bytes
 from repro.network import make_topology
 from repro.system.config import SystemConfig
@@ -21,10 +25,18 @@ from repro.workloads.profiles import PROFILES, workload_names
 
 #: Paper values used for side-by-side reporting in EXPERIMENTS.md.
 PAPER_TABLE2 = {
-    "butterfly": {"one_way": 49, "memory": 178, "cache_snooping": 123,
-                  "cache_directory_3hop": 252},
-    "torus": {"one_way": 34, "memory": 148, "cache_snooping": 93,
-              "cache_directory_3hop": 207},
+    "butterfly": {
+        "one_way": 49,
+        "memory": 178,
+        "cache_snooping": 123,
+        "cache_directory_3hop": 252,
+    },
+    "torus": {
+        "one_way": 34,
+        "memory": 148,
+        "cache_snooping": 93,
+        "cache_directory_3hop": 207,
+    },
 }
 
 PAPER_TABLE3 = {
@@ -36,7 +48,7 @@ PAPER_TABLE3 = {
 }
 
 #: Headline ranges from the abstract / Section 5.
-PAPER_FIGURE3_SPEEDUP_RANGE = (0.06, 0.29)      # TS-Snoop faster by 6-29 %
+PAPER_FIGURE3_SPEEDUP_RANGE = (0.06, 0.29)  # TS-Snoop faster by 6-29 %
 PAPER_FIGURE4_EXTRA_TRAFFIC_RANGE = (0.13, 0.43)  # at 13-43 % more traffic
 
 
@@ -58,42 +70,61 @@ class Table3Row:
     paper_three_hop_percent: float
 
 
-def table3(scale: float = 1.0, network: str = "butterfly",
-           protocol: str = "ts-snoop",
-           config: Optional[SystemConfig] = None) -> List[Table3Row]:
+def table3(
+    scale: float = 1.0,
+    network: str = "butterfly",
+    protocol: str = "ts-snoop",
+    config: Optional[SystemConfig] = None,
+) -> List[Table3Row]:
     """Benchmark characteristics measured from simulation (Table 3)."""
     rows: List[Table3Row] = []
     for workload in workload_names():
-        result = api.run_experiment(workload=workload, protocol=protocol,
-                                    network=network, scale=scale,
-                                    config=config)
-        profile = PROFILES[workload]
-        rows.append(Table3Row(
+        result = api.run_experiment(
             workload=workload,
-            data_touched_mb=result.data_touched_mb,
-            total_misses=result.misses,
-            three_hop_percent=100 * result.cache_to_cache_fraction,
-            paper_data_touched_mb=profile.paper_data_touched_mb,
-            paper_misses_millions=profile.paper_total_misses_millions,
-            paper_three_hop_percent=profile.paper_three_hop_percent,
-        ))
+            protocol=protocol,
+            network=network,
+            scale=scale,
+            config=config,
+        )
+        profile = PROFILES[workload]
+        rows.append(
+            Table3Row(
+                workload=workload,
+                data_touched_mb=result.data_touched_mb,
+                total_misses=result.misses,
+                three_hop_percent=100 * result.cache_to_cache_fraction,
+                paper_data_touched_mb=profile.paper_data_touched_mb,
+                paper_misses_millions=profile.paper_total_misses_millions,
+                paper_three_hop_percent=profile.paper_three_hop_percent,
+            )
+        )
     return rows
 
 
 # ------------------------------------------------------------------- Figure 3/4
-def figure3(network: str = "butterfly", scale: float = 1.0,
-            workloads: Optional[Sequence[str]] = None,
-            replicas: int = 1,
-            config: Optional[SystemConfig] = None) -> Dict[str, ProtocolComparison]:
+def figure3(
+    network: str = "butterfly",
+    scale: float = 1.0,
+    workloads: Optional[Sequence[str]] = None,
+    replicas: int = 1,
+    config: Optional[SystemConfig] = None,
+) -> Dict[str, ProtocolComparison]:
     """Normalised runtime comparison for one network (Figure 3)."""
-    return api.sweep_workloads(network=network, workloads=workloads,
-                               scale=scale, config=config,
-                               perturbation_replicas=replicas)
+    return api.sweep_workloads(
+        network=network,
+        workloads=workloads,
+        scale=scale,
+        config=config,
+        perturbation_replicas=replicas,
+    )
 
 
-def figure4(comparisons: Optional[Dict[str, ProtocolComparison]] = None,
-            network: str = "butterfly", scale: float = 1.0,
-            config: Optional[SystemConfig] = None) -> Dict[str, ProtocolComparison]:
+def figure4(
+    comparisons: Optional[Dict[str, ProtocolComparison]] = None,
+    network: str = "butterfly",
+    scale: float = 1.0,
+    config: Optional[SystemConfig] = None,
+) -> Dict[str, ProtocolComparison]:
     """Normalised link traffic (Figure 4).
 
     Reuses the Figure 3 runs when given, since both figures come from the
@@ -125,21 +156,21 @@ class HeadlineSummary:
     extra_traffic_vs_diropt: Dict[str, float] = field(default_factory=dict)
 
     def speedup_range(self) -> tuple:
-        values = [value for mapping in (self.speedup_vs_dirclassic,
-                                        self.speedup_vs_diropt)
-                  for value in mapping.values()]
+        mappings = (self.speedup_vs_dirclassic, self.speedup_vs_diropt)
+        values = [value for mapping in mappings for value in mapping.values()]
         return (min(values), max(values)) if values else (0.0, 0.0)
 
     def extra_traffic_range(self) -> tuple:
-        values = [value for mapping in (self.extra_traffic_vs_dirclassic,
-                                        self.extra_traffic_vs_diropt)
-                  for value in mapping.values()]
+        mappings = (self.extra_traffic_vs_dirclassic, self.extra_traffic_vs_diropt)
+        values = [value for mapping in mappings for value in mapping.values()]
         return (min(values), max(values)) if values else (0.0, 0.0)
 
 
-def headline_summary(comparisons: Dict[str, ProtocolComparison],
-                     network: str,
-                     skip_dirclassic_outliers: bool = True) -> HeadlineSummary:
+def headline_summary(
+    comparisons: Dict[str, ProtocolComparison],
+    network: str,
+    skip_dirclassic_outliers: bool = True,
+) -> HeadlineSummary:
     """Compute the abstract-style ranges from a Figure 3/4 sweep.
 
     ``skip_dirclassic_outliers`` mirrors the paper's treatment of DSS under
@@ -151,9 +182,12 @@ def headline_summary(comparisons: Dict[str, ProtocolComparison],
         if not (skip_dirclassic_outliers and dirclassic_ratio > 2.0):
             summary.speedup_vs_dirclassic[workload] = dirclassic_ratio - 1.0
             summary.extra_traffic_vs_dirclassic[workload] = (
-                comparison.extra_traffic_of_baseline_over("dirclassic"))
+                comparison.extra_traffic_of_baseline_over("dirclassic")
+            )
         summary.speedup_vs_diropt[workload] = (
-            comparison.normalized_runtime("diropt") - 1.0)
+            comparison.normalized_runtime("diropt") - 1.0
+        )
         summary.extra_traffic_vs_diropt[workload] = (
-            comparison.extra_traffic_of_baseline_over("diropt"))
+            comparison.extra_traffic_of_baseline_over("diropt")
+        )
     return summary

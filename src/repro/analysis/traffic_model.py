@@ -30,8 +30,7 @@ class TrafficBound:
     @property
     def extra_fraction(self) -> float:
         """Upper bound on snooping's extra bandwidth (0.60 for the paper)."""
-        return (self.snooping_bytes_per_miss
-                / self.directory_bytes_per_miss) - 1.0
+        return (self.snooping_bytes_per_miss / self.directory_bytes_per_miss) - 1.0
 
     @property
     def directory_fraction_of_snooping(self) -> float:
@@ -44,8 +43,9 @@ def data_message_bytes(block_bytes: int) -> int:
     return block_bytes + 8
 
 
-def per_miss_bytes(topology: Topology, block_bytes: int = 64,
-                   source: int = 0) -> TrafficBound:
+def per_miss_bytes(
+    topology: Topology, block_bytes: int = 64, source: int = 0
+) -> TrafficBound:
     """Per-miss link bytes for snooping vs. a minimal directory transaction.
 
     Follows the paper's accounting exactly: the snooping request is broadcast
@@ -57,18 +57,18 @@ def per_miss_bytes(topology: Topology, block_bytes: int = 64,
     """
     data_bytes = data_message_bytes(block_bytes)
     broadcast_links = topology.broadcast_link_count(source)
-    unicast_links = max(topology.hop_count(source, dst)
-                        for dst in topology.endpoints())
+    unicast_links = max(topology.hop_count(source, dst) for dst in topology.endpoints())
     if topology.name == "torus":
         # The paper's torus estimate uses the mean path of 2 links.
         unicast_links = 2
-    snooping = (broadcast_links * CONTROL_MESSAGE_BYTES
-                + unicast_links * data_bytes)
-    directory = (unicast_links * CONTROL_MESSAGE_BYTES
-                 + unicast_links * data_bytes)
-    return TrafficBound(topology=topology.name, block_bytes=block_bytes,
-                        snooping_bytes_per_miss=snooping,
-                        directory_bytes_per_miss=directory)
+    snooping = broadcast_links * CONTROL_MESSAGE_BYTES + unicast_links * data_bytes
+    directory = unicast_links * CONTROL_MESSAGE_BYTES + unicast_links * data_bytes
+    return TrafficBound(
+        topology=topology.name,
+        block_bytes=block_bytes,
+        snooping_bytes_per_miss=snooping,
+        directory_bytes_per_miss=directory,
+    )
 
 
 def traffic_bound(topology: Topology, block_bytes: int = 64) -> float:

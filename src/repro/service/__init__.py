@@ -1,0 +1,100 @@
+"""Simulation-as-a-service: job manager + content-addressed result cache.
+
+This package turns the one-shot experiment API into a long-lived service:
+
+* :mod:`repro.service.manager` -- :class:`JobManager`, the asyncio
+  front-end with priority + FIFO scheduling, bounded-cost admission
+  control, per-job cancellation and in-flight deduplication over a
+  pluggable worker-pool backend.
+* :mod:`repro.service.cache` -- :class:`ResultCache`, the
+  content-addressed (SHA-256 of the canonical experiment document)
+  schema-versioned result store; cache hits replay bit-identically to
+  recomputation.  :func:`run_matrix_cached` is the synchronous
+  equivalent used by ``repro.api`` wrappers when passed ``cache=``.
+* :mod:`repro.service.events` -- the streaming progress events yielded
+  by :meth:`JobHandle.events` and their ordering contract.
+* :mod:`repro.service.metrics` -- :class:`ServiceMetrics`, queue /
+  cache / worker counters rendered as a schema-v1 JSON snapshot.
+* :mod:`repro.service.cli` -- the ``python -m repro.service`` front-end,
+  including the ``--self-test`` exercise CI runs as a smoke test.
+"""
+
+from __future__ import annotations
+
+from repro.service.cache import (
+    RESULT_SCHEMA_VERSION,
+    CacheError,
+    CacheStats,
+    ResultCache,
+    entry_keys,
+    replica_key,
+    run_matrix_cached,
+)
+from repro.service.events import (
+    SOURCE_CACHE,
+    SOURCE_COMPUTED,
+    SOURCE_DEDUPED,
+    JobAdmitted,
+    JobCancelled,
+    JobCompleted,
+    JobEvent,
+    JobFailed,
+    JobProgress,
+    ReplicaCompleted,
+)
+from repro.service.manager import (
+    DEFAULT_MAX_PENDING_COST,
+    AdmissionError,
+    InlinePoolBackend,
+    JobCancelledError,
+    JobHandle,
+    JobManager,
+    JobState,
+    PoolBackend,
+    ProcessPoolBackend,
+    job_cost,
+    make_backend,
+    replica_cost,
+)
+from repro.service.metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsSchemaError,
+    ServiceMetrics,
+    validate_metrics_snapshot,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CacheError",
+    "CacheStats",
+    "DEFAULT_MAX_PENDING_COST",
+    "InlinePoolBackend",
+    "JobAdmitted",
+    "JobCancelled",
+    "JobCancelledError",
+    "JobCompleted",
+    "JobEvent",
+    "JobFailed",
+    "JobHandle",
+    "JobManager",
+    "JobProgress",
+    "JobState",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsSchemaError",
+    "PoolBackend",
+    "ProcessPoolBackend",
+    "RESULT_SCHEMA_VERSION",
+    "ReplicaCompleted",
+    "ResultCache",
+    "SOURCE_CACHE",
+    "SOURCE_COMPUTED",
+    "SOURCE_DEDUPED",
+    "ServiceMetrics",
+    "entry_keys",
+    "job_cost",
+    "make_backend",
+    "replica_cost",
+    "replica_key",
+    "run_matrix_cached",
+    "validate_metrics_snapshot",
+]

@@ -1,0 +1,321 @@
+"""Content-addressed result cache: canonical keys, wire format, stores.
+
+The cache key of one replica is the SHA-256 of the canonical JSON form of
+``(effective SystemConfig, scaled WorkloadProfile, replica_index,
+result-schema version)`` -- see :func:`repro.api.spec.canonical_experiment`
+for what "canonical" means (override order, alias spelling, restated
+defaults and result-neutral host knobs all hash identically; the seed and
+replica count live inside the config and are part of the key).
+
+Cached values are the schema-versioned JSON encoding of a
+:class:`~repro.system.results.RunResult`.  Decoding always builds a *fresh*
+``RunResult`` -- both so a disk entry and a memory entry replay identically
+and so callers that mutate merged results (the minimum-replica selection
+writes ``result.replicas``) can never corrupt the stored copy.  Round
+trips are bit-identical: every field of ``RunResult`` is JSON-exact (ints,
+strings and IEEE doubles), which the test suite verifies against fresh
+computation for all three protocols.
+
+:class:`ResultCache` layers an in-memory LRU over an optional on-disk
+store (``<dir>/<key[:2]>/<key>.json``, written atomically via rename), so
+a long-running service keeps its hot set in memory while surviving
+restarts, and concurrent services can share one directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.api.spec import canonical_experiment
+from repro.parallel.executor import run_replica_jobs
+from repro.parallel.jobs import ReplicaJob
+from repro.parallel.sweep import MatrixEntry, select_minimum_replica
+from repro.system.config import SystemConfig
+from repro.system.results import RunResult
+from repro.workloads.profiles import WorkloadProfile
+
+#: Version of the cached-result wire format.  Part of every cache key, so
+#: a schema change can never replay stale entries.
+RESULT_SCHEMA_VERSION = 1
+
+#: ``kind`` discriminator of cache-entry JSON documents.
+RESULT_KIND = "repro.service.result"
+
+
+class CacheError(ValueError):
+    """A cache entry does not match the expected schema or key."""
+
+
+# ------------------------------------------------------------------- keys
+def canonical_key_document(
+    config: SystemConfig, profile: WorkloadProfile, replica_index: int
+) -> Dict[str, Any]:
+    """The exact document hashed into a replica's cache key."""
+    document = canonical_experiment(config, profile)
+    document["replica_index"] = replica_index
+    document["result_schema"] = RESULT_SCHEMA_VERSION
+    return document
+
+
+def replica_key(
+    config: SystemConfig, profile: WorkloadProfile, replica_index: int
+) -> str:
+    """Content address of one ``(config, profile, replica)`` result."""
+    if not 0 <= replica_index < config.perturbation_replicas:
+        raise ValueError(
+            f"replica_index {replica_index} out of range for "
+            f"{config.perturbation_replicas} replicas"
+        )
+    document = canonical_key_document(config, profile, replica_index)
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def entry_keys(config: SystemConfig, profile: WorkloadProfile) -> List[str]:
+    """Cache keys of every replica of one experiment entry, in order."""
+    return [
+        replica_key(config, profile, index)
+        for index in range(config.perturbation_replicas)
+    ]
+
+
+# ------------------------------------------------------------ wire format
+def result_to_payload(result: RunResult) -> Dict[str, Any]:
+    """``RunResult`` as a plain JSON-safe dictionary (all fields)."""
+    payload: Dict[str, Any] = {}
+    for field in fields(result):
+        value = getattr(result, field.name)
+        payload[field.name] = dict(value) if isinstance(value, dict) else value
+    return payload
+
+
+def payload_to_result(payload: Dict[str, Any]) -> RunResult:
+    """Rebuild a fresh ``RunResult`` from :func:`result_to_payload` output."""
+    names = {field.name for field in fields(RunResult)}
+    unknown = set(payload) - names
+    if unknown:
+        raise CacheError(f"result payload has unknown fields {sorted(unknown)}")
+    return RunResult(**payload)
+
+
+def encode_entry(key: str, result: RunResult) -> Dict[str, Any]:
+    """The JSON document stored for one cached replica result."""
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "kind": RESULT_KIND,
+        "key": key,
+        "result": result_to_payload(result),
+    }
+
+
+def decode_entry(document: Any, expected_key: Optional[str] = None) -> RunResult:
+    """Validate and decode one cache-entry document into a fresh result."""
+    if not isinstance(document, dict):
+        raise CacheError(
+            f"cache entry must be an object, got {type(document).__name__}"
+        )
+    if document.get("kind") != RESULT_KIND:
+        raise CacheError(f"cache entry has kind {document.get('kind')!r}")
+    if document.get("schema_version") != RESULT_SCHEMA_VERSION:
+        raise CacheError(
+            f"unsupported cache schema_version {document.get('schema_version')!r}"
+        )
+    if expected_key is not None and document.get("key") != expected_key:
+        raise CacheError(
+            f"cache entry key {document.get('key')!r} does not match the "
+            f"requested key {expected_key!r}"
+        )
+    return payload_to_result(document["result"])
+
+
+# ------------------------------------------------------------------ store
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, merged into the service metrics snapshot."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    memory_evictions: int = 0
+    invalid_entries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+
+class ResultCache:
+    """In-memory LRU over an optional on-disk content-addressed store.
+
+    ``memory_entries`` bounds the LRU (oldest entries fall back to disk, or
+    are dropped entirely for a memory-only cache).  ``path=None`` keeps the
+    cache purely in memory.  All operations are thread-safe; entries are
+    immutable JSON documents, so cross-process sharing of one directory is
+    safe too (writes are atomic renames).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        memory_entries: int = 512,
+    ) -> None:
+        if memory_entries < 0:
+            raise ValueError("memory_entries must be non-negative")
+        self.path = Path(path) if path is not None else None
+        self.memory_entries = memory_entries
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- lookup
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None``.
+
+        Always decodes a fresh ``RunResult``; mutating the returned object
+        never affects the stored entry.
+        """
+        with self._lock:
+            document = self._memory.get(key)
+            if document is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return decode_entry(document, expected_key=key)
+        document = self._read_disk(key)
+        if document is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            result = decode_entry(document, expected_key=key)
+        except CacheError:
+            with self._lock:
+                self.stats.invalid_entries += 1
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._remember(key, document)
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store ``result`` under ``key`` (memory LRU + disk when configured).
+
+        The entry is serialised immediately, so later mutation of
+        ``result`` (e.g. the merge step writing ``replicas``) cannot leak
+        into the cache.
+        """
+        document = encode_entry(key, result)
+        with self._lock:
+            self._remember(key, document)
+            self.stats.stores += 1
+        self._write_disk(key, document)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._disk_path(key).is_file() if self.path is not None else False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory LRU (disk entries survive)."""
+        with self._lock:
+            self._memory.clear()
+
+    def stats_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return self.stats.as_dict()
+
+    # ------------------------------------------------------------ internals
+    def _remember(self, key: str, document: Dict[str, Any]) -> None:
+        if self.memory_entries == 0:
+            return
+        self._memory[key] = document
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.memory_evictions += 1
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.path is not None
+        return self.path / key[:2] / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.path is None:
+            return None
+        target = self._disk_path(key)
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            with self._lock:
+                self.stats.invalid_entries += 1
+            return None
+
+    def _write_disk(self, key: str, document: Dict[str, Any]) -> None:
+        if self.path is None:
+            return
+        target = self._disk_path(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        scratch = target.parent / f"{target.name}.tmp{os.getpid()}"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(scratch, target)
+
+
+# ------------------------------------------------------- cached execution
+def run_matrix_cached(
+    entries: Sequence[MatrixEntry],
+    *,
+    cache: ResultCache,
+    jobs: Optional[int] = 1,
+) -> List[RunResult]:
+    """:func:`repro.parallel.sweep.run_matrix`, deduplicated through ``cache``.
+
+    Replicas whose key is already cached are replayed (bit-identical to
+    recomputation); only the uncached frontier is submitted to the process
+    pool, in the same submission order ``run_matrix`` would use, and every
+    fresh result is stored before the per-entry minimum-replica merge.
+    The returned list is bit-identical to an uncached ``run_matrix`` call.
+    """
+    slots: List[List[List[Any]]] = []
+    misses: List[ReplicaJob] = []
+    for config, profile in entries:
+        per_entry: List[List[Any]] = []
+        for index in range(config.perturbation_replicas):
+            key = replica_key(config, profile, index)
+            per_entry.append([key, cache.get(key)])
+            if per_entry[-1][1] is None:
+                misses.append(
+                    ReplicaJob(config=config, profile=profile, replica_index=index)
+                )
+        slots.append(per_entry)
+
+    fresh: Iterator[RunResult] = iter(
+        run_replica_jobs(misses, jobs=jobs) if misses else ()
+    )
+    merged: List[RunResult] = []
+    for per_entry in slots:
+        for slot in per_entry:
+            if slot[1] is None:
+                slot[1] = next(fresh)
+                cache.put(slot[0], slot[1])
+        merged.append(select_minimum_replica([slot[1] for slot in per_entry]))
+    return merged

@@ -1,0 +1,393 @@
+"""Command-line front-end of the simulation service.
+
+::
+
+    python -m repro.service oltp,protocol=diropt,scale=0.2 dss,priority=1
+    python -m repro.service --jobs 4 --cache-dir .repro-cache oltp dss
+    python -m repro.service --self-test --metrics-out service-metrics.json
+
+Each positional argument is one experiment request: a workload name
+followed by comma-separated ``key=value`` settings.  ``protocol``,
+``network``, ``scale`` and ``priority`` are recognised directly; any other
+key is passed through as a :class:`~repro.system.config.SystemConfig`
+override (``slack=2``, ``perturbation_replicas=3``, ...).  Requests are
+validated eagerly, streamed as they progress, and deduplicated through
+the shared result cache.
+
+``--self-test`` runs a deterministic end-to-end exercise of the service
+(overlapping sweeps from two clients, cache replay, event-ordering and
+bit-identity checks) and exits non-zero on any violation; CI runs it as a
+smoke test and archives the resulting metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.spec import ExperimentSpec, ExperimentSpecError
+from repro.service.cache import ResultCache
+from repro.service.events import (
+    SOURCE_COMPUTED,
+    JobAdmitted,
+    JobCompleted,
+    JobEvent,
+    JobProgress,
+    ReplicaCompleted,
+    describe,
+)
+from repro.service.manager import (
+    DEFAULT_MAX_PENDING_COST,
+    AdmissionError,
+    JobManager,
+)
+from repro.service.metrics import validate_metrics_snapshot
+
+_DIRECT_KEYS = ("workload", "protocol", "network")
+
+
+def _coerce(value: str) -> Any:
+    """``key=value`` strings into numbers/bools where they look like one."""
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(value)
+        except ValueError:
+            continue
+    return value
+
+
+def parse_request(
+    text: str, default_scale: Optional[float] = None
+) -> Tuple[ExperimentSpec, int]:
+    """One CLI positional into ``(spec, priority)``.
+
+    Grammar: ``workload[,key=value]...`` -- e.g.
+    ``oltp,protocol=diropt,scale=0.2,priority=1,slack=2``.  A request
+    without an inline ``scale=`` falls back to ``default_scale`` (the
+    ``--scale`` flag) when one is given.
+    """
+    named: Dict[str, str] = {}
+    workload: Optional[str] = None
+    overrides: Dict[str, Any] = {}
+    priority = 0
+    for part in filter(None, (piece.strip() for piece in text.split(","))):
+        if "=" not in part:
+            if workload is not None:
+                raise ExperimentSpecError(
+                    f"request {text!r} names two workloads "
+                    f"({workload!r} and {part!r})"
+                )
+            workload = part
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "priority":
+            priority = int(value)
+        elif key == "scale":
+            overrides["scale"] = float(value)
+        elif key in _DIRECT_KEYS:
+            named[key] = value
+        else:
+            overrides[key] = _coerce(value)
+    workload = named.pop("workload", workload)
+    if workload is None:
+        raise ExperimentSpecError(f"request {text!r} does not name a workload")
+    if default_scale is not None:
+        overrides.setdefault("scale", default_scale)
+    spec = ExperimentSpec.make(workload, **named, **overrides)
+    return spec, priority
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run experiment requests through the simulation service.",
+    )
+    parser.add_argument(
+        "requests",
+        nargs="*",
+        metavar="REQUEST",
+        help="workload[,key=value]... e.g. oltp,protocol=diropt,scale=0.2",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 serial, 0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist the result cache under DIR (default: memory only)",
+    )
+    parser.add_argument(
+        "--memory-entries",
+        type=int,
+        default=512,
+        metavar="N",
+        help="in-memory LRU size of the result cache (default 512)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="COST",
+        help="admission budget in cost units (0 disables admission control)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the schema-v1 service metrics snapshot to PATH",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="default reference-stream scale for requests without an "
+        "inline scale= (and for --self-test, where it defaults to 0.05)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the event stream"
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the deterministic service exercise and exit non-zero on failure",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.self_test:
+        if args.requests:
+            parser.error("--self-test takes no REQUEST arguments")
+        return asyncio.run(_self_test(args))
+    if not args.requests:
+        parser.error("no REQUEST given (or use --self-test)")
+    try:
+        requests = [parse_request(text, args.scale) for text in args.requests]
+    except (ExperimentSpecError, ValueError) as error:
+        parser.error(str(error))
+    return asyncio.run(_serve(requests, args))
+
+
+def _make_manager(args: argparse.Namespace) -> JobManager:
+    cache = ResultCache(args.cache_dir, memory_entries=args.memory_entries)
+    budget: Optional[int]
+    if args.budget is None:
+        budget = DEFAULT_MAX_PENDING_COST
+    elif args.budget <= 0:
+        budget = None
+    else:
+        budget = args.budget
+    return JobManager(jobs=args.jobs, cache=cache, max_pending_cost=budget)
+
+
+async def _pump(handle: Any, quiet: bool) -> List[JobEvent]:
+    events = []
+    async for event in handle.events():
+        events.append(event)
+        if not quiet:
+            print(describe(event))
+    return events
+
+
+def _finish_metrics(manager: JobManager, args: argparse.Namespace) -> None:
+    snapshot = manager.snapshot()
+    validate_metrics_snapshot(snapshot)
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote metrics snapshot to {path}")
+    replicas = snapshot["replicas"]
+    print(
+        "service: computed={computed} cached={cached} deduped={deduped} "
+        "peak_queue={peak}".format(
+            computed=replicas["replicas_computed"],
+            cached=replicas["replicas_from_cache"],
+            deduped=replicas["replicas_deduped"],
+            peak=snapshot["queue"]["peak_queue_depth"],
+        )
+    )
+
+
+async def _serve(
+    requests: Sequence[Tuple[ExperimentSpec, int]], args: argparse.Namespace
+) -> int:
+    manager = _make_manager(args)
+    failures = 0
+    async with manager:
+        handles = []
+        for spec, priority in requests:
+            try:
+                handles.append(manager.submit(spec, priority=priority))
+            except AdmissionError as error:
+                failures += 1
+                print(f"rejected {spec.label}: {error}")
+        pumps = [
+            asyncio.create_task(_pump(handle, args.quiet)) for handle in handles
+        ]
+        await manager.drain()
+        if pumps:
+            await asyncio.gather(*pumps)
+        for handle in handles:
+            try:
+                result = await handle.result()
+            except Exception as error:
+                failures += 1
+                print(f"{handle.job_id} {handle.spec.label}: {error}")
+                continue
+            print(f"{handle.job_id} {handle.spec.label}: {result.summary()}")
+    _finish_metrics(manager, args)
+    return 1 if failures else 0
+
+
+# -------------------------------------------------------------- self-test
+def _check(condition: bool, message: str, problems: List[str]) -> None:
+    if not condition:
+        problems.append(message)
+
+
+def _check_stream(events: List[JobEvent], problems: List[str]) -> None:
+    """Assert the ordering contract of :mod:`repro.service.events`."""
+    label = events[0].job_id if events else "<empty>"
+    _check(len(events) >= 2, f"{label}: stream has fewer than two events", problems)
+    if not events:
+        return
+    _check(
+        isinstance(events[0], JobAdmitted),
+        f"{label}: stream does not start with JobAdmitted",
+        problems,
+    )
+    _check(
+        events[-1].terminal and isinstance(events[-1], JobCompleted),
+        f"{label}: stream does not end with JobCompleted",
+        problems,
+    )
+    middle = events[1:-1]
+    _check(
+        all(not event.terminal for event in middle),
+        f"{label}: terminal event in mid-stream",
+        problems,
+    )
+    pairs = [middle[index : index + 2] for index in range(0, len(middle), 2)]
+    completed = 0
+    for pair in pairs:
+        ok = (
+            len(pair) == 2
+            and isinstance(pair[0], ReplicaCompleted)
+            and isinstance(pair[1], JobProgress)
+        )
+        _check(ok, f"{label}: replica/progress events not paired", problems)
+        if ok:
+            completed += 1
+            _check(
+                pair[1].completed == completed,
+                f"{label}: progress count {pair[1].completed} != {completed}",
+                problems,
+            )
+
+
+async def _self_test(args: argparse.Namespace) -> int:
+    scale = 0.05 if args.scale is None else args.scale
+    problems: List[str] = []
+    specs = [
+        ExperimentSpec.make("oltp", protocol=protocol, scale=scale)
+        for protocol in ("ts-snoop", "diropt")
+    ]
+    cache = ResultCache(args.cache_dir, memory_entries=args.memory_entries)
+
+    # Phase 1: two clients submit overlapping sweeps concurrently.
+    manager = JobManager(jobs=1, cache=cache)
+    async with manager:
+        first = [manager.submit(spec) for spec in specs]
+        second = [manager.submit(spec) for spec in specs]
+        pumps = [
+            asyncio.create_task(_pump(handle, args.quiet))
+            for handle in first + second
+        ]
+        await manager.drain()
+        streams = await asyncio.gather(*pumps)
+        results_first = [await handle.result() for handle in first]
+        results_second = [await handle.result() for handle in second]
+
+    unique_replicas = sum(spec.config().perturbation_replicas for spec in specs)
+    _check(
+        manager.backend.submissions == unique_replicas,
+        f"overlapping sweeps simulated {manager.backend.submissions} "
+        f"replicas, expected exactly {unique_replicas}",
+        problems,
+    )
+    _check(
+        results_first == results_second,
+        "duplicate submissions returned different results",
+        problems,
+    )
+    for events in streams:
+        _check_stream(events, problems)
+    duplicate_sources = {
+        event.source
+        for events in streams[len(specs) :]
+        for event in events
+        if isinstance(event, ReplicaCompleted)
+    }
+    _check(
+        SOURCE_COMPUTED not in duplicate_sources,
+        "a duplicate job recomputed a replica instead of joining/replaying",
+        problems,
+    )
+
+    # Phase 2: a fresh manager replays the sweep purely from the cache.
+    replay = JobManager(jobs=1, cache=cache)
+    async with replay:
+        handles = [replay.submit(spec) for spec in specs]
+        drains = [asyncio.create_task(_pump(handle, True)) for handle in handles]
+        await replay.drain()
+        await asyncio.gather(*drains)
+        replayed = [await handle.result() for handle in handles]
+    _check(
+        replay.backend.submissions == 0,
+        f"cached replay submitted {replay.backend.submissions} replicas "
+        "to the pool, expected zero simulation work",
+        problems,
+    )
+    _check(
+        replayed == results_first,
+        "cached replay is not bit-identical to the fresh run",
+        problems,
+    )
+
+    manager.metrics.extra["self_test"] = {
+        "scale": scale,
+        "unique_replicas": unique_replicas,
+        "replay_submissions": replay.backend.submissions,
+    }
+    snapshot = manager.snapshot()
+    try:
+        validate_metrics_snapshot(snapshot)
+    except Exception as error:
+        problems.append(f"metrics snapshot failed validation: {error}")
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+    for problem in problems:
+        print(f"self-test FAILED: {problem}")
+    if not problems:
+        print(
+            f"self-test ok: {unique_replicas} unique replicas computed once, "
+            f"{len(specs)} duplicate jobs joined, cached replay bit-identical "
+            "with zero pool submissions"
+        )
+    return 1 if problems else 0

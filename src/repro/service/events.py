@@ -1,0 +1,119 @@
+"""Streaming progress events yielded by :meth:`JobHandle.events`.
+
+Every submitted job streams a strictly-ordered event sequence:
+
+1. exactly one :class:`JobAdmitted` first;
+2. zero or more ``(`` :class:`ReplicaCompleted` ``,`` :class:`JobProgress`
+   ``)`` pairs, one pair per finished replica, in completion order (the
+   progress event carries the partial statistics so far);
+3. exactly one terminal event last -- :class:`JobCompleted` with the
+   merged result, :class:`JobCancelled`, or :class:`JobFailed`.
+
+After the terminal event the stream ends; a cancelled job emits nothing
+further even if shared replicas finish later for other jobs' benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.system.results import RunResult
+
+#: How a finished replica's result was obtained.
+SOURCE_COMPUTED = "computed"
+SOURCE_CACHE = "cache"
+SOURCE_DEDUPED = "deduped"
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """Base of every streamed event; ``terminal`` ends the stream."""
+
+    job_id: str
+
+    terminal = False
+
+
+@dataclass(frozen=True)
+class JobAdmitted(JobEvent):
+    """The job passed admission control and its replicas were enqueued."""
+
+    label: str
+    total_replicas: int
+    priority: int
+
+
+@dataclass(frozen=True)
+class ReplicaCompleted(JobEvent):
+    """One replica finished; ``source`` says whether it was simulated,
+    replayed from the result cache, or joined onto another job's in-flight
+    computation of the identical replica."""
+
+    replica_index: int
+    source: str
+    runtime_ns: int
+
+
+@dataclass(frozen=True)
+class JobProgress(JobEvent):
+    """Partial statistics after each replica: completion count and the
+    minimum runtime / total misses over the replicas finished so far."""
+
+    completed: int
+    total: int
+    best_runtime_ns: int
+    misses: int
+
+
+@dataclass(frozen=True)
+class JobCompleted(JobEvent):
+    """Terminal: every replica finished; ``result`` is the merged minimum."""
+
+    result: RunResult
+
+    terminal = True
+
+
+@dataclass(frozen=True)
+class JobCancelled(JobEvent):
+    """Terminal: the job was cancelled before all replicas finished."""
+
+    terminal = True
+
+
+@dataclass(frozen=True)
+class JobFailed(JobEvent):
+    """Terminal: a replica raised; ``error`` carries the repr."""
+
+    error: str
+
+    terminal = True
+
+
+def describe(event: JobEvent) -> str:
+    """One human-readable line per event (the CLI's stream format)."""
+    if isinstance(event, JobAdmitted):
+        return (
+            f"[{event.job_id}] admitted {event.label} "
+            f"({event.total_replicas} replica(s), priority {event.priority})"
+        )
+    if isinstance(event, ReplicaCompleted):
+        return (
+            f"[{event.job_id}] replica {event.replica_index} {event.source} "
+            f"runtime={event.runtime_ns} ns"
+        )
+    if isinstance(event, JobProgress):
+        return (
+            f"[{event.job_id}] progress {event.completed}/{event.total} "
+            f"best_runtime={event.best_runtime_ns} ns misses={event.misses}"
+        )
+    if isinstance(event, JobCompleted):
+        return (
+            f"[{event.job_id}] completed runtime={event.result.runtime_ns} ns "
+            f"over {event.result.replicas} replica(s)"
+        )
+    if isinstance(event, JobCancelled):
+        return f"[{event.job_id}] cancelled"
+    if isinstance(event, JobFailed):
+        return f"[{event.job_id}] failed: {event.error}"
+    return f"[{event.job_id}] {event!r}"

@@ -1,0 +1,561 @@
+"""Async job manager: the simulation-as-a-service front-end.
+
+:class:`JobManager` accepts :class:`~repro.api.spec.ExperimentSpec`
+requests from any number of concurrent clients and feeds the replica jobs
+of :mod:`repro.parallel` to a shared worker pool:
+
+* **Priority + FIFO fairness** -- jobs carry an integer priority (lower
+  runs first); within a priority class, replicas run in submission order.
+* **Admission control** -- the queue is bounded by *estimated cost* (a
+  work proxy: references x nodes x replicas).  Once the pending cost
+  would exceed the budget, :meth:`JobManager.submit` raises
+  :class:`AdmissionError` carrying a ``retry_after_s`` estimate derived
+  from the observed completion rate, so overloaded clients back off
+  instead of piling up unbounded queues.  A job is always admitted when
+  the queue is empty, however large, so no request can starve.
+* **Content-addressed dedup** -- with a :class:`~repro.service.cache.
+  ResultCache` attached, every replica is looked up before it is
+  simulated, and identical replicas *in flight* are joined (the second
+  job awaits the first's future), so overlapping sweeps from concurrent
+  clients compute each unique replica exactly once.
+* **Streaming progress** -- every job exposes an async event iterator
+  (:meth:`JobHandle.events`) and an awaitable merged result
+  (:meth:`JobHandle.result`); see :mod:`repro.service.events` for the
+  ordering contract.
+* **Cancellation** -- :meth:`JobHandle.cancel` takes effect between
+  replicas: queued replicas are skipped, the stream ends with
+  ``JobCancelled``, and ``result()`` raises :class:`JobCancelledError`.
+
+The pool itself is pluggable: :class:`ProcessPoolBackend` fans replicas
+out over a persistent process pool (the service-lifetime analogue of
+:func:`repro.parallel.executor.run_replica_jobs`), while
+:class:`InlinePoolBackend` runs them on the event-loop thread --
+deterministic and pool-free, used by tests, ``--self-test`` and
+single-worker services.  Backends count their submissions, which is how
+the test suite proves a cached replay performs zero simulation work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Any, AsyncIterator, Callable, Dict, List, Optional
+
+from repro.api.spec import ExperimentSpec
+from repro.parallel.executor import resolve_jobs
+from repro.parallel.jobs import ReplicaJob, execute_replica_job
+from repro.parallel.sweep import select_minimum_replica
+from repro.service.cache import ResultCache, replica_key
+from repro.service.events import (
+    SOURCE_CACHE,
+    SOURCE_COMPUTED,
+    SOURCE_DEDUPED,
+    JobAdmitted,
+    JobCancelled,
+    JobCompleted,
+    JobEvent,
+    JobFailed,
+    JobProgress,
+    ReplicaCompleted,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.system.config import SystemConfig
+from repro.system.results import RunResult
+from repro.workloads.profiles import WorkloadProfile
+
+#: Default admission budget, in cost units (see :func:`replica_cost`).
+#: Roughly one hundred default-scale replicas of the 16-node system.
+DEFAULT_MAX_PENDING_COST = 5_000_000
+
+#: Cost-units-per-second seed for the retry-after estimate, refined from
+#: observed completions as the service runs.
+_DEFAULT_COST_RATE = 100_000.0
+
+
+class AdmissionError(RuntimeError):
+    """The bounded queue is full; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, pending_cost: int, budget: int, retry_after_s: float):
+        super().__init__(
+            f"admission rejected: pending cost {pending_cost} exceeds the "
+            f"budget {budget}; retry after {retry_after_s:.2f}s"
+        )
+        self.pending_cost = pending_cost
+        self.budget = budget
+        self.retry_after_s = retry_after_s
+
+
+class JobCancelledError(RuntimeError):
+    """Awaiting the result of a job that was cancelled."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"job {job_id} was cancelled")
+        self.job_id = job_id
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+def replica_cost(config: SystemConfig, profile: WorkloadProfile) -> int:
+    """Estimated cost of one replica (a simulated-references work proxy)."""
+    return max(1, profile.references_per_node * config.num_nodes)
+
+
+def job_cost(config: SystemConfig, profile: WorkloadProfile) -> int:
+    """Estimated cost of a whole job (every perturbation replica)."""
+    return replica_cost(config, profile) * config.perturbation_replicas
+
+
+# ---------------------------------------------------------------- backends
+class PoolBackend:
+    """Where replica jobs actually run.  Subclasses count submissions."""
+
+    max_workers: int = 1
+    submissions: int = 0
+
+    async def run(self, job: ReplicaJob) -> RunResult:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+
+class InlinePoolBackend(PoolBackend):
+    """Runs replicas synchronously on the event-loop thread.
+
+    Deterministic and process-free: the replica computes between two
+    scheduling points, so tests and ``--self-test`` see a reproducible
+    interleaving.  One logical worker.
+    """
+
+    def __init__(self) -> None:
+        self.submissions = 0
+
+    async def run(self, job: ReplicaJob) -> RunResult:
+        self.submissions += 1
+        # One cooperative yield so cancellations and joiners queued before
+        # this replica get to run first, mirroring a real pool handoff.
+        await asyncio.sleep(0)
+        return execute_replica_job(job)
+
+
+class ProcessPoolBackend(PoolBackend):
+    """A persistent ``ProcessPoolExecutor`` shared across the service life.
+
+    Unlike :func:`repro.parallel.executor.run_replica_jobs`, which builds a
+    pool per call, the executor here stays warm across jobs, so each
+    worker's per-process stream cache keeps paying off across requests.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self.submissions = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    async def run(self, job: ReplicaJob) -> RunResult:
+        self.submissions += 1
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._ensure_executor(), execute_replica_job, job
+        )
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+
+def make_backend(jobs: Optional[int] = 1) -> PoolBackend:
+    """Backend for a ``jobs`` knob: inline when serial, process pool else."""
+    workers = resolve_jobs(jobs)
+    if workers <= 1:
+        return InlinePoolBackend()
+    return ProcessPoolBackend(workers)
+
+
+# ------------------------------------------------------------------- jobs
+@dataclass
+class _ReplicaUnit:
+    """One schedulable unit of work: a single replica of one job."""
+
+    handle: "JobHandle"
+    replica_index: int
+    key: str
+    job: ReplicaJob
+    cost: int
+
+
+class JobHandle:
+    """A submitted job: streaming events, awaitable result, cancellation.
+
+    Events are single-consumer: exactly one ``async for`` over
+    :meth:`events` sees the stream.  :meth:`result` may be awaited by any
+    number of tasks.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: ExperimentSpec,
+        config: SystemConfig,
+        profile: WorkloadProfile,
+        priority: int,
+        keys: List[str],
+        cancel: Callable[["JobHandle"], bool],
+    ) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.config = config
+        self.profile = profile
+        self.priority = priority
+        self.keys = keys
+        self.state = JobState.QUEUED
+        self._cancel = cancel
+        self._results: Dict[int, RunResult] = {}
+        self._events: "asyncio.Queue[JobEvent]" = asyncio.Queue()
+        self._stream_closed = False
+        self._done = asyncio.Event()
+        self._merged: Optional[RunResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def total_replicas(self) -> int:
+        return len(self.keys)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state is JobState.CANCELLED
+
+    def cancel(self) -> bool:
+        """Request cancellation; ``True`` if the job was still live."""
+        return self._cancel(self)
+
+    async def events(self) -> AsyncIterator[JobEvent]:
+        """Yield progress events until (and including) the terminal one."""
+        while True:
+            event = await self._events.get()
+            yield event
+            if event.terminal:
+                return
+
+    async def result(self) -> RunResult:
+        """The merged minimum-replica result (raises if cancelled/failed)."""
+        await self._done.wait()
+        if self._error is not None:
+            raise self._error
+        assert self._merged is not None
+        return self._merged
+
+
+# ---------------------------------------------------------------- manager
+class JobManager:
+    """The asyncio front-end feeding specs to the shared worker pool.
+
+    Typical service loop::
+
+        cache = ResultCache("~/.cache/repro-results")
+        async with JobManager(jobs=4, cache=cache) as manager:
+            handle = manager.submit(spec, priority=1)
+            async for event in handle.events():
+                ...
+            result = await handle.result()
+            await manager.drain()
+
+    ``jobs`` picks the backend (1 = inline on the event loop, N = an
+    ``N``-worker persistent process pool, 0 = one worker per CPU); pass
+    ``backend=`` to inject a custom one.  ``max_pending_cost=None``
+    disables admission control.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        backend: Optional[PoolBackend] = None,
+        max_pending_cost: Optional[int] = DEFAULT_MAX_PENDING_COST,
+        metrics: Optional[ServiceMetrics] = None,
+        base_config: Optional[SystemConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.backend = backend if backend is not None else make_backend(jobs)
+        self.cache = cache
+        self.max_pending_cost = max_pending_cost
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.metrics.workers_total = self.backend.max_workers
+        self.base_config = base_config
+        self._clock = clock
+        self._queue: "asyncio.PriorityQueue[Any]" = asyncio.PriorityQueue()
+        self._sequence = itertools.count()
+        self._job_numbers = itertools.count(1)
+        self._inflight: Dict[str, "asyncio.Future[RunResult]"] = {}
+        self._workers: List["asyncio.Task[None]"] = []
+        self._cost_rate = _DEFAULT_COST_RATE
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    async def __aenter__(self) -> "JobManager":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc_info: Any) -> None:
+        await self.aclose()
+
+    async def start(self) -> None:
+        """Spawn one worker task per backend worker (idempotent)."""
+        if self._closed:
+            raise RuntimeError("manager is closed")
+        while len(self._workers) < self.backend.max_workers:
+            self._workers.append(asyncio.create_task(self._worker()))
+
+    async def drain(self) -> None:
+        """Wait until every queued replica has been processed or skipped."""
+        await self._queue.join()
+
+    async def aclose(self) -> None:
+        """Stop the workers and release the backend (no implicit drain)."""
+        self._closed = True
+        for task in self._workers:
+            task.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers.clear()
+        self.backend.close()
+
+    # --------------------------------------------------------------- submit
+    def submit(self, spec: ExperimentSpec, *, priority: int = 0) -> JobHandle:
+        """Admit ``spec`` as a job and enqueue its replicas.
+
+        Raises :class:`AdmissionError` when the pending-cost budget is
+        exhausted (unless the queue is empty, which always admits).
+        Lower ``priority`` values run earlier; ties are FIFO.
+        """
+        if self._closed:
+            raise RuntimeError("manager is closed")
+        config = spec.config(self.base_config)
+        profile = spec.profile()
+        unit_cost = replica_cost(config, profile)
+        total_cost = unit_cost * config.perturbation_replicas
+        self._admit(total_cost)
+
+        job_id = f"job-{next(self._job_numbers)}"
+        keys = [
+            replica_key(config, profile, index)
+            for index in range(config.perturbation_replicas)
+        ]
+        handle = JobHandle(job_id, spec, config, profile, priority, keys, self._cancel)
+        self.metrics.jobs_submitted += 1
+        self.metrics.note_enqueued(len(keys), total_cost)
+        self._emit(
+            handle,
+            JobAdmitted(
+                job_id,
+                label=spec.label,
+                total_replicas=len(keys),
+                priority=priority,
+            ),
+        )
+        for index, key in enumerate(keys):
+            unit = _ReplicaUnit(
+                handle=handle,
+                replica_index=index,
+                key=key,
+                job=ReplicaJob(config=config, profile=profile, replica_index=index),
+                cost=unit_cost,
+            )
+            self._queue.put_nowait((priority, next(self._sequence), unit))
+        return handle
+
+    def _admit(self, total_cost: int) -> None:
+        if self.max_pending_cost is None:
+            return
+        pending = self.metrics.pending_cost
+        if pending <= 0 or pending + total_cost <= self.max_pending_cost:
+            return
+        self.metrics.jobs_rejected += 1
+        raise AdmissionError(
+            pending_cost=pending,
+            budget=self.max_pending_cost,
+            retry_after_s=self._retry_after(),
+        )
+
+    def _retry_after(self) -> float:
+        workers = max(1, self.backend.max_workers)
+        rate = max(1.0, self._cost_rate) * workers
+        return max(0.05, self.metrics.pending_cost / rate)
+
+    # --------------------------------------------------------------- cancel
+    def _cancel(self, handle: JobHandle) -> bool:
+        if handle.state in (
+            JobState.COMPLETED,
+            JobState.CANCELLED,
+            JobState.FAILED,
+        ):
+            return False
+        handle.state = JobState.CANCELLED
+        self.metrics.jobs_cancelled += 1
+        handle._error = JobCancelledError(handle.job_id)
+        self._emit(handle, JobCancelled(handle.job_id))
+        handle._done.set()
+        return True
+
+    # -------------------------------------------------------------- workers
+    async def _worker(self) -> None:
+        while True:
+            _priority, _sequence, unit = await self._queue.get()
+            try:
+                await self._process(unit)
+            except Exception as error:  # defensive: keep the worker alive
+                self._fail(unit.handle, error)
+            finally:
+                self._queue.task_done()
+
+    async def _process(self, unit: _ReplicaUnit) -> None:
+        handle = unit.handle
+        self.metrics.note_dequeued(unit.cost)
+        if handle.state in (JobState.CANCELLED, JobState.FAILED):
+            self.metrics.replicas_skipped_cancelled += 1
+            return
+        if handle.state is JobState.QUEUED:
+            handle.state = JobState.RUNNING
+
+        result: Optional[RunResult] = None
+        source = SOURCE_COMPUTED
+        if self.cache is not None:
+            result = self.cache.get(unit.key)
+            if result is not None:
+                source = SOURCE_CACHE
+                self.metrics.replicas_from_cache += 1
+        if result is None:
+            pending = self._inflight.get(unit.key)
+            if pending is not None:
+                try:
+                    result = _copy_result(await pending)
+                except Exception as error:
+                    self._fail(handle, error)
+                    return
+                source = SOURCE_DEDUPED
+                self.metrics.replicas_deduped += 1
+            else:
+                result = await self._compute(unit)
+                if result is None:
+                    return  # the job already failed
+        if handle.state in (JobState.CANCELLED, JobState.FAILED):
+            self.metrics.replicas_skipped_cancelled += 1
+            return
+        self._record(handle, unit.replica_index, result, source)
+
+    async def _compute(self, unit: _ReplicaUnit) -> Optional[RunResult]:
+        """Run one replica on the backend, publishing the in-flight future."""
+        future: "asyncio.Future[RunResult]" = asyncio.get_running_loop().create_future()
+        self._inflight[unit.key] = future
+        self.metrics.note_worker_busy(+1)
+        started = self._clock()
+        try:
+            result = await self.backend.run(unit.job)
+        except Exception as error:
+            future.set_exception(error)
+            future.exception()  # joiners still re-raise; silences GC warning
+            self._inflight.pop(unit.key, None)
+            self.metrics.note_worker_busy(-1)
+            self._fail(unit.handle, error)
+            return None
+        self.metrics.note_worker_busy(-1)
+        self._observe_rate(unit.cost, self._clock() - started)
+        self.metrics.replicas_computed += 1
+        if self.cache is not None:
+            self.cache.put(unit.key, result)
+        future.set_result(result)
+        self._inflight.pop(unit.key, None)
+        return result
+
+    def _record(
+        self,
+        handle: JobHandle,
+        replica_index: int,
+        result: RunResult,
+        source: str,
+    ) -> None:
+        handle._results[replica_index] = result
+        self._emit(
+            handle,
+            ReplicaCompleted(
+                handle.job_id,
+                replica_index=replica_index,
+                source=source,
+                runtime_ns=result.runtime_ns,
+            ),
+        )
+        finished = list(handle._results.values())
+        self._emit(
+            handle,
+            JobProgress(
+                handle.job_id,
+                completed=len(finished),
+                total=handle.total_replicas,
+                best_runtime_ns=min(entry.runtime_ns for entry in finished),
+                misses=sum(entry.misses for entry in finished),
+            ),
+        )
+        if len(finished) == handle.total_replicas:
+            ordered = [handle._results[index] for index in range(handle.total_replicas)]
+            merged = select_minimum_replica(ordered)
+            handle.state = JobState.COMPLETED
+            handle._merged = merged
+            self.metrics.jobs_completed += 1
+            self._emit(handle, JobCompleted(handle.job_id, result=merged))
+            handle._done.set()
+
+    def _fail(self, handle: JobHandle, error: BaseException) -> None:
+        if handle.state in (
+            JobState.COMPLETED,
+            JobState.CANCELLED,
+            JobState.FAILED,
+        ):
+            return
+        handle.state = JobState.FAILED
+        self.metrics.jobs_failed += 1
+        handle._error = error
+        self._emit(handle, JobFailed(handle.job_id, error=repr(error)))
+        handle._done.set()
+
+    def _emit(self, handle: JobHandle, event: JobEvent) -> None:
+        if handle._stream_closed:
+            return
+        handle._events.put_nowait(event)
+        if event.terminal:
+            handle._stream_closed = True
+
+    def _observe_rate(self, cost: int, elapsed: float) -> None:
+        if elapsed > 0:
+            self._cost_rate = 0.5 * (self._cost_rate + cost / elapsed)
+
+    # -------------------------------------------------------------- introspect
+    def snapshot(self) -> Dict[str, Any]:
+        """Metrics snapshot including the attached cache's statistics."""
+        cache_stats = self.cache.stats_dict() if self.cache is not None else None
+        return self.metrics.snapshot(cache_stats)
+
+
+def _copy_result(result: RunResult) -> RunResult:
+    """A private copy of a shared (deduped) result, safe to merge-mutate."""
+    return replace(
+        result,
+        traffic_bytes_by_category=dict(result.traffic_bytes_by_category),
+    )

@@ -1,0 +1,147 @@
+"""Service metrics: queue depth, hit/miss, admission, worker utilisation.
+
+:class:`ServiceMetrics` is plain counters and gauges updated inline by the
+job manager; :meth:`ServiceMetrics.snapshot` renders them as a schema-v1
+JSON document (the same versioned-artifact convention as the
+``BENCH_*.json`` reports of :mod:`repro.perf.schema`), so the perf harness
+and CI can archive service behaviour next to the benchmark numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional
+
+#: Version of the metrics snapshot document.
+METRICS_SCHEMA_VERSION = 1
+
+#: ``kind`` discriminator of metrics snapshot documents.
+METRICS_KIND = "repro.service.metrics"
+
+_SECTION_FIELDS = {
+    "jobs": (
+        "jobs_submitted",
+        "jobs_rejected",
+        "jobs_completed",
+        "jobs_cancelled",
+        "jobs_failed",
+    ),
+    "replicas": (
+        "replicas_computed",
+        "replicas_from_cache",
+        "replicas_deduped",
+        "replicas_skipped_cancelled",
+    ),
+    "queue": (
+        "queue_depth",
+        "peak_queue_depth",
+        "pending_cost",
+        "peak_pending_cost",
+    ),
+    "workers": ("workers_total", "workers_busy", "peak_workers_busy"),
+}
+
+
+class MetricsSchemaError(ValueError):
+    """A metrics snapshot does not match the schema."""
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters and gauges describing one job manager's lifetime."""
+
+    workers_total: int = 1
+
+    # Job lifecycle.
+    jobs_submitted: int = 0
+    jobs_rejected: int = 0
+    jobs_completed: int = 0
+    jobs_cancelled: int = 0
+    jobs_failed: int = 0
+
+    # Replica outcomes.
+    replicas_computed: int = 0
+    replicas_from_cache: int = 0
+    replicas_deduped: int = 0
+    replicas_skipped_cancelled: int = 0
+
+    # Queue state (gauges plus high-water marks).
+    queue_depth: int = 0
+    peak_queue_depth: int = 0
+    pending_cost: int = 0
+    peak_pending_cost: int = 0
+
+    # Worker state.
+    workers_busy: int = 0
+    peak_workers_busy: int = 0
+
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- updates
+    def note_enqueued(self, units: int, cost: int) -> None:
+        self.queue_depth += units
+        self.pending_cost += cost
+        self.peak_queue_depth = max(self.peak_queue_depth, self.queue_depth)
+        self.peak_pending_cost = max(self.peak_pending_cost, self.pending_cost)
+
+    def note_dequeued(self, cost: int) -> None:
+        self.queue_depth -= 1
+        self.pending_cost -= cost
+
+    def note_worker_busy(self, delta: int) -> None:
+        self.workers_busy += delta
+        self.peak_workers_busy = max(self.peak_workers_busy, self.workers_busy)
+
+    # ------------------------------------------------------------ snapshot
+    def utilisation(self) -> float:
+        if self.workers_total <= 0:
+            return 0.0
+        return self.workers_busy / self.workers_total
+
+    def snapshot(
+        self, cache_stats: Optional[Dict[str, int]] = None
+    ) -> Dict[str, Any]:
+        """The schema-v1 JSON document archived by CI and the perf harness."""
+        document: Dict[str, Any] = {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "kind": METRICS_KIND,
+        }
+        for section, names in _SECTION_FIELDS.items():
+            document[section] = {name: getattr(self, name) for name in names}
+        document["workers"]["utilisation"] = self.utilisation()
+        document["cache"] = dict(cache_stats) if cache_stats else {}
+        if self.extra:
+            document["extra"] = dict(self.extra)
+        return document
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name != "extra"
+        }
+
+
+def validate_metrics_snapshot(document: Any) -> None:
+    """Raise :class:`MetricsSchemaError` unless ``document`` matches."""
+    if not isinstance(document, dict):
+        raise MetricsSchemaError(
+            f"snapshot must be an object, got {type(document).__name__}"
+        )
+    if document.get("kind") != METRICS_KIND:
+        raise MetricsSchemaError(f"snapshot has kind {document.get('kind')!r}")
+    if document.get("schema_version") != METRICS_SCHEMA_VERSION:
+        raise MetricsSchemaError(
+            f"unsupported schema_version {document.get('schema_version')!r}"
+        )
+    for section, names in _SECTION_FIELDS.items():
+        body = document.get(section)
+        if not isinstance(body, dict):
+            raise MetricsSchemaError(f"snapshot is missing section {section!r}")
+        for name in names:
+            if name not in body:
+                raise MetricsSchemaError(
+                    f"snapshot section {section!r} is missing field {name!r}"
+                )
+    if "cache" not in document:
+        raise MetricsSchemaError("snapshot is missing section 'cache'")

@@ -59,8 +59,9 @@ class BuiltSystem:
         return sum(controller.total_misses for controller in self.controllers)
 
     def total_cache_to_cache_misses(self) -> int:
-        return sum(controller.cache_to_cache_misses
-                   for controller in self.controllers)
+        return sum(
+            controller.cache_to_cache_misses for controller in self.controllers
+        )
 
     def reset_measurement_state(self) -> None:
         """Clear statistics at the warm-up / measurement boundary."""
@@ -78,32 +79,44 @@ class SystemBuilder:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
 
-    def build(self, streams: Sequence[Sequence[Reference]],
-              perturbation: Optional[PerturbationModel] = None,
-              phase_boundary: Optional[int] = None,
-              on_processor_finish=None,
-              on_phase_barrier=None) -> BuiltSystem:
+    def build(
+        self,
+        streams: Sequence[Sequence[Reference]],
+        perturbation: Optional[PerturbationModel] = None,
+        phase_boundary: Optional[int] = None,
+        on_processor_finish=None,
+        on_phase_barrier=None,
+    ) -> BuiltSystem:
         """Wire up the system and attach the given per-node streams."""
         config = self.config
         if len(streams) != config.num_nodes:
             raise ValueError(
-                f"expected {config.num_nodes} streams, got {len(streams)}")
+                f"expected {config.num_nodes} streams, got {len(streams)}"
+            )
 
-        sim = Simulator(scheduler=config.scheduler,
-                        event_pool=config.event_pool,
-                        batched_dispatch=config.batched_dispatch,
-                        sanitize=config.sanitize)
+        sim = Simulator(
+            scheduler=config.scheduler,
+            event_pool=config.event_pool,
+            batched_dispatch=config.batched_dispatch,
+            sanitize=config.sanitize,
+        )
         topology = make_topology(config.network, config.num_nodes)
-        address_space = AddressSpace(total_bytes=config.memory_bytes,
-                                     block_size=config.block_size_bytes,
-                                     num_nodes=config.num_nodes)
+        address_space = AddressSpace(
+            total_bytes=config.memory_bytes,
+            block_size=config.block_size_bytes,
+            num_nodes=config.num_nodes,
+        )
         accountant = TrafficAccountant(num_links=topology.num_links)
-        caches = [make_cache_array(config.cache_array,
-                                   size_bytes=config.cache_size_bytes,
-                                   associativity=config.cache_associativity,
-                                   block_size=config.block_size_bytes,
-                                   name=f"L2.n{node}")
-                  for node in range(config.num_nodes)]
+        caches = [
+            make_cache_array(
+                config.cache_array,
+                size_bytes=config.cache_size_bytes,
+                associativity=config.cache_associativity,
+                block_size=config.block_size_bytes,
+                name=f"L2.n{node}",
+            )
+            for node in range(config.num_nodes)
+        ]
         checker = CoherenceChecker() if config.enable_checker else None
 
         protocol = make_protocol(config.protocol)
@@ -125,20 +138,34 @@ class SystemBuilder:
         controllers = protocol.build(context)
 
         processor_config = ProcessorConfig(
-            instructions_per_ns=config.instructions_per_ns)
+            instructions_per_ns=config.instructions_per_ns
+        )
         processors = []
         for node in range(config.num_nodes):
-            processors.append(Processor(
-                sim, node, controllers[node], streams[node],
-                config=processor_config,
-                on_finish=on_processor_finish,
-                on_phase=on_phase_barrier,
-                phase_boundary=phase_boundary))
+            processors.append(
+                Processor(
+                    sim,
+                    node,
+                    controllers[node],
+                    streams[node],
+                    config=processor_config,
+                    on_finish=on_processor_finish,
+                    on_phase=on_phase_barrier,
+                    phase_boundary=phase_boundary,
+                )
+            )
 
-        return BuiltSystem(config=config, sim=sim, topology=topology,
-                           address_space=address_space, accountant=accountant,
-                           controllers=controllers, processors=processors,
-                           checker=checker, message_pool=message_pool)
+        return BuiltSystem(
+            config=config,
+            sim=sim,
+            topology=topology,
+            address_space=address_space,
+            accountant=accountant,
+            controllers=controllers,
+            processors=processors,
+            checker=checker,
+            message_pool=message_pool,
+        )
 
     def _apply_protocol_options(self, protocol) -> None:
         """Push config knobs into the protocol factory where they exist."""
@@ -150,8 +177,9 @@ class SystemBuilder:
             protocol.detailed_network = self.config.detailed_address_network
 
 
-def build_streams(profile: WorkloadProfile, config: SystemConfig,
-                  seed: Optional[int] = None) -> List[Sequence[Reference]]:
+def build_streams(
+    profile: WorkloadProfile, config: SystemConfig, seed: Optional[int] = None
+) -> List[Sequence[Reference]]:
     """Generate the per-node reference streams for a workload profile.
 
     The streams depend only on the profile, node count, seed and packing

@@ -22,7 +22,7 @@ class SystemConfig:
 
     # Topology / scale.
     num_nodes: int = 16
-    network: str = "butterfly"            # "butterfly" or "torus"
+    network: str = "butterfly"  # "butterfly" or "torus"
 
     # Caches and memory (Section 4.2).
     cache_size_bytes: int = 4 * 1024 * 1024
@@ -31,9 +31,9 @@ class SystemConfig:
     memory_bytes: int = 1 << 30
 
     # Protocol selection and options.
-    protocol: str = "ts-snoop"            # "ts-snoop", "dirclassic", "diropt"
-    prefetch_optimization: bool = True    # Section 3, optimisation 1
-    slack: int = 0                        # initial slack S of Section 2.2
+    protocol: str = "ts-snoop"  # "ts-snoop", "dirclassic", "diropt"
+    prefetch_optimization: bool = True  # Section 3, optimisation 1
+    slack: int = 0  # initial slack S of Section 2.2
     detailed_address_network: bool = False
 
     # Timing.
@@ -98,12 +98,16 @@ class SystemConfig:
         if self.scheduler not in SCHEDULERS:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; "
-                f"choose one of {sorted(SCHEDULERS)}")
+                f"choose one of {sorted(SCHEDULERS)}"
+            )
         if self.cache_array not in CACHE_ARRAYS:
             raise ValueError(
                 f"unknown cache array {self.cache_array!r}; "
-                f"choose one of {sorted(CACHE_ARRAYS)}")
-        if self.block_size_bytes <= 0 or self.block_size_bytes & (self.block_size_bytes - 1):
+                f"choose one of {sorted(CACHE_ARRAYS)}"
+            )
+        if self.block_size_bytes <= 0 or self.block_size_bytes & (
+            self.block_size_bytes - 1
+        ):
             raise ValueError("block_size_bytes must be a power of two")
 
     # ------------------------------------------------------------- variants
@@ -119,8 +123,9 @@ class SystemConfig:
     def with_reference_data_path(self) -> "SystemConfig":
         """The dict/object reference data path (equivalence tests, perf
         baselines); results are bit-identical to the packed default."""
-        return replace(self, cache_array="dict", packed_streams=False,
-                       message_pooling=False)
+        return replace(
+            self, cache_array="dict", packed_streams=False, message_pooling=False
+        )
 
     @property
     def label(self) -> str:

@@ -49,10 +49,12 @@ class RunResult:
         return self.traffic_bytes_by_category.get(category.value, 0) / total
 
     def summary(self) -> str:
-        return (f"{self.workload:<10} {self.protocol:<11} {self.network:<9} "
-                f"runtime={self.runtime_ns:>9} ns  misses={self.misses:>6} "
-                f"c2c={100 * self.cache_to_cache_fraction:5.1f}%  "
-                f"link={self.per_link_bytes:9.1f} B")
+        return (
+            f"{self.workload:<10} {self.protocol:<11} {self.network:<9} "
+            f"runtime={self.runtime_ns:>9} ns  misses={self.misses:>6} "
+            f"c2c={100 * self.cache_to_cache_fraction:5.1f}%  "
+            f"link={self.per_link_bytes:9.1f} B"
+        )
 
 
 @dataclass
@@ -77,8 +79,7 @@ class ProtocolComparison:
 
     def normalized_traffic(self, protocol: str) -> float:
         """Per-link traffic divided by the baseline's (Figure 4)."""
-        return (self.results[protocol].per_link_bytes
-                / self.baseline.per_link_bytes)
+        return self.results[protocol].per_link_bytes / self.baseline.per_link_bytes
 
     def speedup_of_baseline_over(self, protocol: str) -> float:
         """"X is n% faster than Y" as defined in the paper's footnote 4.
@@ -86,13 +87,13 @@ class ProtocolComparison:
         Returns ``Time(protocol) / Time(baseline) - 1`` so that a positive
         value means the baseline (TS-Snoop in the paper) is faster.
         """
-        return (self.results[protocol].runtime_ns
-                / self.baseline.runtime_ns) - 1.0
+        return (self.results[protocol].runtime_ns / self.baseline.runtime_ns) - 1.0
 
     def extra_traffic_of_baseline_over(self, protocol: str) -> float:
         """Fractional extra per-link traffic the baseline uses vs ``protocol``."""
-        return (self.baseline.per_link_bytes
-                / self.results[protocol].per_link_bytes) - 1.0
+        return (
+            self.baseline.per_link_bytes / self.results[protocol].per_link_bytes
+        ) - 1.0
 
     def protocols(self) -> List[str]:
         return list(self.results.keys())

@@ -39,15 +39,19 @@ class SimulationRunner:
     #: Event budget per run; generous, purely a runaway guard.
     MAX_EVENTS = 80_000_000
 
-    def __init__(self, config: SystemConfig,
-                 profile: Union[str, WorkloadProfile]) -> None:
+    def __init__(
+        self, config: SystemConfig, profile: Union[str, WorkloadProfile]
+    ) -> None:
         self.config = config
-        self.profile = (get_profile(profile) if isinstance(profile, str)
-                        else profile)
+        self.profile = get_profile(profile) if isinstance(profile, str) else profile
 
     # ------------------------------------------------------------------ run
-    def run(self, streams: Optional[Sequence[Sequence[Reference]]] = None,
-            *, jobs: Optional[int] = None) -> RunResult:
+    def run(
+        self,
+        streams: Optional[Sequence[Sequence[Reference]]] = None,
+        *,
+        jobs: Optional[int] = None,
+    ) -> RunResult:
         """Run all perturbation replicas and return the minimum-runtime one.
 
         ``jobs`` controls replica-level parallelism (default: the config's
@@ -60,26 +64,33 @@ class SimulationRunner:
         workers = resolve_jobs(self.config.jobs if jobs is None else jobs)
         if workers > 1 and self.config.perturbation_replicas > 1:
             specs = expand_entry(self.config, self.profile, streams=streams)
-            return select_minimum_replica(run_replica_jobs(specs,
-                                                           jobs=workers))
+            return select_minimum_replica(run_replica_jobs(specs, jobs=workers))
 
         if streams is None:
             streams = build_streams(self.profile, self.config)
         replicas = PerturbationModel.replicas(
-            self.config.seed, self.config.perturbation_replicas,
-            self.config.perturbation_max_delay_ns)
+            self.config.seed,
+            self.config.perturbation_replicas,
+            self.config.perturbation_max_delay_ns,
+        )
         return select_minimum_replica(
-            [self._run_once(streams, perturbation)
-             for perturbation in replicas])
+            [self._run_once(streams, perturbation) for perturbation in replicas]
+        )
 
     # ------------------------------------------------------------- one run
-    def run_replica(self, streams: Sequence[Sequence[Reference]],
-                    perturbation: PerturbationModel) -> RunResult:
+    def run_replica(
+        self,
+        streams: Sequence[Sequence[Reference]],
+        perturbation: PerturbationModel,
+    ) -> RunResult:
         """Run exactly one perturbation replica (the parallel worker path)."""
         return self._run_once(streams, perturbation)
 
-    def _run_once(self, streams: Sequence[Sequence[Reference]],
-                  perturbation: PerturbationModel) -> RunResult:
+    def _run_once(
+        self,
+        streams: Sequence[Sequence[Reference]],
+        perturbation: PerturbationModel,
+    ) -> RunResult:
         profile = self.profile
         config = self.config
         phase = _PhaseBookkeeping()
@@ -89,11 +100,16 @@ class SimulationRunner:
             waiting.append(processor)
 
         builder = SystemBuilder(config)
-        boundary = min(profile.warmup_references_per_node,
-                       max(0, profile.references_per_node - 1))
-        system = builder.build(streams, perturbation=perturbation,
-                               phase_boundary=boundary or None,
-                               on_phase_barrier=on_phase_barrier)
+        boundary = min(
+            profile.warmup_references_per_node,
+            max(0, profile.references_per_node - 1),
+        )
+        system = builder.build(
+            streams,
+            perturbation=perturbation,
+            phase_boundary=boundary or None,
+            on_phase_barrier=on_phase_barrier,
+        )
 
         for processor in system.processors:
             processor.start()
@@ -102,17 +118,18 @@ class SimulationRunner:
         measurement_started = boundary == 0
         while not system.all_finished():
             processed = sim.run(max_events=500_000)
-            if (not measurement_started
-                    and len(waiting) == len(system.processors)):
+            if not measurement_started and len(waiting) == len(system.processors):
                 # Every processor reached the warm-up boundary: reset the
                 # statistics and release them into the measured phase.
                 measurement_started = True
                 phase.measure_start_ns = sim.now
                 for processor in system.processors:
-                    phase.instructions_at_boundary[processor.node] = \
+                    phase.instructions_at_boundary[processor.node] = (
                         processor.instructions_executed
-                    phase.references_at_boundary[processor.node] = \
+                    )
+                    phase.references_at_boundary[processor.node] = (
                         processor.references_issued
+                    )
                 system.reset_measurement_state()
                 for processor in system.processors:
                     processor.resume()
@@ -122,7 +139,8 @@ class SimulationRunner:
             if sim.events_processed > self.MAX_EVENTS:
                 raise SimulationError(
                     f"{config.label}: exceeded event budget "
-                    f"({self.MAX_EVENTS}) -- runaway simulation")
+                    f"({self.MAX_EVENTS}) -- runaway simulation"
+                )
 
         if not measurement_started:
             phase.measure_start_ns = 0
@@ -130,23 +148,23 @@ class SimulationRunner:
         # Let in-flight writebacks and acknowledgements drain so traffic
         # accounting is complete (bounded; the detailed token network never
         # quiesces, so cap the drain).
-        sim.run(max_events=200_000,
-                until=sim.now + 10_000)
+        sim.run(max_events=200_000, until=sim.now + 10_000)
 
         return self._collect(system, phase)
 
     # ------------------------------------------------------------- results
-    def _collect(self, system: BuiltSystem,
-                 phase: _PhaseBookkeeping) -> RunResult:
+    def _collect(self, system: BuiltSystem, phase: _PhaseBookkeeping) -> RunResult:
         runtime = system.finish_time() - phase.measure_start_ns
         instructions = sum(
             processor.instructions_executed
             - phase.instructions_at_boundary.get(processor.node, 0)
-            for processor in system.processors)
+            for processor in system.processors
+        )
         references = sum(
             processor.references_issued
             - phase.references_at_boundary.get(processor.node, 0)
-            for processor in system.processors)
+            for processor in system.processors
+        )
 
         misses = 0
         c2c = 0
@@ -194,25 +212,31 @@ class SimulationRunner:
         return len(blocks) * self.config.block_size_bytes / (1024 * 1024)
 
     def _report_deadlock(self, system: BuiltSystem) -> None:
-        stuck = [processor.node for processor in system.processors
-                 if not processor.finished
-                 and not processor.waiting_at_phase_barrier]
+        stuck = [
+            processor.node
+            for processor in system.processors
+            if not processor.finished and not processor.waiting_at_phase_barrier
+        ]
         details = []
         for controller in system.controllers:
             for block in controller.mshrs.blocks_in_flight():
                 entry = controller.mshrs.get(block)
-                details.append(f"node {controller.node} block {block} "
-                               f"kind {entry.kind} ordered={entry.ordered} "
-                               f"data={entry.data_received}")
+                details.append(
+                    f"node {controller.node} block {block} "
+                    f"kind {entry.kind} ordered={entry.ordered} "
+                    f"data={entry.data_received}"
+                )
         raise SimulationError(
             f"{self.config.label}: simulation deadlocked; processors stuck: "
-            f"{stuck}; outstanding transactions: {details[:12]}")
+            f"{stuck}; outstanding transactions: {details[:12]}"
+        )
 
 
-def run_workload(workload: Union[str, WorkloadProfile],
-                 config: Optional[SystemConfig] = None,
-                 streams: Optional[Sequence[Sequence[Reference]]] = None,
-                 ) -> RunResult:
+def run_workload(
+    workload: Union[str, WorkloadProfile],
+    config: Optional[SystemConfig] = None,
+    streams: Optional[Sequence[Sequence[Reference]]] = None,
+) -> RunResult:
     """Convenience wrapper: run ``workload`` under ``config`` and return the result."""
     runner = SimulationRunner(config or SystemConfig(), workload)
     return runner.run(streams)

@@ -1,0 +1,149 @@
+"""Tests for the ``python -m repro.service`` command-line front-end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.spec import ExperimentSpecError
+from repro.service.cli import main, parse_request
+from repro.service.metrics import validate_metrics_snapshot
+
+SCALE_ARGS = ["--scale", "0.05"]
+
+
+class TestParseRequest:
+    def test_bare_workload(self):
+        spec, priority = parse_request("oltp")
+        assert spec.workload == "oltp"
+        assert spec.protocol == "ts-snoop"
+        assert priority == 0
+
+    def test_full_grammar(self):
+        spec, priority = parse_request(
+            "dss,protocol=dir-opt,network=torus,scale=0.2,priority=3,slack=2"
+        )
+        assert spec.workload == "dss"
+        assert spec.protocol == "diropt"
+        assert spec.network == "torus"
+        assert spec.scale == 0.2
+        assert spec.overrides_dict() == {"slack": 2}
+        assert priority == 3
+
+    def test_default_scale_fills_in_when_not_inline(self):
+        spec, _ = parse_request("oltp", default_scale=0.1)
+        assert spec.scale == 0.1
+
+    def test_inline_scale_wins_over_default(self):
+        spec, _ = parse_request("oltp,scale=0.2", default_scale=0.1)
+        assert spec.scale == 0.2
+
+    def test_value_coercion(self):
+        spec, _ = parse_request(
+            "oltp,scale=0.1,enable_checker=true,perturbation_replicas=2"
+        )
+        assert spec.overrides_dict() == {
+            "enable_checker": True,
+            "perturbation_replicas": 2,
+        }
+
+    def test_workload_keyword_form(self):
+        spec, _ = parse_request("workload=tpc-c,scale=0.1")
+        assert spec.workload == "oltp"
+
+    def test_missing_workload_rejected(self):
+        with pytest.raises(ExperimentSpecError, match="does not name"):
+            parse_request("protocol=diropt")
+
+    def test_two_workloads_rejected(self):
+        with pytest.raises(ExperimentSpecError, match="two workloads"):
+            parse_request("oltp,dss")
+
+    def test_unknown_override_propagates_choices(self):
+        with pytest.raises(ExperimentSpecError, match="valid names"):
+            parse_request("oltp,cache_megabytes=4")
+
+
+class TestServeMode:
+    def test_serve_runs_and_writes_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "oltp,scale=0.05",
+                "oltp,scale=0.05,protocol=diropt",
+                "--quiet",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "job-1 oltp/ts-snoop/butterfly@0.05:" in out
+        assert "job-2 oltp/diropt/butterfly@0.05:" in out
+        snapshot = json.loads(metrics_path.read_text())
+        validate_metrics_snapshot(snapshot)
+        assert snapshot["replicas"]["replicas_computed"] == 2
+
+    def test_serve_streams_events(self, capsys):
+        assert main(["oltp,scale=0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "admitted oltp/ts-snoop/butterfly@0.05" in out
+        assert "replica 0 computed" in out
+        assert "completed runtime=" in out
+
+    def test_duplicate_requests_dedup_through_the_cache(self, capsys):
+        assert main(["oltp,scale=0.05", "oltp,scale=0.05", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "computed=1 cached=1" in out
+
+    def test_admission_rejection_reports_and_fails(self, capsys):
+        code = main(
+            [
+                "oltp,scale=0.05",
+                "oltp,scale=0.05,protocol=diropt",
+                "--budget",
+                "1",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "rejected oltp/diropt/butterfly@0.05" in out
+        assert "retry after" in out
+
+    def test_bad_request_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["oltp,protocol=mesi"])
+        assert info.value.code == 2
+        assert "valid choices" in capsys.readouterr().err
+
+    def test_no_requests_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_persistent_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["oltp,scale=0.05", "--quiet", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["oltp,scale=0.05", "--quiet", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "computed=0 cached=1" in out
+
+
+class TestSelfTest:
+    def test_self_test_passes_and_writes_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "service-metrics.json"
+        code = main(
+            ["--self-test", "--quiet", "--metrics-out", str(metrics_path)]
+            + SCALE_ARGS
+        )
+        assert code == 0
+        assert "self-test ok" in capsys.readouterr().out
+        snapshot = json.loads(metrics_path.read_text())
+        validate_metrics_snapshot(snapshot)
+        assert snapshot["extra"]["self_test"]["replay_submissions"] == 0
+
+    def test_self_test_rejects_requests(self):
+        with pytest.raises(SystemExit):
+            main(["--self-test", "oltp"])

@@ -1,0 +1,482 @@
+"""Tests for the asyncio job manager.
+
+Covers the service acceptance properties: overlapping concurrent sweeps
+compute each unique replica exactly once; a cached replay performs zero
+pool submissions; admission control rejects with a retry hint once the
+pending-cost budget is exhausted; cancellation mid-sweep skips the
+remaining replicas; and every job streams its events in the documented
+order.  All tests use the deterministic inline backend -- the process-pool
+backend shares its execution path with :mod:`repro.parallel`, whose
+equivalence suite already covers pooled execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import api
+from repro.api.spec import ExperimentSpec
+from repro.service.cache import ResultCache
+from repro.service.events import (
+    SOURCE_CACHE,
+    SOURCE_COMPUTED,
+    SOURCE_DEDUPED,
+    JobAdmitted,
+    JobCancelled,
+    JobCompleted,
+    JobFailed,
+    JobProgress,
+    ReplicaCompleted,
+)
+from repro.service.manager import (
+    AdmissionError,
+    InlinePoolBackend,
+    JobCancelledError,
+    JobManager,
+    JobState,
+    ProcessPoolBackend,
+    make_backend,
+    replica_cost,
+)
+from repro.service.metrics import validate_metrics_snapshot
+
+SCALE = 0.05
+
+SPEC = ExperimentSpec.make("oltp", scale=SCALE)
+SPEC_DIROPT = ExperimentSpec.make("oltp", protocol="diropt", scale=SCALE)
+SPEC_DIRCLASSIC = ExperimentSpec.make("oltp", protocol="dirclassic", scale=SCALE)
+
+
+class GatedBackend(InlinePoolBackend):
+    """Inline backend that blocks every run until the gate opens."""
+
+    def __init__(self, max_workers: int = 1) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        self.gate = asyncio.Event()
+        self.started = 0
+
+    async def run(self, job):
+        self.started += 1
+        await self.gate.wait()
+        return await super().run(job)
+
+
+class RecordingBackend(InlinePoolBackend):
+    """Inline backend that records the protocol of every submission."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.order = []
+
+    async def run(self, job):
+        self.order.append((job.config.protocol, job.replica_index))
+        return await super().run(job)
+
+
+class FailingBackend(InlinePoolBackend):
+    async def run(self, job):
+        self.submissions += 1
+        raise RuntimeError("injected backend failure")
+
+
+async def _collect(handle):
+    return [event async for event in handle.events()]
+
+
+def _assert_stream_shape(events, terminal_type=JobCompleted):
+    assert isinstance(events[0], JobAdmitted)
+    assert isinstance(events[-1], terminal_type)
+    assert all(not event.terminal for event in events[1:-1])
+    middle = events[1:-1]
+    assert len(middle) % 2 == 0
+    for index in range(0, len(middle), 2):
+        assert isinstance(middle[index], ReplicaCompleted)
+        assert isinstance(middle[index + 1], JobProgress)
+        assert middle[index + 1].completed == index // 2 + 1
+
+
+class TestSingleJob:
+    def test_result_is_bit_identical_to_direct_api(self):
+        async def scenario():
+            async with JobManager() as manager:
+                handle = manager.submit(SPEC)
+                await manager.drain()
+                return await handle.result()
+
+        assert asyncio.run(scenario()) == api.run_experiment(spec=SPEC)
+
+    def test_event_stream_ordering_across_replicas(self):
+        spec = SPEC.with_overrides(perturbation_replicas=3)
+
+        async def scenario():
+            async with JobManager() as manager:
+                handle = manager.submit(spec)
+                events_task = asyncio.ensure_future(_collect(handle))
+                await manager.drain()
+                return await events_task, await handle.result(), manager
+
+        events, result, manager = asyncio.run(scenario())
+        _assert_stream_shape(events)
+        admitted = events[0]
+        assert admitted.total_replicas == 3
+        replica_events = [e for e in events if isinstance(e, ReplicaCompleted)]
+        assert [e.replica_index for e in replica_events] == [0, 1, 2]
+        assert all(e.source == SOURCE_COMPUTED for e in replica_events)
+        assert events[-1].result == result
+        assert result.replicas == 3
+        assert manager.metrics.jobs_completed == 1
+
+    def test_progress_carries_partial_minimum(self):
+        spec = SPEC.with_overrides(perturbation_replicas=2)
+
+        async def scenario():
+            async with JobManager() as manager:
+                handle = manager.submit(spec)
+                events_task = asyncio.ensure_future(_collect(handle))
+                await manager.drain()
+                return await events_task
+
+        events = asyncio.run(scenario())
+        progress = [e for e in events if isinstance(e, JobProgress)]
+        replicas = [e for e in events if isinstance(e, ReplicaCompleted)]
+        assert progress[-1].best_runtime_ns == min(e.runtime_ns for e in replicas)
+        assert progress[0].total == 2
+
+    def test_backend_failure_fails_the_job(self):
+        spec = SPEC.with_overrides(perturbation_replicas=2)
+
+        async def scenario():
+            async with JobManager(backend=FailingBackend()) as manager:
+                handle = manager.submit(spec)
+                await manager.drain()
+                events = await _collect(handle)
+                return manager, handle, events
+
+        manager, handle, events = asyncio.run(scenario())
+        _assert_stream_shape(events, terminal_type=JobFailed)
+        assert "injected backend failure" in events[-1].error
+        assert handle.state is JobState.FAILED
+        assert manager.metrics.jobs_failed == 1
+        # The second replica is skipped once the job has failed.
+        assert manager.backend.submissions == 1
+        assert manager.metrics.replicas_skipped_cancelled == 1
+        with pytest.raises(RuntimeError, match="injected"):
+            asyncio.run(handle.result())
+
+
+class TestDeduplication:
+    def test_overlapping_sweeps_compute_each_unique_replica_once(self):
+        sweep_a = [SPEC, SPEC_DIROPT]
+        sweep_b = [SPEC_DIROPT, SPEC_DIRCLASSIC]
+
+        async def scenario():
+            cache = ResultCache()
+            async with JobManager(cache=cache) as manager:
+                handles_a = [manager.submit(spec) for spec in sweep_a]
+                handles_b = [manager.submit(spec) for spec in sweep_b]
+                await manager.drain()
+                results_a = [await h.result() for h in handles_a]
+                results_b = [await h.result() for h in handles_b]
+            return manager, results_a, results_b
+
+        manager, results_a, results_b = asyncio.run(scenario())
+        unique = {spec.label for spec in sweep_a + sweep_b}
+        assert manager.backend.submissions == len(unique) == 3
+        # The shared spec produced identical results for both sweeps.
+        assert results_a[1] == results_b[0]
+        assert manager.metrics.replicas_computed == 3
+        assert manager.metrics.replicas_from_cache == 1
+
+    def test_in_flight_replicas_are_joined_not_recomputed(self):
+        async def scenario():
+            backend = GatedBackend(max_workers=2)
+            cache = ResultCache()
+            async with JobManager(backend=backend, cache=cache) as manager:
+                first = manager.submit(SPEC)
+                second = manager.submit(SPEC)
+                streams = [
+                    asyncio.ensure_future(_collect(h)) for h in (first, second)
+                ]
+                while backend.started == 0:
+                    await asyncio.sleep(0)
+                backend.gate.set()
+                await manager.drain()
+                events = [await stream for stream in streams]
+                results = [await first.result(), await second.result()]
+            return manager, events, results
+
+        manager, events, results = asyncio.run(scenario())
+        assert manager.backend.submissions == 1
+        assert results[0] == results[1]
+        sources = [
+            event.source
+            for stream in events
+            for event in stream
+            if isinstance(event, ReplicaCompleted)
+        ]
+        assert sorted(sources) == [SOURCE_COMPUTED, SOURCE_DEDUPED]
+        assert manager.metrics.replicas_deduped == 1
+
+    def test_deduped_results_do_not_share_mutable_state(self):
+        async def scenario():
+            backend = GatedBackend(max_workers=2)
+            async with JobManager(backend=backend, cache=ResultCache()) as manager:
+                first = manager.submit(SPEC)
+                second = manager.submit(SPEC)
+                while backend.started == 0:
+                    await asyncio.sleep(0)
+                backend.gate.set()
+                await manager.drain()
+                return await first.result(), await second.result()
+
+        one, two = asyncio.run(scenario())
+        assert one == two and one is not two
+        assert one.traffic_bytes_by_category is not two.traffic_bytes_by_category
+
+    def test_cached_replay_performs_zero_pool_submissions(self):
+        specs = [SPEC, SPEC_DIROPT, SPEC_DIRCLASSIC]
+
+        async def run_sweep(cache):
+            async with JobManager(cache=cache) as manager:
+                handles = [manager.submit(spec) for spec in specs]
+                await manager.drain()
+                results = [await handle.result() for handle in handles]
+            return manager, results
+
+        async def scenario():
+            cache = ResultCache()
+            fresh_manager, fresh = await run_sweep(cache)
+            replay_manager, replayed = await run_sweep(cache)
+            return fresh_manager, fresh, replay_manager, replayed
+
+        fresh_manager, fresh, replay_manager, replayed = asyncio.run(scenario())
+        assert fresh_manager.backend.submissions == len(specs)
+        assert replay_manager.backend.submissions == 0
+        assert replayed == fresh  # bit-identical replay, zero simulation work
+        assert replay_manager.metrics.replicas_from_cache == len(specs)
+
+    def test_cache_hit_events_are_marked(self):
+        async def scenario():
+            cache = ResultCache()
+            async with JobManager(cache=cache) as manager:
+                handle = manager.submit(SPEC)
+                await manager.drain()
+                await handle.result()
+            async with JobManager(cache=cache) as manager:
+                handle = manager.submit(SPEC)
+                events_task = asyncio.ensure_future(_collect(handle))
+                await manager.drain()
+                return await events_task
+
+        events = asyncio.run(scenario())
+        replica_events = [e for e in events if isinstance(e, ReplicaCompleted)]
+        assert [e.source for e in replica_events] == [SOURCE_CACHE]
+
+
+class TestAdmissionControl:
+    def test_empty_queue_always_admits(self):
+        async def scenario():
+            async with JobManager(max_pending_cost=1) as manager:
+                handle = manager.submit(SPEC)  # cost far exceeds the budget
+                await manager.drain()
+                return await handle.result()
+
+        assert asyncio.run(scenario()).references > 0
+
+    def test_saturated_queue_rejects_with_retry_after(self):
+        async def scenario():
+            manager = JobManager(max_pending_cost=1)  # workers never started
+            manager.submit(SPEC)
+            with pytest.raises(AdmissionError) as info:
+                manager.submit(SPEC_DIROPT)
+            return manager, info.value
+
+        manager, error = asyncio.run(scenario())
+        assert error.retry_after_s > 0
+        assert error.pending_cost > error.budget == 1
+        assert manager.metrics.jobs_rejected == 1
+        assert manager.metrics.jobs_submitted == 1
+
+    def test_budget_accounts_for_estimated_cost(self):
+        config, profile = SPEC.config(), SPEC.profile()
+        cost = replica_cost(config, profile)
+        assert cost == profile.references_per_node * config.num_nodes
+
+        async def scenario():
+            manager = JobManager(max_pending_cost=3 * cost)
+            manager.submit(SPEC)
+            manager.submit(SPEC_DIROPT)  # 2 * cost pending: still in budget
+            manager.submit(SPEC_DIRCLASSIC)  # 3 * cost: exactly at budget
+            with pytest.raises(AdmissionError):
+                manager.submit(SPEC.with_overrides(seed=7))
+            return manager
+
+        manager = asyncio.run(scenario())
+        assert manager.metrics.peak_pending_cost == 3 * cost
+
+    def test_unbounded_when_budget_disabled(self):
+        async def scenario():
+            manager = JobManager(max_pending_cost=None)
+            for seed in range(20):
+                manager.submit(SPEC.with_overrides(seed=seed))
+            return manager
+
+        assert asyncio.run(scenario()).metrics.jobs_submitted == 20
+
+    def test_drained_queue_admits_again(self):
+        async def scenario():
+            async with JobManager(max_pending_cost=1) as manager:
+                manager.submit(SPEC)
+                with pytest.raises(AdmissionError):
+                    manager.submit(SPEC_DIROPT)
+                await manager.drain()
+                handle = manager.submit(SPEC_DIROPT)  # queue empty again
+                await manager.drain()
+                return await handle.result()
+
+        assert asyncio.run(scenario()).protocol == "diropt"
+
+
+class TestCancellation:
+    def test_cancel_mid_sweep_skips_remaining_replicas(self):
+        spec = SPEC.with_overrides(perturbation_replicas=3)
+
+        async def scenario():
+            backend = GatedBackend()
+            async with JobManager(backend=backend) as manager:
+                handle = manager.submit(spec)
+                events_task = asyncio.ensure_future(_collect(handle))
+                while backend.started == 0:
+                    await asyncio.sleep(0)
+                assert handle.cancel()
+                backend.gate.set()
+                await manager.drain()
+                return manager, handle, await events_task
+
+        manager, handle, events = asyncio.run(scenario())
+        assert handle.state is JobState.CANCELLED
+        assert handle.cancelled
+        # Only the replica already in flight hit the pool.
+        assert manager.backend.submissions == 1
+        assert manager.metrics.replicas_skipped_cancelled == 3
+        assert manager.metrics.jobs_cancelled == 1
+        _assert_stream_shape(events, terminal_type=JobCancelled)
+        assert len(events) == 2  # admitted, cancelled -- nothing mid-stream
+
+    def test_cancelled_result_raises(self):
+        async def scenario():
+            manager = JobManager()  # never started: job stays queued
+            handle = manager.submit(SPEC)
+            assert handle.cancel()
+            with pytest.raises(JobCancelledError, match=handle.job_id):
+                await handle.result()
+            return handle
+
+        handle = asyncio.run(scenario())
+        assert not handle.cancel()  # second cancel is a no-op
+
+    def test_cancel_after_completion_is_refused(self):
+        async def scenario():
+            async with JobManager() as manager:
+                handle = manager.submit(SPEC)
+                await manager.drain()
+                await handle.result()
+                return handle.cancel()
+
+        assert asyncio.run(scenario()) is False
+
+    def test_cancelled_replica_still_lands_in_cache(self):
+        # Work already in flight is not wasted: its result is stored for
+        # the next caller even though the cancelled job never sees it.
+        async def scenario():
+            backend = GatedBackend()
+            cache = ResultCache()
+            async with JobManager(backend=backend, cache=cache) as manager:
+                handle = manager.submit(SPEC)
+                while backend.started == 0:
+                    await asyncio.sleep(0)
+                handle.cancel()
+                backend.gate.set()
+                await manager.drain()
+            async with JobManager(cache=cache) as manager:
+                replay = manager.submit(SPEC)
+                await manager.drain()
+                await replay.result()
+                return manager
+
+        manager = asyncio.run(scenario())
+        assert manager.backend.submissions == 0
+
+
+class TestScheduling:
+    def test_lower_priority_number_runs_first(self):
+        async def scenario():
+            backend = RecordingBackend()
+            manager = JobManager(backend=backend)
+            manager.submit(SPEC, priority=5)
+            manager.submit(SPEC_DIROPT, priority=0)
+            async with manager:
+                await manager.drain()
+            return backend.order
+
+        order = asyncio.run(scenario())
+        assert [protocol for protocol, _ in order] == ["diropt", "ts-snoop"]
+
+    def test_equal_priority_is_fifo(self):
+        async def scenario():
+            backend = RecordingBackend()
+            manager = JobManager(backend=backend)
+            for spec in (SPEC_DIRCLASSIC, SPEC, SPEC_DIROPT):
+                manager.submit(spec, priority=1)
+            async with manager:
+                await manager.drain()
+            return backend.order
+
+        order = asyncio.run(scenario())
+        assert [protocol for protocol, _ in order] == [
+            "dirclassic",
+            "ts-snoop",
+            "diropt",
+        ]
+
+
+class TestLifecycleAndMetrics:
+    def test_snapshot_validates_and_counts(self):
+        async def scenario():
+            cache = ResultCache()
+            async with JobManager(cache=cache) as manager:
+                handles = [manager.submit(SPEC), manager.submit(SPEC)]
+                await manager.drain()
+                for handle in handles:
+                    await handle.result()
+                return manager.snapshot()
+
+        snapshot = asyncio.run(scenario())
+        validate_metrics_snapshot(snapshot)
+        assert snapshot["jobs"]["jobs_submitted"] == 2
+        assert snapshot["replicas"]["replicas_computed"] == 1
+        assert snapshot["queue"]["queue_depth"] == 0
+        assert snapshot["queue"]["peak_queue_depth"] == 2
+        assert snapshot["cache"]["stores"] == 1
+        assert snapshot["workers"]["workers_total"] == 1
+
+    def test_submit_after_close_is_refused(self):
+        async def scenario():
+            manager = JobManager()
+            async with manager:
+                pass
+            with pytest.raises(RuntimeError, match="closed"):
+                manager.submit(SPEC)
+
+        asyncio.run(scenario())
+
+    def test_make_backend_selects_by_jobs(self):
+        assert isinstance(make_backend(1), InlinePoolBackend)
+        assert isinstance(make_backend(None), InlinePoolBackend)
+        pooled = make_backend(2)
+        assert isinstance(pooled, ProcessPoolBackend)
+        assert pooled.max_workers == 2
+        pooled.close()  # never started: close must be a no-op

@@ -1,0 +1,275 @@
+"""Tests for the content-addressed result cache.
+
+The headline properties: cache keys are stable under everything that
+cannot change a simulated result, cache hits replay **bit-identically** to
+fresh computation for all three protocols, and a cached matrix run
+performs zero simulation work on its second pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.spec import ExperimentSpec
+from repro.parallel.sweep import run_matrix
+from repro.service.cache import (
+    RESULT_KIND,
+    RESULT_SCHEMA_VERSION,
+    CacheError,
+    ResultCache,
+    decode_entry,
+    encode_entry,
+    entry_keys,
+    payload_to_result,
+    replica_key,
+    result_to_payload,
+    run_matrix_cached,
+)
+from repro.system.results import RunResult
+
+#: Small enough that a full three-protocol run stays fast.
+SCALE = 0.05
+
+
+def _entry(protocol="ts-snoop", **overrides):
+    spec = ExperimentSpec.make("oltp", protocol=protocol, scale=SCALE, **overrides)
+    return spec.config(), spec.profile()
+
+
+class TestReplicaKey:
+    def test_key_is_hex_sha256(self):
+        config, profile = _entry()
+        key = replica_key(config, profile, 0)
+        assert len(key) == 64 and int(key, 16) >= 0
+
+    def test_key_stable_under_alias_and_restated_defaults(self):
+        plain = _entry()
+        restated = _entry(num_nodes=16, seed=42)
+        aliased_spec = ExperimentSpec.make("tpc-c", protocol="snoop", scale=SCALE)
+        aliased = (aliased_spec.config(), aliased_spec.profile())
+        keys = {replica_key(c, p, 0) for c, p in (plain, restated, aliased)}
+        assert len(keys) == 1
+
+    def test_key_stable_under_result_neutral_knobs(self):
+        plain = _entry()
+        knobbed = _entry(jobs=8, scheduler="heapq", enable_checker=True)
+        assert replica_key(*plain, 0) == replica_key(*knobbed, 0)
+
+    def test_key_changes_with_result_relevant_fields(self):
+        config, profile = _entry(perturbation_replicas=2)
+        base = replica_key(config, profile, 0)
+        assert base != replica_key(config, profile, 1)
+        for other in (
+            _entry(protocol="diropt", perturbation_replicas=2),
+            _entry(seed=7, perturbation_replicas=2),
+            _entry(slack=2, perturbation_replicas=2),
+        ):
+            assert replica_key(*other, 0) != base
+
+    def test_replica_index_range_checked(self):
+        config, profile = _entry()
+        with pytest.raises(ValueError, match="out of range"):
+            replica_key(config, profile, 1)
+
+    def test_entry_keys_order(self):
+        config, profile = _entry(perturbation_replicas=3)
+        keys = entry_keys(config, profile)
+        assert keys == [replica_key(config, profile, i) for i in range(3)]
+        assert len(set(keys)) == 3
+
+
+class TestWireFormat:
+    def _result(self):
+        return RunResult(
+            workload="oltp",
+            protocol="ts-snoop",
+            network="butterfly",
+            runtime_ns=123,
+            instructions=456,
+            references=789,
+            misses=12,
+            cache_to_cache_misses=3,
+            writebacks=4,
+            nacks=5,
+            retries=6,
+            data_touched_mb=1.5,
+            per_link_bytes=2.25,
+            traffic_bytes_by_category={"data": 10, "control": 20},
+            average_miss_latency_ns=7.125,
+        )
+
+    def test_payload_round_trip_is_equal_and_fresh(self):
+        original = self._result()
+        rebuilt = payload_to_result(result_to_payload(original))
+        assert rebuilt == original
+        assert rebuilt is not original
+        assert (
+            rebuilt.traffic_bytes_by_category
+            is not original.traffic_bytes_by_category
+        )
+
+    def test_json_round_trip_is_bit_identical(self):
+        original = self._result()
+        blob = json.dumps(encode_entry("k" * 64, original))
+        assert decode_entry(json.loads(blob), expected_key="k" * 64) == original
+
+    def test_unknown_payload_fields_rejected(self):
+        payload = result_to_payload(self._result())
+        payload["bogus"] = 1
+        with pytest.raises(CacheError, match="bogus"):
+            payload_to_result(payload)
+
+    def test_decode_validates_kind_schema_and_key(self):
+        document = encode_entry("a" * 64, self._result())
+        with pytest.raises(CacheError, match="kind"):
+            decode_entry({**document, "kind": "other"})
+        with pytest.raises(CacheError, match="schema_version"):
+            decode_entry({**document, "schema_version": RESULT_SCHEMA_VERSION + 1})
+        with pytest.raises(CacheError, match="does not match"):
+            decode_entry(document, expected_key="b" * 64)
+        with pytest.raises(CacheError, match="object"):
+            decode_entry([document])
+        assert document["kind"] == RESULT_KIND
+
+
+class TestResultCache:
+    def _result(self, runtime=100):
+        return RunResult(
+            workload="oltp",
+            protocol="ts-snoop",
+            network="butterfly",
+            runtime_ns=runtime,
+            instructions=1,
+            references=1,
+            misses=1,
+            cache_to_cache_misses=0,
+            writebacks=0,
+            nacks=0,
+            retries=0,
+            data_touched_mb=0.0,
+            per_link_bytes=0.0,
+            traffic_bytes_by_category={},
+            average_miss_latency_ns=0.0,
+        )
+
+    def test_memory_round_trip_returns_fresh_objects(self):
+        cache = ResultCache()
+        key = "a" * 64
+        cache.put(key, self._result())
+        first, second = cache.get(key), cache.get(key)
+        assert first == second and first is not second
+
+    def test_mutating_a_hit_never_corrupts_the_store(self):
+        cache = ResultCache()
+        key = "a" * 64
+        cache.put(key, self._result())
+        hit = cache.get(key)
+        hit.replicas = 99  # what select_minimum_replica does to merged results
+        assert cache.get(key).replicas == 1
+
+    def test_put_snapshots_before_later_mutation(self):
+        cache = ResultCache()
+        key = "a" * 64
+        result = self._result()
+        cache.put(key, result)
+        result.replicas = 99
+        assert cache.get(key).replicas == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache()
+        assert cache.get("f" * 64) is None
+        assert cache.stats.misses == 1
+
+    def test_disk_round_trip_and_promotion(self, tmp_path):
+        key = "ab" + "c" * 62
+        writer = ResultCache(tmp_path / "store")
+        writer.put(key, self._result(runtime=7))
+        # A different instance sharing the directory: memory-cold, disk-hot.
+        reader = ResultCache(tmp_path / "store")
+        assert key in reader
+        hit = reader.get(key)
+        assert hit is not None and hit.runtime_ns == 7
+        assert reader.stats.disk_hits == 1
+        reader.get(key)
+        assert reader.stats.memory_hits == 1  # promoted on first disk hit
+
+    def test_disk_layout_is_sharded(self, tmp_path):
+        key = "ab" + "c" * 62
+        cache = ResultCache(tmp_path / "store")
+        cache.put(key, self._result())
+        assert (tmp_path / "store" / "ab" / f"{key}.json").is_file()
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        key = "ab" + "c" * 62
+        cache = ResultCache(tmp_path / "store")
+        cache.put(key, self._result())
+        cache.clear_memory()
+        (tmp_path / "store" / "ab" / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.invalid_entries == 1
+
+    def test_lru_eviction_bounds_memory(self):
+        cache = ResultCache(memory_entries=2)
+        keys = [ch * 64 for ch in "abc"]
+        for key in keys:
+            cache.put(key, self._result())
+        assert len(cache) == 2
+        assert cache.stats.memory_evictions == 1
+        assert cache.get(keys[0]) is None  # evicted, no disk tier
+
+    def test_zero_memory_entries_is_disk_only(self, tmp_path):
+        cache = ResultCache(tmp_path / "store", memory_entries=0)
+        key = "a" * 64
+        cache.put(key, self._result())
+        assert len(cache) == 0
+        assert cache.get(key) is not None
+
+    def test_negative_memory_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(memory_entries=-1)
+
+
+class TestRunMatrixCached:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return [
+            _entry(protocol=protocol, perturbation_replicas=2)
+            for protocol in ("ts-snoop", "dirclassic", "diropt")
+        ]
+
+    @pytest.fixture(scope="class")
+    def fresh(self, entries):
+        return run_matrix(entries)
+
+    def test_cold_cache_is_bit_identical_to_run_matrix(self, entries, fresh):
+        cache = ResultCache()
+        assert run_matrix_cached(entries, cache=cache) == fresh
+
+    def test_warm_cache_is_bit_identical_and_simulation_free(
+        self, entries, fresh, monkeypatch
+    ):
+        cache = ResultCache()
+        run_matrix_cached(entries, cache=cache)
+
+        def boom(specs, **kwargs):
+            raise AssertionError(f"pool was asked to run {len(specs)} jobs")
+
+        monkeypatch.setattr("repro.service.cache.run_replica_jobs", boom)
+        assert run_matrix_cached(entries, cache=cache) == fresh
+
+    def test_partial_overlap_only_computes_the_frontier(self, entries, fresh):
+        cache = ResultCache()
+        run_matrix_cached(entries[:1], cache=cache)
+        before = cache.stats.stores
+        assert run_matrix_cached(entries, cache=cache) == fresh
+        assert cache.stats.stores - before == sum(
+            config.perturbation_replicas for config, _ in entries[1:]
+        )
+
+    def test_disk_cache_survives_process_cache_object(self, entries, fresh, tmp_path):
+        run_matrix_cached(entries, cache=ResultCache(tmp_path / "s"))
+        rewarmed = ResultCache(tmp_path / "s")
+        assert run_matrix_cached(entries, cache=rewarmed) == fresh
+        assert rewarmed.stats.misses == 0
