@@ -203,6 +203,36 @@ class ExperimentSpec:
     def overrides_dict(self) -> Dict[str, Any]:
         return dict(self.overrides)
 
+    # -------------------------------------------------------- persistence
+    def as_document(self) -> Dict[str, Any]:
+        """This spec as a JSON-safe dictionary (the job journal's format)."""
+        return {
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "network": self.network,
+            "scale": self.scale,
+            "overrides": [[name, value] for name, value in self.overrides],
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`as_document` output (re-validated)."""
+        try:
+            overrides = tuple(
+                (pair[0], pair[1]) for pair in document.get("overrides", ())
+            )
+            return cls(
+                workload=document["workload"],
+                protocol=document["protocol"],
+                network=document["network"],
+                scale=document["scale"],
+                overrides=overrides,
+            )
+        except (KeyError, TypeError, IndexError) as error:
+            raise ExperimentSpecError(
+                f"malformed spec document {document!r}: {error}"
+            ) from None
+
     def with_overrides(self, **overrides: Any) -> "ExperimentSpec":
         """A copy with additional (or replaced) config overrides."""
         merged = self.overrides_dict()

@@ -45,7 +45,11 @@ parallel execution bit-identical to serial:
 ``compare_protocols(jobs=4)`` field-for-field against ``jobs=1``.
 """
 
-from repro.parallel.executor import resolve_jobs, run_replica_jobs
+from repro.parallel.executor import (
+    WorkerPoolError,
+    resolve_jobs,
+    run_replica_jobs,
+)
 from repro.parallel.jobs import (
     ReplicaJob,
     build_streams_cached,
@@ -60,6 +64,7 @@ from repro.parallel.sweep import (
 
 __all__ = [
     "ReplicaJob",
+    "WorkerPoolError",
     "build_streams_cached",
     "clear_stream_cache",
     "execute_replica_job",

@@ -45,7 +45,8 @@ class ReplicaJob:
         if not 0 <= self.replica_index < self.config.perturbation_replicas:
             raise ValueError(
                 f"replica_index {self.replica_index} out of range for "
-                f"{self.config.perturbation_replicas} replicas")
+                f"{self.config.perturbation_replicas} replicas"
+            )
 
 
 # Per-process memo table; key is (profile, num_nodes, seed, packed), the
@@ -53,16 +54,19 @@ class ReplicaJob:
 # sweeping many distinct (profile, scale, seed) combinations don't pin every
 # stream set they ever built.
 _STREAM_CACHE_LIMIT = 8
-_STREAM_CACHE: "OrderedDict[Tuple[WorkloadProfile, int, int, bool], List[Sequence[Reference]]]" = OrderedDict()
+_StreamKey = Tuple[WorkloadProfile, int, int, bool]
+_STREAM_CACHE: "OrderedDict[_StreamKey, List[Sequence[Reference]]]" = OrderedDict()
 
 
-def stream_cache_key(profile: WorkloadProfile,
-                     config: SystemConfig) -> Tuple[WorkloadProfile, int, int, bool]:
+def stream_cache_key(
+    profile: WorkloadProfile, config: SystemConfig
+) -> _StreamKey:
     return (profile, config.num_nodes, config.seed, config.packed_streams)
 
 
-def build_streams_cached(profile: WorkloadProfile,
-                         config: SystemConfig) -> List[Sequence[Reference]]:
+def build_streams_cached(
+    profile: WorkloadProfile, config: SystemConfig
+) -> List[Sequence[Reference]]:
     """Build (or reuse) the reference streams for one (profile, config).
 
     Streams never depend on the protocol or network, so every protocol run
@@ -85,12 +89,17 @@ def clear_stream_cache() -> None:
     _STREAM_CACHE.clear()
 
 
-def replica_perturbation(config: SystemConfig,
-                         replica_index: int) -> PerturbationModel:
+def replica_perturbation(
+    config: SystemConfig, replica_index: int
+) -> PerturbationModel:
     """The perturbation model the serial runner would use for this replica."""
-    replicas = list(PerturbationModel.replicas(
-        config.seed, config.perturbation_replicas,
-        config.perturbation_max_delay_ns))
+    replicas = list(
+        PerturbationModel.replicas(
+            config.seed,
+            config.perturbation_replicas,
+            config.perturbation_max_delay_ns,
+        )
+    )
     return replicas[replica_index]
 
 
@@ -104,9 +113,12 @@ def execute_replica_job(job: ReplicaJob) -> RunResult:
     """
     from repro.system.simulation import SimulationRunner
 
-    streams = (job.streams if job.streams is not None
-               else build_streams_cached(job.profile, job.config))
+    streams = (
+        job.streams
+        if job.streams is not None
+        else build_streams_cached(job.profile, job.config)
+    )
     runner = SimulationRunner(job.config, job.profile)
-    return runner.run_replica(streams,
-                              replica_perturbation(job.config,
-                                                   job.replica_index))
+    return runner.run_replica(
+        streams, replica_perturbation(job.config, job.replica_index)
+    )

@@ -40,17 +40,23 @@ def select_minimum_replica(results: Sequence[RunResult]) -> RunResult:
     return best
 
 
-def expand_entry(config: SystemConfig, profile: WorkloadProfile,
-                 streams: Optional[Sequence[Sequence[Reference]]] = None,
-                 ) -> List[ReplicaJob]:
+def expand_entry(
+    config: SystemConfig,
+    profile: WorkloadProfile,
+    streams: Optional[Sequence[Sequence[Reference]]] = None,
+) -> List[ReplicaJob]:
     """All replica jobs for one experiment entry."""
-    return [ReplicaJob(config=config, profile=profile, replica_index=index,
-                       streams=streams)
-            for index in range(config.perturbation_replicas)]
+    return [
+        ReplicaJob(
+            config=config, profile=profile, replica_index=index, streams=streams
+        )
+        for index in range(config.perturbation_replicas)
+    ]
 
 
-def run_matrix(entries: Sequence[MatrixEntry], *,
-               jobs: Optional[int] = 1) -> List[RunResult]:
+def run_matrix(
+    entries: Sequence[MatrixEntry], *, jobs: Optional[int] = 1
+) -> List[RunResult]:
     """Run every experiment entry; return one merged RunResult per entry.
 
     The whole matrix -- every workload, protocol, network and replica -- is
@@ -64,5 +70,7 @@ def run_matrix(entries: Sequence[MatrixEntry], *,
         spans.append((len(specs), config.perturbation_replicas))
         specs.extend(expand_entry(config, profile))
     results = run_replica_jobs(specs, jobs=jobs)
-    return [select_minimum_replica(results[start:start + count])
-            for start, count in spans]
+    return [
+        select_minimum_replica(results[start : start + count])
+        for start, count in spans
+    ]

@@ -4,19 +4,31 @@ This package turns the one-shot experiment API into a long-lived service:
 
 * :mod:`repro.service.manager` -- :class:`JobManager`, the asyncio
   front-end with priority + FIFO scheduling, bounded-cost admission
-  control, per-job cancellation and in-flight deduplication over a
-  pluggable worker-pool backend.
+  control, per-job cancellation, in-flight deduplication, and a
+  fault-tolerance layer (transient-failure retries with deterministic
+  backoff, per-replica deadlines, worker-crash pool rebuilds, replica
+  quarantine, journal-driven crash recovery) over a pluggable
+  worker-pool backend.
 * :mod:`repro.service.cache` -- :class:`ResultCache`, the
   content-addressed (SHA-256 of the canonical experiment document)
   schema-versioned result store; cache hits replay bit-identically to
-  recomputation.  :func:`run_matrix_cached` is the synchronous
+  recomputation, and disk faults degrade it to memory-only operation
+  instead of failing jobs.  :func:`run_matrix_cached` is the synchronous
   equivalent used by ``repro.api`` wrappers when passed ``cache=``.
+* :mod:`repro.service.journal` -- :class:`JobJournal`, the append-only,
+  fsync'd, CRC-checked job journal behind
+  :meth:`JobManager.recover`; torn trailing records are truncated, not
+  fatal.
+* :mod:`repro.service.faults` -- :class:`FaultPlan`, the deterministic
+  fault-injection harness (planned crashes, timeouts, I/O errors at
+  named sites) that exercises every recovery path in tests.
 * :mod:`repro.service.events` -- the streaming progress events yielded
   by :meth:`JobHandle.events` and their ordering contract.
 * :mod:`repro.service.metrics` -- :class:`ServiceMetrics`, queue /
-  cache / worker counters rendered as a schema-v1 JSON snapshot.
+  cache / fault / health counters rendered as a schema-v2 JSON snapshot.
 * :mod:`repro.service.cli` -- the ``python -m repro.service`` front-end,
-  including the ``--self-test`` exercise CI runs as a smoke test.
+  including the ``--self-test`` exercise (with its kill-and-recover
+  pass) CI runs as a smoke test.
 """
 
 from __future__ import annotations
@@ -41,8 +53,27 @@ from repro.service.events import (
     JobFailed,
     JobProgress,
     ReplicaCompleted,
+    ReplicaFailed,
+    ReplicaRetried,
+    ServiceDegraded,
+)
+from repro.service.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    Fault,
+    FaultingPoolBackend,
+    FaultPlan,
+    InjectedPermanentError,
+    InjectedWorkerCrash,
+)
+from repro.service.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JobJournal,
+    JournaledJob,
+    JournalError,
 )
 from repro.service.manager import (
+    DEFAULT_MAX_ATTEMPTS,
     DEFAULT_MAX_PENDING_COST,
     AdmissionError,
     InlinePoolBackend,
@@ -52,6 +83,8 @@ from repro.service.manager import (
     JobState,
     PoolBackend,
     ProcessPoolBackend,
+    WorkerCrashError,
+    is_transient,
     job_cost,
     make_backend,
     replica_cost,
@@ -67,8 +100,17 @@ __all__ = [
     "AdmissionError",
     "CacheError",
     "CacheStats",
+    "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_MAX_PENDING_COST",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "Fault",
+    "FaultPlan",
+    "FaultingPoolBackend",
+    "InjectedPermanentError",
+    "InjectedWorkerCrash",
     "InlinePoolBackend",
+    "JOURNAL_SCHEMA_VERSION",
     "JobAdmitted",
     "JobCancelled",
     "JobCancelledError",
@@ -76,21 +118,29 @@ __all__ = [
     "JobEvent",
     "JobFailed",
     "JobHandle",
+    "JobJournal",
     "JobManager",
     "JobProgress",
     "JobState",
+    "JournalError",
+    "JournaledJob",
     "METRICS_SCHEMA_VERSION",
     "MetricsSchemaError",
     "PoolBackend",
     "ProcessPoolBackend",
     "RESULT_SCHEMA_VERSION",
     "ReplicaCompleted",
+    "ReplicaFailed",
+    "ReplicaRetried",
     "ResultCache",
     "SOURCE_CACHE",
     "SOURCE_COMPUTED",
     "SOURCE_DEDUPED",
+    "ServiceDegraded",
     "ServiceMetrics",
+    "WorkerCrashError",
     "entry_keys",
+    "is_transient",
     "job_cost",
     "make_backend",
     "replica_cost",

@@ -37,6 +37,13 @@ from repro.api.spec import canonical_experiment
 from repro.parallel.executor import run_replica_jobs
 from repro.parallel.jobs import ReplicaJob
 from repro.parallel.sweep import MatrixEntry, select_minimum_replica
+from repro.service.faults import (
+    KIND_CORRUPT,
+    SITE_CACHE_DISK_GET,
+    SITE_CACHE_DISK_PUT,
+    FaultPlan,
+    fault_exception,
+)
 from repro.system.config import SystemConfig
 from repro.system.results import RunResult
 from repro.workloads.profiles import WorkloadProfile
@@ -147,6 +154,8 @@ class CacheStats:
     disk_hits: int = 0
     memory_evictions: int = 0
     invalid_entries: int = 0
+    disk_put_errors: int = 0
+    disk_get_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {field.name: getattr(self, field.name) for field in fields(self)}
@@ -160,18 +169,32 @@ class ResultCache:
     cache purely in memory.  All operations are thread-safe; entries are
     immutable JSON documents, so cross-process sharing of one directory is
     safe too (writes are atomic renames).
+
+    **Degraded mode**: a disk fault (ENOSPC/EACCES on read or write, or a
+    shard that no longer decodes) never propagates to callers.  The fault
+    is counted (``disk_put_errors`` / ``disk_get_errors``), the cache flips
+    to memory-only operation (:attr:`degraded` with
+    :attr:`degraded_reason`), and service continues -- the job manager
+    surfaces the transition as a ``ServiceDegraded`` event and a ``health``
+    block in the metrics snapshot.  ``fault_plan`` injects planned disk
+    faults at the ``cache.disk_put`` / ``cache.disk_get`` sites for tests.
     """
 
     def __init__(
         self,
         path: Union[str, Path, None] = None,
         memory_entries: int = 512,
+        *,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if memory_entries < 0:
             raise ValueError("memory_entries must be non-negative")
         self.path = Path(path) if path is not None else None
         self.memory_entries = memory_entries
         self.stats = CacheStats()
+        self.fault_plan = fault_plan
+        self.degraded = False
+        self.degraded_reason = ""
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._lock = threading.Lock()
         if self.path is not None:
@@ -198,10 +221,11 @@ class ResultCache:
             return None
         try:
             result = decode_entry(document, expected_key=key)
-        except CacheError:
+        except CacheError as error:
             with self._lock:
                 self.stats.invalid_entries += 1
                 self.stats.misses += 1
+            self._degrade(f"corrupt cache shard {key[:12]}...: {error}")
             return None
         with self._lock:
             self.stats.hits += 1
@@ -226,7 +250,9 @@ class ResultCache:
         with self._lock:
             if key in self._memory:
                 return True
-        return self._disk_path(key).is_file() if self.path is not None else False
+        if self.path is None or self.degraded:
+            return False
+        return self._disk_path(key).is_file()
 
     def __len__(self) -> int:
         with self._lock:
@@ -255,29 +281,71 @@ class ResultCache:
         assert self.path is not None
         return self.path / key[:2] / f"{key}.json"
 
+    def _degrade(self, reason: str) -> None:
+        """Flip to memory-only operation after a disk fault (latching)."""
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = reason
+
+    def _fire(self, site: str) -> None:
+        """Raise/mangle per the fault plan at one instrumented disk site."""
+        if self.fault_plan is None:
+            return
+        fault = self.fault_plan.fire(site)
+        if fault is None:
+            return
+        if fault.kind == KIND_CORRUPT:
+            raise CacheError(
+                f"injected corrupt shard (site {site}, invocation {fault.at})"
+            )
+        raise fault_exception(fault)
+
     def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
-        if self.path is None:
+        if self.path is None or self.degraded:
             return None
         target = self._disk_path(key)
         try:
+            self._fire(SITE_CACHE_DISK_GET)
             with open(target, "r", encoding="utf-8") as handle:
                 return json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
+        except CacheError as error:
             with self._lock:
                 self.stats.invalid_entries += 1
+                self.stats.disk_get_errors += 1
+            self._degrade(f"disk read of {key[:12]}...: {error}")
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            with self._lock:
+                self.stats.invalid_entries += 1
+                self.stats.disk_get_errors += 1
+            self._degrade(f"disk read of {key[:12]}... failed: {error}")
             return None
 
     def _write_disk(self, key: str, document: Dict[str, Any]) -> None:
-        if self.path is None:
+        if self.path is None or self.degraded:
             return
         target = self._disk_path(key)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        scratch = target.parent / f"{target.name}.tmp{os.getpid()}"
-        with open(scratch, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, sort_keys=True, separators=(",", ":"))
-        os.replace(scratch, target)
+        scratch: Optional[Path] = None
+        try:
+            self._fire(SITE_CACHE_DISK_PUT)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            scratch = target.parent / f"{target.name}.tmp{os.getpid()}"
+            with open(scratch, "w", encoding="utf-8") as handle:
+                json.dump(
+                    document, handle, sort_keys=True, separators=(",", ":")
+                )
+            os.replace(scratch, target)
+        except (OSError, CacheError) as error:
+            with self._lock:
+                self.stats.disk_put_errors += 1
+            self._degrade(f"disk write of {key[:12]}... failed: {error}")
+            if scratch is not None:
+                try:
+                    scratch.unlink()
+                except OSError:
+                    pass
 
 
 # ------------------------------------------------------- cached execution

@@ -16,8 +16,10 @@ the shared result cache.
 
 ``--self-test`` runs a deterministic end-to-end exercise of the service
 (overlapping sweeps from two clients, cache replay, event-ordering and
-bit-identity checks) and exits non-zero on any violation; CI runs it as a
-smoke test and archives the resulting metrics snapshot.
+bit-identity checks, and a kill-and-recover pass that SIGKILLs a pool
+worker mid-sweep and resumes the job from the journal) and exits non-zero
+on any violation; CI runs it as a smoke test and archives the resulting
+metrics snapshot.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -39,10 +42,13 @@ from repro.service.events import (
     ReplicaCompleted,
     describe,
 )
+from repro.service.journal import JobJournal
 from repro.service.manager import (
+    DEFAULT_MAX_ATTEMPTS,
     DEFAULT_MAX_PENDING_COST,
     AdmissionError,
     JobManager,
+    ProcessPoolBackend,
 )
 from repro.service.metrics import validate_metrics_snapshot
 
@@ -146,7 +152,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         metavar="PATH",
         default=None,
-        help="write the schema-v1 service metrics snapshot to PATH",
+        help="write the schema-v2 service metrics snapshot to PATH",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="keep a crash-safe job journal under DIR; on startup, jobs the "
+        "journal records as unfinished are recovered and completed first",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        metavar="N",
+        help="attempt budget per replica for transient failures "
+        f"(default {DEFAULT_MAX_ATTEMPTS})",
+    )
+    parser.add_argument(
+        "--replica-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt replica deadline; overruns count as transient "
+        "failures and retry (default: no deadline)",
     )
     parser.add_argument(
         "--scale",
@@ -191,7 +220,17 @@ def _make_manager(args: argparse.Namespace) -> JobManager:
         budget = None
     else:
         budget = args.budget
-    return JobManager(jobs=args.jobs, cache=cache, max_pending_cost=budget)
+    journal = None
+    if args.journal_dir:
+        journal = JobJournal(Path(args.journal_dir) / "journal.jsonl")
+    return JobManager(
+        jobs=args.jobs,
+        cache=cache,
+        max_pending_cost=budget,
+        journal=journal,
+        max_attempts=args.max_attempts,
+        replica_timeout=args.replica_timeout,
+    )
 
 
 async def _pump(handle: Any, quiet: bool) -> List[JobEvent]:
@@ -228,7 +267,9 @@ async def _serve(
     manager = _make_manager(args)
     failures = 0
     async with manager:
-        handles = []
+        handles = manager.recover()
+        for handle in handles:
+            print(f"recovered {handle.job_id} {handle.spec.label} from the journal")
         for spec, priority in requests:
             try:
                 handles.append(manager.submit(spec, priority=priority))
@@ -249,6 +290,8 @@ async def _serve(
                 print(f"{handle.job_id} {handle.spec.label}: {error}")
                 continue
             print(f"{handle.job_id} {handle.spec.label}: {result.summary()}")
+    if manager.journal is not None:
+        manager.journal.close()
     _finish_metrics(manager, args)
     return 1 if failures else 0
 
@@ -260,8 +303,20 @@ def _check(condition: bool, message: str, problems: List[str]) -> None:
 
 
 def _check_stream(events: List[JobEvent], problems: List[str]) -> None:
-    """Assert the ordering contract of :mod:`repro.service.events`."""
+    """Assert the ordering contract of :mod:`repro.service.events`.
+
+    Informational events (retries, quarantines, degradation notices) may
+    interleave anywhere mid-stream, so they are filtered out before the
+    replica/progress pair structure is checked.
+    """
     label = events[0].job_id if events else "<empty>"
+    if events:
+        _check(
+            not events[0].informational and not events[-1].informational,
+            f"{label}: stream starts or ends with an informational event",
+            problems,
+        )
+    events = [event for event in events if not event.informational]
     _check(len(events) >= 2, f"{label}: stream has fewer than two events", problems)
     if not events:
         return
@@ -368,10 +423,15 @@ async def _self_test(args: argparse.Namespace) -> int:
         problems,
     )
 
+    # Phase 3: kill a pool worker mid-sweep, tear the manager down, and
+    # recover the sweep from the journal + cache frontier.
+    recovery_stats = await _kill_and_recover(scale, args.quiet, problems)
+
     manager.metrics.extra["self_test"] = {
         "scale": scale,
         "unique_replicas": unique_replicas,
         "replay_submissions": replay.backend.submissions,
+        "kill_and_recover": recovery_stats,
     }
     snapshot = manager.snapshot()
     try:
@@ -388,6 +448,139 @@ async def _self_test(args: argparse.Namespace) -> int:
         print(
             f"self-test ok: {unique_replicas} unique replicas computed once, "
             f"{len(specs)} duplicate jobs joined, cached replay bit-identical "
-            "with zero pool submissions"
+            "with zero pool submissions; kill-and-recover resumed "
+            f"{recovery_stats['recovered_jobs']} job(s) recomputing only "
+            f"{recovery_stats['recovery_submissions']}/"
+            f"{recovery_stats['total_replicas']} replica(s), bit-identical"
         )
     return 1 if problems else 0
+
+
+async def _kill_and_recover(
+    scale: float, quiet: bool, problems: List[str]
+) -> Dict[str, Any]:
+    """The ``--self-test`` kill-and-recover pass.
+
+    Starts a multi-replica sweep on a one-worker process pool with a disk
+    cache and a journal, SIGKILLs the pool worker after the first replica
+    lands, abandons the manager mid-sweep (no drain, no terminal record),
+    appends a torn half-record to the journal, then recovers in a fresh
+    service life: the torn tail must truncate cleanly, only the missing
+    replicas may be recomputed, and the merged result must be bit-identical
+    to an unfaulted run.
+    """
+    spec = ExperimentSpec.make(
+        "oltp", scale=scale, perturbation_replicas=3
+    )
+    stats: Dict[str, Any] = {
+        "recovered_jobs": 0,
+        "total_replicas": spec.config().perturbation_replicas,
+        "recovery_submissions": -1,
+        "recovered_from_cache": 0,
+        "torn_bytes_dropped": 0,
+    }
+
+    # The unfaulted reference run (memory-only cache, inline backend).
+    baseline_manager = JobManager(jobs=1)
+    async with baseline_manager:
+        baseline_handle = baseline_manager.submit(spec)
+        drain = asyncio.create_task(_pump(baseline_handle, True))
+        await baseline_manager.drain()
+        await drain
+        baseline = await baseline_handle.result()
+
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
+        root = Path(tmp)
+        journal_path = root / "journal.jsonl"
+        cache = ResultCache(root / "cache")
+        journal = JobJournal(journal_path, fsync=False)
+        backend = ProcessPoolBackend(max_workers=1)
+        crashed = JobManager(
+            jobs=1, cache=cache, backend=backend, journal=journal
+        )
+        await crashed.start()
+        crashed.submit(spec)
+        deadline = asyncio.get_running_loop().time() + 120.0
+        while journal.count("replica-completed") < 1:
+            if asyncio.get_running_loop().time() > deadline:
+                problems.append(
+                    "kill-and-recover: no replica completed within 120s"
+                )
+                await crashed.aclose()
+                journal.close()
+                return stats
+            await asyncio.sleep(0.005)
+        # SIGKILL the pool worker(s), then abandon the manager before it
+        # can observe the crash: no retry, no terminal journal record --
+        # exactly what a service process dying mid-sweep leaves behind.
+        executor = backend.executor
+        if executor is not None:
+            for process in list((executor._processes or {}).values()):
+                process.kill()
+        await crashed.aclose()
+        journal.close()
+        completed_before = journal.count("replica-completed")
+        with open(journal_path, "ab") as handle:
+            handle.write(b'deadbeef {"type":"replica-comp')
+
+        # A fresh service life over the same journal and cache directory.
+        recovered_journal = JobJournal(journal_path, fsync=False)
+        stats["torn_bytes_dropped"] = recovered_journal.torn_bytes_dropped
+        _check(
+            recovered_journal.torn_bytes_dropped > 0,
+            "kill-and-recover: the torn journal tail was not truncated",
+            problems,
+        )
+        recovery_cache = ResultCache(root / "cache")
+        recovery = JobManager(
+            jobs=1, cache=recovery_cache, journal=recovered_journal
+        )
+        async with recovery:
+            handles = recovery.recover()
+            stats["recovered_jobs"] = len(handles)
+            _check(
+                len(handles) == 1,
+                f"kill-and-recover: expected 1 unfinished job to recover, "
+                f"got {len(handles)}",
+                problems,
+            )
+            pumps = [
+                asyncio.create_task(_pump(handle, quiet)) for handle in handles
+            ]
+            await recovery.drain()
+            streams = await asyncio.gather(*pumps)
+            results = [await handle.result() for handle in handles]
+        recovered_journal.close()
+
+        for events in streams:
+            _check_stream(events, problems)
+        total = stats["total_replicas"]
+        from_cache = recovery.metrics.replicas_from_cache
+        submissions = recovery.backend.submissions
+        stats["recovery_submissions"] = submissions
+        stats["recovered_from_cache"] = from_cache
+        _check(
+            submissions + from_cache == total,
+            f"kill-and-recover: {submissions} recomputed + {from_cache} "
+            f"cached != {total} total replicas",
+            problems,
+        )
+        _check(
+            from_cache >= completed_before,
+            f"kill-and-recover: only {from_cache} replicas came from the "
+            f"cache but the journal recorded {completed_before} complete",
+            problems,
+        )
+        _check(
+            submissions < total,
+            "kill-and-recover: recovery recomputed every replica instead "
+            "of resuming from the cache frontier",
+            problems,
+        )
+        _check(
+            bool(results) and results[0] == baseline,
+            "kill-and-recover: recovered result is not bit-identical to "
+            "the unfaulted run",
+            problems,
+        )
+    return stats

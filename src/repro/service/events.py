@@ -9,6 +9,14 @@ Every submitted job streams a strictly-ordered event sequence:
 3. exactly one terminal event last -- :class:`JobCompleted` with the
    merged result, :class:`JobCancelled`, or :class:`JobFailed`.
 
+*Informational* events -- :class:`ReplicaRetried`, :class:`ReplicaFailed`
+and :class:`ServiceDegraded` (all with ``informational = True``) -- may
+appear anywhere between the admitted and terminal events without breaking
+the pair structure above: contract checkers filter them out first.  A
+retried replica emits one :class:`ReplicaRetried` per re-attempt; a
+replica whose attempt budget is exhausted emits one :class:`ReplicaFailed`
+(quarantine) instead of a completion pair.
+
 After the terminal event the stream ends; a cancelled job emits nothing
 further even if shared replicas finish later for other jobs' benefit.
 """
@@ -27,11 +35,18 @@ SOURCE_DEDUPED = "deduped"
 
 @dataclass(frozen=True)
 class JobEvent:
-    """Base of every streamed event; ``terminal`` ends the stream."""
+    """Base of every streamed event; ``terminal`` ends the stream.
+
+    ``informational`` marks events that may interleave freely between the
+    admitted and terminal events (retries, quarantines, degradation
+    notices) -- ordering checkers filter them before pairing replica and
+    progress events.
+    """
 
     job_id: str
 
     terminal = False
+    informational = False
 
 
 @dataclass(frozen=True)
@@ -52,6 +67,49 @@ class ReplicaCompleted(JobEvent):
     replica_index: int
     source: str
     runtime_ns: int
+
+
+@dataclass(frozen=True)
+class ReplicaRetried(JobEvent):
+    """Informational: a transient replica failure triggered a retry.
+
+    ``attempt`` is the attempt that just failed (1-based); the replica is
+    re-run after ``backoff_s`` seconds, up to the manager's attempt
+    budget."""
+
+    replica_index: int
+    attempt: int
+    error: str
+    backoff_s: float
+
+    informational = True
+
+
+@dataclass(frozen=True)
+class ReplicaFailed(JobEvent):
+    """Informational: a replica exhausted its attempt budget (or failed
+    permanently) and was quarantined; sibling replicas keep running and
+    the job completes with the replicas that did finish."""
+
+    replica_index: int
+    attempts: int
+    error: str
+    permanent: bool
+
+    informational = True
+
+
+@dataclass(frozen=True)
+class ServiceDegraded(JobEvent):
+    """Informational: a service component entered degraded mode (e.g. the
+    result cache fell back to memory-only after a disk fault).  Emitted at
+    most once per component, on the stream of the job whose operation
+    detected the condition."""
+
+    component: str
+    reason: str
+
+    informational = True
 
 
 @dataclass(frozen=True)
@@ -102,6 +160,20 @@ def describe(event: JobEvent) -> str:
             f"[{event.job_id}] replica {event.replica_index} {event.source} "
             f"runtime={event.runtime_ns} ns"
         )
+    if isinstance(event, ReplicaRetried):
+        return (
+            f"[{event.job_id}] replica {event.replica_index} retrying after "
+            f"attempt {event.attempt} failed ({event.error}); "
+            f"backoff {event.backoff_s:.2f}s"
+        )
+    if isinstance(event, ReplicaFailed):
+        kind = "permanent failure" if event.permanent else "attempts exhausted"
+        return (
+            f"[{event.job_id}] replica {event.replica_index} quarantined "
+            f"after {event.attempts} attempt(s) ({kind}): {event.error}"
+        )
+    if isinstance(event, ServiceDegraded):
+        return f"[{event.job_id}] DEGRADED {event.component}: {event.reason}"
     if isinstance(event, JobProgress):
         return (
             f"[{event.job_id}] progress {event.completed}/{event.total} "

@@ -1,0 +1,330 @@
+"""Crash-safe job journal: append-only, fsync'd, schema-versioned.
+
+The journal is the service's durability layer: every job submission,
+replica completion, retry, quarantine and terminal transition is appended
+as one self-checking record, flushed and fsync'd before the manager moves
+on, so a service killed at *any* instant can be restarted and resume its
+in-flight sweeps (:meth:`repro.service.manager.JobManager.recover`
+replays unfinished jobs; the :class:`~repro.service.cache.ResultCache`
+supplies the replicas the journal already recorded as complete).
+
+Wire format -- one record per line::
+
+    <crc32:8 hex> <canonical JSON object>\\n
+
+The CRC covers the JSON text, so a record is valid iff its line is whole
+and its checksum matches.  A crash mid-append leaves a *torn tail*: a
+final line with no newline, a truncated JSON body, or a mismatched CRC.
+Opening the journal truncates the tail (every byte from the first invalid
+record onward) instead of failing -- the dropped byte count is reported in
+:attr:`JobJournal.torn_bytes_dropped` -- because a torn record is, by
+construction, one the service never acknowledged.  The first record is a
+schema-versioned header; a journal written by an incompatible schema
+raises :class:`JournalError` rather than being silently misread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.service.faults import (
+    KIND_TORN_WRITE,
+    SITE_JOURNAL_APPEND,
+    FaultPlan,
+    fault_exception,
+)
+
+#: Version of the journal wire format (bump on incompatible change).
+JOURNAL_SCHEMA_VERSION = 1
+
+#: ``kind`` discriminator of the header record.
+JOURNAL_KIND = "repro.service.journal"
+
+#: Record types the replay state machine understands.
+RECORD_TYPES = frozenset(
+    {
+        "header",
+        "job-submitted",
+        "replica-retried",
+        "replica-completed",
+        "replica-failed",
+        "job-completed",
+        "job-cancelled",
+        "job-failed",
+        "job-recovered",
+    }
+)
+
+#: Record types that end a job's lifecycle.
+TERMINAL_TYPES = frozenset({"job-completed", "job-cancelled", "job-failed"})
+
+
+class JournalError(ValueError):
+    """The journal cannot be used (schema mismatch, bad record type...)."""
+
+
+# ------------------------------------------------------------ wire format
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """One record as its checksummed line (canonical JSON + CRC32)."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {body}\n".encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse and verify one journal line; raises :class:`JournalError`."""
+    if not line.endswith(b"\n"):
+        raise JournalError("torn record: line has no terminating newline")
+    text = line[:-1].decode("utf-8", errors="replace")
+    if len(text) < 10 or text[8] != " ":
+        raise JournalError("torn record: missing checksum prefix")
+    crc_text, body = text[:8], text[9:]
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        raise JournalError(f"torn record: bad checksum field {crc_text!r}") from None
+    actual = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    if actual != expected:
+        raise JournalError(
+            f"torn record: checksum {actual:08x} does not match {crc_text}"
+        )
+    try:
+        record = json.loads(body)
+    except json.JSONDecodeError as error:
+        raise JournalError(f"torn record: invalid JSON body ({error})") from None
+    if not isinstance(record, dict) or "type" not in record:
+        raise JournalError("invalid record: not an object with a 'type'")
+    return record
+
+
+def _header_record() -> Dict[str, Any]:
+    return {
+        "type": "header",
+        "kind": JOURNAL_KIND,
+        "schema_version": JOURNAL_SCHEMA_VERSION,
+    }
+
+
+# ------------------------------------------------------------ replay state
+@dataclass
+class JournaledJob:
+    """One job's lifecycle as reconstructed from the journal."""
+
+    job_id: str
+    priority: int
+    spec: Dict[str, Any]
+    keys: List[str]
+    #: Finished replicas: index -> cache key.
+    completed: Dict[int, str] = field(default_factory=dict)
+    #: Quarantined replicas: index -> error repr.
+    failed: Dict[int, str] = field(default_factory=dict)
+    #: Retry attempts observed, per replica index.
+    retries: Dict[int, int] = field(default_factory=dict)
+    #: The terminal record type, or ``None`` while the job is in flight.
+    terminal: Optional[str] = None
+    #: Set when a later service instance resubmitted this job.
+    recovered_to: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.terminal is not None
+
+    def missing_replicas(self) -> List[int]:
+        """Replica indices with no completion (nor quarantine) record."""
+        return [
+            index
+            for index in range(len(self.keys))
+            if index not in self.completed and index not in self.failed
+        ]
+
+
+def replay_records(records: List[Dict[str, Any]]) -> Dict[str, JournaledJob]:
+    """Fold journal records into per-job lifecycle state, submission order."""
+    jobs: Dict[str, JournaledJob] = {}
+    for record in records:
+        kind = record.get("type")
+        job_id = record.get("job")
+        if kind == "job-submitted":
+            jobs[job_id] = JournaledJob(
+                job_id=job_id,
+                priority=record.get("priority", 0),
+                spec=record.get("spec", {}),
+                keys=list(record.get("keys", ())),
+            )
+            continue
+        entry = jobs.get(job_id)
+        if kind == "job-recovered":
+            source = jobs.get(record.get("from", ""))
+            if source is not None:
+                source.recovered_to = job_id
+            continue
+        if entry is None:
+            continue  # replica record for a job submitted before a rotation
+        if kind == "replica-completed":
+            entry.completed[record["replica"]] = record.get("key", "")
+        elif kind == "replica-failed":
+            entry.failed[record["replica"]] = record.get("error", "")
+        elif kind == "replica-retried":
+            index = record["replica"]
+            entry.retries[index] = max(
+                entry.retries.get(index, 0), record.get("attempt", 0)
+            )
+        elif kind in TERMINAL_TYPES:
+            entry.terminal = kind
+    return jobs
+
+
+# ---------------------------------------------------------------- journal
+class JobJournal:
+    """The append-only journal file behind one (or several) service lives.
+
+    Opening an existing journal validates its header, replays every whole
+    record and truncates the torn tail in place; appends then continue
+    where the last acknowledged record left off.  ``fsync=False`` trades
+    durability for speed (tests); the default syncs every record.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        fsync: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fault_plan = fault_plan
+        self.records: List[Dict[str, Any]] = []
+        self.torn_bytes_dropped = 0
+        self.torn_records_dropped = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._load_and_truncate()
+        self._handle = open(self.path, "ab")
+        if not self.records:
+            self._append_raw(_header_record())
+        self._sequence = len(self.records)
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- append
+    def append(self, record_type: str, **payload: Any) -> Dict[str, Any]:
+        """Append one record durably; returns the record as written.
+
+        Raises :class:`JournalError` for unknown record types and
+        :class:`OSError` when the disk does (the manager treats either as
+        journal degradation, never as a job failure).
+        """
+        if record_type not in RECORD_TYPES:
+            raise JournalError(f"unknown journal record type {record_type!r}")
+        if self._handle is None:
+            raise JournalError("journal is closed")
+        record = {"n": self._sequence, "type": record_type, **payload}
+        fault = (
+            self._fault_plan.fire(SITE_JOURNAL_APPEND)
+            if self._fault_plan is not None
+            else None
+        )
+        if fault is not None:
+            if fault.kind == KIND_TORN_WRITE:
+                # A crash mid-write: half the encoded record reaches the
+                # disk, the append is never acknowledged.
+                data = encode_record(record)
+                self._handle.write(data[: max(1, len(data) // 2)])
+                self._handle.flush()
+                raise injected_torn_write(fault)
+            raise fault_exception(fault)
+        self._append_raw(record)
+        return record
+
+    def _append_raw(self, record: Dict[str, Any]) -> None:
+        self._handle.write(encode_record(record))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.records.append(record)
+        self._sequence = len(self.records)
+
+    # --------------------------------------------------------------- state
+    def job_states(self) -> Dict[str, JournaledJob]:
+        """Per-job lifecycle state from every record read or appended."""
+        return replay_records(self.records)
+
+    def unfinished_jobs(self) -> List[JournaledJob]:
+        """Jobs with no terminal record and no later recovery, in order."""
+        return [
+            entry
+            for entry in self.job_states().values()
+            if not entry.finished and entry.recovered_to is None
+        ]
+
+    def count(self, record_type: str) -> int:
+        """How many records of ``record_type`` the journal holds."""
+        return sum(1 for record in self.records if record["type"] == record_type)
+
+    # ------------------------------------------------------------ internals
+    def _load_and_truncate(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        records, valid_bytes, dropped = _parse(raw)
+        if records and not _header_ok(records[0]):
+            raise JournalError(
+                f"journal {self.path} has an incompatible header: {records[0]!r}"
+            )
+        self.records = records
+        self.torn_records_dropped = dropped
+        self.torn_bytes_dropped = len(raw) - valid_bytes
+        if self.torn_bytes_dropped:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+
+
+def injected_torn_write(fault: Any) -> OSError:
+    """The exception surfaced after an injected torn write."""
+    return OSError(f"injected torn write at invocation {fault.at}: process died")
+
+
+def _header_ok(record: Dict[str, Any]) -> bool:
+    return (
+        record.get("type") == "header"
+        and record.get("kind") == JOURNAL_KIND
+        and record.get("schema_version") == JOURNAL_SCHEMA_VERSION
+    )
+
+
+def _parse(raw: bytes) -> Tuple[List[Dict[str, Any]], int, int]:
+    """(whole records, bytes they span, count of invalid lines dropped)."""
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    dropped = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            dropped += 1
+            break
+        line = raw[offset : newline + 1]
+        try:
+            records.append(decode_line(line))
+        except JournalError:
+            # Invalid from here on: a torn tail, or corruption that makes
+            # everything after it untrustworthy.  Truncate conservatively.
+            dropped += 1 + raw.count(b"\n", newline + 1)
+            break
+        offset = newline + 1
+    return records, offset, dropped

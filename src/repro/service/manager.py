@@ -41,12 +41,17 @@ import asyncio
 import itertools
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Any, AsyncIterator, Callable, Dict, List, Optional
+from typing import Any, AsyncIterator, Awaitable, Callable, Dict, List, Optional, Tuple
 
 from repro.api.spec import ExperimentSpec
-from repro.parallel.executor import resolve_jobs
+from repro.parallel.executor import (
+    WorkerPoolError,
+    resolve_jobs,
+    worker_crash_message,
+)
 from repro.parallel.jobs import ReplicaJob, execute_replica_job
 from repro.parallel.sweep import select_minimum_replica
 from repro.service.cache import ResultCache, replica_key
@@ -61,7 +66,11 @@ from repro.service.events import (
     JobFailed,
     JobProgress,
     ReplicaCompleted,
+    ReplicaFailed,
+    ReplicaRetried,
+    ServiceDegraded,
 )
+from repro.service.journal import JobJournal, JournalError
 from repro.service.metrics import ServiceMetrics
 from repro.system.config import SystemConfig
 from repro.system.results import RunResult
@@ -74,6 +83,36 @@ DEFAULT_MAX_PENDING_COST = 5_000_000
 #: Cost-units-per-second seed for the retry-after estimate, refined from
 #: observed completions as the service runs.
 _DEFAULT_COST_RATE = 100_000.0
+
+#: Per-job attempt budget of the retry policy (attempts per replica).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Deterministic exponential backoff: ``base * 2**(attempt-1)``, capped.
+DEFAULT_BACKOFF_BASE_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+
+class WorkerCrashError(WorkerPoolError):
+    """A pool worker died mid-replica; the pool was rebuilt for retry."""
+
+
+#: The transient failure classes of the retry policy: a worker crash, a
+#: deadline overrun, or an I/O hiccup can all succeed on retry.  (Builtin
+#: ``TimeoutError`` and ``asyncio.TimeoutError`` are distinct on Python
+#: 3.10 and aliased on 3.11+, so both are listed.)  Everything else --
+#: spec errors, model bugs -- is permanent and quarantines immediately.
+TRANSIENT_EXCEPTIONS = (
+    BrokenProcessPool,
+    WorkerPoolError,
+    asyncio.TimeoutError,
+    TimeoutError,
+    OSError,
+)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether the retry policy classifies ``error`` as worth retrying."""
+    return isinstance(error, TRANSIENT_EXCEPTIONS)
 
 
 class AdmissionError(RuntimeError):
@@ -154,6 +193,12 @@ class ProcessPoolBackend(PoolBackend):
     Unlike :func:`repro.parallel.executor.run_replica_jobs`, which builds a
     pool per call, the executor here stays warm across jobs, so each
     worker's per-process stream cache keeps paying off across requests.
+
+    A worker death (``BrokenProcessPool``) no longer poisons the backend:
+    the broken executor is discarded, :class:`WorkerCrashError` is raised
+    with an actionable message, and the next submission lazily builds a
+    fresh pool -- so the manager's retry policy transparently requeues the
+    in-flight replicas that died with the pool.
     """
 
     def __init__(self, max_workers: int) -> None:
@@ -161,18 +206,39 @@ class ProcessPoolBackend(PoolBackend):
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
         self.submissions = 0
+        self.pool_rebuilds = 0
         self._executor: Optional[ProcessPoolExecutor] = None
 
     async def run(self, job: ReplicaJob) -> RunResult:
         self.submissions += 1
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._ensure_executor(), execute_replica_job, job
-        )
+        try:
+            return await loop.run_in_executor(
+                self._ensure_executor(), execute_replica_job, job
+            )
+        except BrokenProcessPool as error:
+            self._discard_broken_pool()
+            raise WorkerCrashError(
+                worker_crash_message(
+                    f"simulating replica {job.replica_index}"
+                )
+            ) from error
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def _discard_broken_pool(self) -> None:
+        """Drop the broken executor; the next run() builds a fresh pool."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.pool_rebuilds += 1
+
+    @property
+    def executor(self) -> Optional[ProcessPoolExecutor]:
+        """The live executor, if one has been built (tests kill its workers)."""
         return self._executor
 
     def close(self) -> None:
@@ -182,7 +248,13 @@ class ProcessPoolBackend(PoolBackend):
 
 
 def make_backend(jobs: Optional[int] = 1) -> PoolBackend:
-    """Backend for a ``jobs`` knob: inline when serial, process pool else."""
+    """Backend for a ``jobs`` knob: inline when serial, process pool else.
+
+    The process-pool backend carries the same worker-bootstrap-failure
+    guard as :func:`repro.parallel.executor.run_replica_jobs`: a dead
+    worker surfaces as :class:`WorkerCrashError` (with the likely causes
+    spelled out), never as a bare ``BrokenProcessPool``.
+    """
     workers = resolve_jobs(jobs)
     if workers <= 1:
         return InlinePoolBackend()
@@ -228,6 +300,7 @@ class JobHandle:
         self.state = JobState.QUEUED
         self._cancel = cancel
         self._results: Dict[int, RunResult] = {}
+        self._failures: Dict[int, str] = {}
         self._events: "asyncio.Queue[JobEvent]" = asyncio.Queue()
         self._stream_closed = False
         self._done = asyncio.Event()
@@ -237,6 +310,11 @@ class JobHandle:
     @property
     def total_replicas(self) -> int:
         return len(self.keys)
+
+    @property
+    def quarantined(self) -> Dict[int, str]:
+        """Replica index -> error repr for replicas that were quarantined."""
+        return dict(self._failures)
 
     @property
     def cancelled(self) -> bool:
@@ -281,6 +359,20 @@ class JobManager:
     ``N``-worker persistent process pool, 0 = one worker per CPU); pass
     ``backend=`` to inject a custom one.  ``max_pending_cost=None``
     disables admission control.
+
+    **Fault tolerance**: replica failures are classified by
+    :func:`is_transient`; transient ones (worker crash, deadline overrun,
+    I/O error) retry with deterministic exponential backoff
+    (``backoff_base * 2**(attempt-1)``, capped at ``backoff_cap``) up to
+    ``max_attempts`` attempts, each bounded by ``replica_timeout`` seconds
+    when one is set.  A replica that exhausts its budget (or fails
+    permanently) is *quarantined* -- a ``ReplicaFailed`` event, not a job
+    failure -- and the job completes over the replicas that did finish;
+    only a job with zero surviving replicas fails.  With a
+    :class:`~repro.service.journal.JobJournal` attached, every lifecycle
+    transition is journalled durably and :meth:`recover` resubmits the
+    jobs a dead service left unfinished (their completed replicas replay
+    from the cache, so only the missing ones are recomputed).
     """
 
     def __init__(
@@ -293,21 +385,41 @@ class JobManager:
         metrics: Optional[ServiceMetrics] = None,
         base_config: Optional[SystemConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        journal: Optional[JobJournal] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        replica_timeout: Optional[float] = None,
+        backoff_base: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP_S,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
     ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
         self.backend = backend if backend is not None else make_backend(jobs)
         self.cache = cache
         self.max_pending_cost = max_pending_cost
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.metrics.workers_total = self.backend.max_workers
         self.base_config = base_config
+        self.journal = journal
+        self.max_attempts = max_attempts
+        self.replica_timeout = replica_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
         self._clock = clock
         self._queue: "asyncio.PriorityQueue[Any]" = asyncio.PriorityQueue()
         self._sequence = itertools.count()
-        self._job_numbers = itertools.count(1)
+        # Job ids stay unique across every service life sharing one
+        # journal: numbering continues after the journalled submissions.
+        start = 1 if journal is None else journal.count("job-submitted") + 1
+        self._job_numbers = itertools.count(start)
         self._inflight: Dict[str, "asyncio.Future[RunResult]"] = {}
         self._workers: List["asyncio.Task[None]"] = []
         self._cost_rate = _DEFAULT_COST_RATE
         self._closed = False
+        self._journal_degraded = False
+        self._journal_reason = ""
+        self._degraded_announced: set = set()
 
     # ------------------------------------------------------------ lifecycle
     async def __aenter__(self) -> "JobManager":
@@ -353,7 +465,17 @@ class JobManager:
         unit_cost = replica_cost(config, profile)
         total_cost = unit_cost * config.perturbation_replicas
         self._admit(total_cost)
+        return self._launch(spec, priority, config, profile, unit_cost)
 
+    def _launch(
+        self,
+        spec: ExperimentSpec,
+        priority: int,
+        config: SystemConfig,
+        profile: WorkloadProfile,
+        unit_cost: int,
+    ) -> JobHandle:
+        """Enqueue an already-admitted job (shared by submit and recover)."""
         job_id = f"job-{next(self._job_numbers)}"
         keys = [
             replica_key(config, profile, index)
@@ -361,7 +483,15 @@ class JobManager:
         ]
         handle = JobHandle(job_id, spec, config, profile, priority, keys, self._cancel)
         self.metrics.jobs_submitted += 1
-        self.metrics.note_enqueued(len(keys), total_cost)
+        self.metrics.note_enqueued(len(keys), unit_cost * len(keys))
+        self._journal_record(
+            handle,
+            "job-submitted",
+            job=job_id,
+            priority=priority,
+            spec=spec.as_document(),
+            keys=keys,
+        )
         self._emit(
             handle,
             JobAdmitted(
@@ -381,6 +511,43 @@ class JobManager:
             )
             self._queue.put_nowait((priority, next(self._sequence), unit))
         return handle
+
+    def recover(self) -> List[JobHandle]:
+        """Resubmit the journal's unfinished jobs; returns their handles.
+
+        Each unfinished job (submitted but never terminal, and not already
+        recovered by a previous service life) is resubmitted with its
+        original priority, bypassing admission control.  Replicas the
+        journal recorded as complete are served from the attached
+        :class:`~repro.service.cache.ResultCache` frontier, so only the
+        missing replicas are actually recomputed; the merged result is
+        bit-identical to an uninterrupted run.
+        """
+        if self._closed:
+            raise RuntimeError("manager is closed")
+        if self.journal is None:
+            return []
+        handles: List[JobHandle] = []
+        for entry in self.journal.unfinished_jobs():
+            spec = ExperimentSpec.from_document(entry.spec)
+            config = spec.config(self.base_config)
+            profile = spec.profile()
+            handle = self._launch(
+                spec,
+                entry.priority,
+                config,
+                profile,
+                replica_cost(config, profile),
+            )
+            self.metrics.jobs_recovered += 1
+            self._journal_record(
+                handle,
+                "job-recovered",
+                job=handle.job_id,
+                **{"from": entry.job_id},
+            )
+            handles.append(handle)
+        return handles
 
     def _admit(self, total_cost: int) -> None:
         if self.max_pending_cost is None:
@@ -411,6 +578,7 @@ class JobManager:
         handle.state = JobState.CANCELLED
         self.metrics.jobs_cancelled += 1
         handle._error = JobCancelledError(handle.job_id)
+        self._journal_record(handle, "job-cancelled", job=handle.job_id)
         self._emit(handle, JobCancelled(handle.job_id))
         handle._done.set()
         return True
@@ -439,6 +607,7 @@ class JobManager:
         source = SOURCE_COMPUTED
         if self.cache is not None:
             result = self.cache.get(unit.key)
+            self._note_cache_health(handle)
             if result is not None:
                 source = SOURCE_CACHE
                 self.metrics.replicas_from_cache += 1
@@ -448,51 +617,129 @@ class JobManager:
                 try:
                     result = _copy_result(await pending)
                 except Exception as error:
-                    self._fail(handle, error)
+                    # The computing job already burned the attempt budget;
+                    # joiners quarantine without re-running it themselves.
+                    self._quarantine(handle, unit.replica_index, error, attempts=0)
                     return
                 source = SOURCE_DEDUPED
                 self.metrics.replicas_deduped += 1
             else:
                 result = await self._compute(unit)
                 if result is None:
-                    return  # the job already failed
+                    return  # quarantined
         if handle.state in (JobState.CANCELLED, JobState.FAILED):
             self.metrics.replicas_skipped_cancelled += 1
             return
-        self._record(handle, unit.replica_index, result, source)
+        self._record(handle, unit.replica_index, unit.key, result, source)
 
     async def _compute(self, unit: _ReplicaUnit) -> Optional[RunResult]:
-        """Run one replica on the backend, publishing the in-flight future."""
+        """Run one replica (with retries), publishing the in-flight future."""
         future: "asyncio.Future[RunResult]" = asyncio.get_running_loop().create_future()
         self._inflight[unit.key] = future
-        self.metrics.note_worker_busy(+1)
-        started = self._clock()
-        try:
-            result = await self.backend.run(unit.job)
-        except Exception as error:
+        result, error, attempts = await self._run_attempts(unit)
+        if result is None:
+            assert error is not None
             future.set_exception(error)
-            future.exception()  # joiners still re-raise; silences GC warning
+            future.exception()  # joiners still observe it; silences GC warning
             self._inflight.pop(unit.key, None)
-            self.metrics.note_worker_busy(-1)
-            self._fail(unit.handle, error)
+            self._quarantine(unit.handle, unit.replica_index, error, attempts)
             return None
-        self.metrics.note_worker_busy(-1)
-        self._observe_rate(unit.cost, self._clock() - started)
         self.metrics.replicas_computed += 1
         if self.cache is not None:
             self.cache.put(unit.key, result)
+            self._note_cache_health(unit.handle)
         future.set_result(result)
         self._inflight.pop(unit.key, None)
         return result
+
+    async def _run_attempts(
+        self, unit: _ReplicaUnit
+    ) -> Tuple[Optional[RunResult], Optional[BaseException], int]:
+        """The retry loop: ``(result, final_error, attempts_used)``.
+
+        Transient failures retry after a deterministic exponential backoff
+        until the attempt budget runs out; permanent failures stop at the
+        attempt that raised them.  Each attempt is bounded by
+        ``replica_timeout`` seconds when one is configured.
+        """
+        handle = unit.handle
+        for attempt in range(1, self.max_attempts + 1):
+            self.metrics.note_worker_busy(+1)
+            started = self._clock()
+            try:
+                if self.replica_timeout is not None:
+                    result = await asyncio.wait_for(
+                        self.backend.run(unit.job), timeout=self.replica_timeout
+                    )
+                else:
+                    result = await self.backend.run(unit.job)
+            except asyncio.CancelledError:
+                self.metrics.note_worker_busy(-1)
+                raise
+            except Exception as error:
+                self.metrics.note_worker_busy(-1)
+                transient = self._note_failure(error)
+                if not transient or attempt >= self.max_attempts:
+                    return None, error, attempt
+                backoff = self._backoff(attempt)
+                self.metrics.replicas_retried += 1
+                self._emit(
+                    handle,
+                    ReplicaRetried(
+                        handle.job_id,
+                        replica_index=unit.replica_index,
+                        attempt=attempt,
+                        error=repr(error),
+                        backoff_s=backoff,
+                    ),
+                )
+                self._journal_record(
+                    handle,
+                    "replica-retried",
+                    job=handle.job_id,
+                    replica=unit.replica_index,
+                    attempt=attempt,
+                    error=repr(error),
+                )
+                if backoff > 0:
+                    await self._sleep(backoff)
+                continue
+            self.metrics.note_worker_busy(-1)
+            self._observe_rate(unit.cost, self._clock() - started)
+            return result, None, attempt
+        raise AssertionError("unreachable: the attempt loop always returns")
+
+    def _backoff(self, attempt: int) -> float:
+        """Deterministic exponential backoff before attempt ``attempt + 1``."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+    def _note_failure(self, error: BaseException) -> bool:
+        """Count one failed attempt by class; ``True`` when transient."""
+        if isinstance(error, (BrokenProcessPool, WorkerPoolError)):
+            self.metrics.worker_crashes += 1
+            return True
+        if isinstance(error, (asyncio.TimeoutError, TimeoutError)):
+            self.metrics.replica_timeouts += 1
+            return True
+        return is_transient(error)
 
     def _record(
         self,
         handle: JobHandle,
         replica_index: int,
+        key: str,
         result: RunResult,
         source: str,
     ) -> None:
         handle._results[replica_index] = result
+        self._journal_record(
+            handle,
+            "replica-completed",
+            job=handle.job_id,
+            replica=replica_index,
+            key=key,
+            source=source,
+        )
         self._emit(
             handle,
             ReplicaCompleted(
@@ -513,14 +760,76 @@ class JobManager:
                 misses=sum(entry.misses for entry in finished),
             ),
         )
-        if len(finished) == handle.total_replicas:
-            ordered = [handle._results[index] for index in range(handle.total_replicas)]
-            merged = select_minimum_replica(ordered)
-            handle.state = JobState.COMPLETED
-            handle._merged = merged
-            self.metrics.jobs_completed += 1
-            self._emit(handle, JobCompleted(handle.job_id, result=merged))
-            handle._done.set()
+        self._finish_if_done(handle)
+
+    def _quarantine(
+        self,
+        handle: JobHandle,
+        replica_index: int,
+        error: BaseException,
+        attempts: int,
+    ) -> None:
+        """Record one exhausted replica without killing its siblings."""
+        if handle.state in (
+            JobState.COMPLETED,
+            JobState.CANCELLED,
+            JobState.FAILED,
+        ):
+            return
+        permanent = not is_transient(error)
+        handle._failures[replica_index] = repr(error)
+        self.metrics.replicas_quarantined += 1
+        self._journal_record(
+            handle,
+            "replica-failed",
+            job=handle.job_id,
+            replica=replica_index,
+            attempts=attempts,
+            error=repr(error),
+        )
+        self._emit(
+            handle,
+            ReplicaFailed(
+                handle.job_id,
+                replica_index=replica_index,
+                attempts=attempts,
+                error=repr(error),
+                permanent=permanent,
+            ),
+        )
+        if len(handle._failures) == handle.total_replicas:
+            self._fail(
+                handle,
+                RuntimeError(
+                    f"all {handle.total_replicas} replica(s) of "
+                    f"{handle.job_id} were quarantined; last error: {error!r}"
+                ),
+            )
+            return
+        self._finish_if_done(handle)
+
+    def _finish_if_done(self, handle: JobHandle) -> None:
+        """Complete the job once every replica has settled (done or failed)."""
+        if handle.state in (
+            JobState.COMPLETED,
+            JobState.CANCELLED,
+            JobState.FAILED,
+        ):
+            return
+        settled = len(handle._results) + len(handle._failures)
+        if settled < handle.total_replicas or not handle._results:
+            return
+        ordered = [
+            handle._results[index]
+            for index in sorted(handle._results)
+        ]
+        merged = select_minimum_replica(ordered)
+        handle.state = JobState.COMPLETED
+        handle._merged = merged
+        self.metrics.jobs_completed += 1
+        self._journal_record(handle, "job-completed", job=handle.job_id)
+        self._emit(handle, JobCompleted(handle.job_id, result=merged))
+        handle._done.set()
 
     def _fail(self, handle: JobHandle, error: BaseException) -> None:
         if handle.state in (
@@ -532,6 +841,9 @@ class JobManager:
         handle.state = JobState.FAILED
         self.metrics.jobs_failed += 1
         handle._error = error
+        self._journal_record(
+            handle, "job-failed", job=handle.job_id, error=repr(error)
+        )
         self._emit(handle, JobFailed(handle.job_id, error=repr(error)))
         handle._done.set()
 
@@ -546,11 +858,57 @@ class JobManager:
         if elapsed > 0:
             self._cost_rate = 0.5 * (self._cost_rate + cost / elapsed)
 
+    # ---------------------------------------------------------------- health
+    def _journal_record(
+        self, handle: Optional[JobHandle], record_type: str, **payload: Any
+    ) -> None:
+        """Append one journal record; a journal fault degrades, never fails.
+
+        A failed append (disk full, torn write) latches the journal into
+        degraded mode: the service keeps running without durability, the
+        condition is announced via :class:`ServiceDegraded` and the
+        ``health`` metrics block, and no job is failed because of it.
+        """
+        if self.journal is None or self._journal_degraded:
+            return
+        try:
+            self.journal.append(record_type, **payload)
+        except (OSError, JournalError) as error:
+            self._journal_degraded = True
+            self._journal_reason = f"journal append failed: {error}"
+            self._announce_degraded(handle, "journal", self._journal_reason)
+
+    def _note_cache_health(self, handle: JobHandle) -> None:
+        """Announce cache degradation once, on the stream that detected it."""
+        if self.cache is not None and self.cache.degraded:
+            self._announce_degraded(handle, "cache", self.cache.degraded_reason)
+
+    def _announce_degraded(
+        self, handle: Optional[JobHandle], component: str, reason: str
+    ) -> None:
+        if component in self._degraded_announced:
+            return
+        self._degraded_announced.add(component)
+        if handle is not None:
+            self._emit(
+                handle,
+                ServiceDegraded(handle.job_id, component=component, reason=reason),
+            )
+
+    def health(self) -> Dict[str, Any]:
+        """The degradation report embedded in every metrics snapshot."""
+        components: Dict[str, str] = {}
+        if self.cache is not None and self.cache.degraded:
+            components["cache"] = self.cache.degraded_reason
+        if self._journal_degraded:
+            components["journal"] = self._journal_reason
+        return {"degraded": bool(components), "components": components}
+
     # -------------------------------------------------------------- introspect
     def snapshot(self) -> Dict[str, Any]:
-        """Metrics snapshot including the attached cache's statistics."""
+        """Metrics snapshot including cache statistics and service health."""
         cache_stats = self.cache.stats_dict() if self.cache is not None else None
-        return self.metrics.snapshot(cache_stats)
+        return self.metrics.snapshot(cache_stats, self.health())
 
 
 def _copy_result(result: RunResult) -> RunResult:

@@ -1,8 +1,8 @@
 """Service metrics: queue depth, hit/miss, admission, worker utilisation.
 
 :class:`ServiceMetrics` is plain counters and gauges updated inline by the
-job manager; :meth:`ServiceMetrics.snapshot` renders them as a schema-v1
-JSON document (the same versioned-artifact convention as the
+job manager; :meth:`ServiceMetrics.snapshot` renders them as a
+schema-versioned JSON document (the same versioned-artifact convention as the
 ``BENCH_*.json`` reports of :mod:`repro.perf.schema`), so the perf harness
 and CI can archive service behaviour next to the benchmark numbers.
 """
@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional
 
-#: Version of the metrics snapshot document.
-METRICS_SCHEMA_VERSION = 1
+#: Version of the metrics snapshot document.  v2 added the ``faults`` and
+#: ``health`` sections plus the recovery counters.
+METRICS_SCHEMA_VERSION = 2
 
 #: ``kind`` discriminator of metrics snapshot documents.
 METRICS_KIND = "repro.service.metrics"
@@ -25,12 +26,19 @@ _SECTION_FIELDS = {
         "jobs_completed",
         "jobs_cancelled",
         "jobs_failed",
+        "jobs_recovered",
     ),
     "replicas": (
         "replicas_computed",
         "replicas_from_cache",
         "replicas_deduped",
         "replicas_skipped_cancelled",
+    ),
+    "faults": (
+        "replicas_retried",
+        "replicas_quarantined",
+        "worker_crashes",
+        "replica_timeouts",
     ),
     "queue": (
         "queue_depth",
@@ -58,12 +66,19 @@ class ServiceMetrics:
     jobs_completed: int = 0
     jobs_cancelled: int = 0
     jobs_failed: int = 0
+    jobs_recovered: int = 0
 
     # Replica outcomes.
     replicas_computed: int = 0
     replicas_from_cache: int = 0
     replicas_deduped: int = 0
     replicas_skipped_cancelled: int = 0
+
+    # Fault handling (see repro.service.manager's retry policy).
+    replicas_retried: int = 0
+    replicas_quarantined: int = 0
+    worker_crashes: int = 0
+    replica_timeouts: int = 0
 
     # Queue state (gauges plus high-water marks).
     queue_depth: int = 0
@@ -99,9 +114,16 @@ class ServiceMetrics:
         return self.workers_busy / self.workers_total
 
     def snapshot(
-        self, cache_stats: Optional[Dict[str, int]] = None
+        self,
+        cache_stats: Optional[Dict[str, int]] = None,
+        health: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """The schema-v1 JSON document archived by CI and the perf harness."""
+        """The schema-v2 JSON document archived by CI and the perf harness.
+
+        ``health`` is the manager's degradation report (see
+        :meth:`repro.service.manager.JobManager.health`); a snapshot taken
+        without one reports a healthy service.
+        """
         document: Dict[str, Any] = {
             "schema_version": METRICS_SCHEMA_VERSION,
             "kind": METRICS_KIND,
@@ -110,6 +132,11 @@ class ServiceMetrics:
             document[section] = {name: getattr(self, name) for name in names}
         document["workers"]["utilisation"] = self.utilisation()
         document["cache"] = dict(cache_stats) if cache_stats else {}
+        document["health"] = (
+            dict(health)
+            if health is not None
+            else {"degraded": False, "components": {}}
+        )
         if self.extra:
             document["extra"] = dict(self.extra)
         return document
@@ -145,3 +172,8 @@ def validate_metrics_snapshot(document: Any) -> None:
                 )
     if "cache" not in document:
         raise MetricsSchemaError("snapshot is missing section 'cache'")
+    health = document.get("health")
+    if not isinstance(health, dict) or "degraded" not in health:
+        raise MetricsSchemaError(
+            "snapshot is missing a 'health' section with a 'degraded' flag"
+        )

@@ -163,3 +163,46 @@ class TestSerialParallelDeterminism:
                                       config=SystemConfig(jobs=2))
         serial = api.run_experiment(jobs=1, **kwargs)
         assert via_knob == serial
+
+
+# ------------------------------------------------------------ worker deaths
+class TestWorkerCrashTranslation:
+    def test_broken_pool_raises_actionable_worker_pool_error(
+            self, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+        from repro.parallel.executor import (
+            WorkerPoolError,
+            run_replica_jobs,
+        )
+
+        class BrokenPool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *_exc_info):
+                return False
+
+            def map(self, *_args, **_kwargs):
+                raise BrokenProcessPool("a child process terminated abruptly")
+
+        monkeypatch.setattr(
+            "repro.parallel.executor.ProcessPoolExecutor", BrokenPool)
+        profile = get_profile(WORKLOAD).scaled(SCALE)
+        config = tiny_config(perturbation_replicas=2)
+        jobs = [ReplicaJob(config=config, profile=profile, replica_index=i)
+                for i in range(2)]
+        with pytest.raises(WorkerPoolError) as excinfo:
+            run_replica_jobs(jobs, jobs=2)
+        assert "import repro" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, BrokenProcessPool)
+
+    def test_message_names_the_likely_causes(self):
+        from repro.parallel.executor import worker_crash_message
+
+        message = worker_crash_message("running the frobnicator")
+        assert "running the frobnicator" in message
+        for hint in ("segfault", "OOM", "import repro", "memory"):
+            assert hint in message

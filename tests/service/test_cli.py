@@ -6,8 +6,10 @@ import json
 
 import pytest
 
-from repro.api.spec import ExperimentSpecError
-from repro.service.cli import main, parse_request
+from repro.api.spec import ExperimentSpec, ExperimentSpecError
+from repro.service.cache import ResultCache, replica_key
+from repro.service.cli import _make_manager, build_parser, main, parse_request
+from repro.service.journal import JobJournal
 from repro.service.metrics import validate_metrics_snapshot
 
 SCALE_ARGS = ["--scale", "0.05"]
@@ -131,6 +133,97 @@ class TestServeMode:
         assert "computed=0 cached=1" in out
 
 
+class TestFaultToleranceFlags:
+    def test_retry_flags_are_plumbed_into_the_manager(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "oltp",
+                "--max-attempts",
+                "5",
+                "--replica-timeout",
+                "2.5",
+                "--journal-dir",
+                str(tmp_path / "journal"),
+            ]
+        )
+        manager = _make_manager(args)
+        try:
+            assert manager.max_attempts == 5
+            assert manager.replica_timeout == 2.5
+            assert manager.journal is not None
+            assert (tmp_path / "journal" / "journal.jsonl").is_file()
+        finally:
+            manager.journal.close()
+            manager.backend.close()
+
+    def test_journal_flag_records_the_run(self, tmp_path, capsys):
+        journal_dir = str(tmp_path / "journal")
+        assert main(["oltp,scale=0.05", "--quiet", "--journal-dir", journal_dir]) == 0
+        capsys.readouterr()
+        with JobJournal(tmp_path / "journal" / "journal.jsonl") as journal:
+            assert journal.count("job-submitted") == 1
+            assert journal.count("job-completed") == 1
+            assert journal.unfinished_jobs() == []
+
+    def test_serve_recovers_unfinished_jobs_from_the_journal(
+        self, tmp_path, capsys
+    ):
+        # A previous service life died mid-sweep: replica 0 of a 2-replica
+        # job is journalled + cached, the rest is missing.
+        spec = ExperimentSpec.make(
+            "oltp", scale=0.05, perturbation_replicas=2
+        )
+        config, profile = spec.config(), spec.profile()
+        keys = [replica_key(config, profile, index) for index in range(2)]
+        from repro.parallel.jobs import ReplicaJob, execute_replica_job
+
+        cache_dir = tmp_path / "cache"
+        ResultCache(cache_dir).put(
+            keys[0],
+            execute_replica_job(
+                ReplicaJob(config=config, profile=profile, replica_index=0)
+            ),
+        )
+        journal_dir = tmp_path / "journal"
+        journal_dir.mkdir()
+        with JobJournal(journal_dir / "journal.jsonl") as journal:
+            journal.append(
+                "job-submitted",
+                job="job-1",
+                priority=0,
+                spec=spec.as_document(),
+                keys=keys,
+            )
+            journal.append(
+                "replica-completed",
+                job="job-1",
+                replica=0,
+                key=keys[0],
+                source="computed",
+            )
+
+        code = main(
+            [
+                "oltp,scale=0.05,protocol=diropt",
+                "--quiet",
+                "--journal-dir",
+                str(journal_dir),
+                "--cache-dir",
+                str(cache_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered job-2" in out
+        assert "job-2 oltp/ts-snoop/butterfly@0.05:" in out
+        assert "job-3 oltp/diropt/butterfly@0.05:" in out
+        # Only the missing replica was recomputed; replica 0 replayed.
+        assert "computed=2 cached=1" in out
+        with JobJournal(journal_dir / "journal.jsonl") as journal:
+            assert journal.unfinished_jobs() == []
+            assert journal.count("job-recovered") == 1
+
+
 class TestSelfTest:
     def test_self_test_passes_and_writes_metrics(self, tmp_path, capsys):
         metrics_path = tmp_path / "service-metrics.json"
@@ -143,6 +236,10 @@ class TestSelfTest:
         snapshot = json.loads(metrics_path.read_text())
         validate_metrics_snapshot(snapshot)
         assert snapshot["extra"]["self_test"]["replay_submissions"] == 0
+        recover = snapshot["extra"]["self_test"]["kill_and_recover"]
+        assert recover["recovered_jobs"] == 1
+        assert recover["torn_bytes_dropped"] > 0
+        assert 0 < recover["recovery_submissions"] < recover["total_replicas"]
 
     def test_self_test_rejects_requests(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,507 @@
+"""Fault-injection tests for the service's fault-tolerance layer.
+
+Every documented fault class -- worker crash, replica deadline overrun,
+disk I/O error, corrupt cache shard, torn journal tail -- is injected
+deterministically via :class:`~repro.service.faults.FaultPlan` and its
+documented recovery behaviour asserted: transient failures retry with
+deterministic backoff and the final result stays bit-identical to an
+unfaulted run; permanent failures quarantine a replica without killing
+its siblings; disk faults degrade the cache/journal instead of failing
+jobs; and a journal-driven recovery recomputes only the missing replicas.
+A hypothesis sweep then interleaves random crashes, timeouts and
+cancellations across concurrent jobs and asserts no injected fault can
+break the streaming event-ordering contract or the journal/metrics
+accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.spec import ExperimentSpec
+from repro.parallel.jobs import ReplicaJob, execute_replica_job
+from repro.parallel.sweep import select_minimum_replica
+from repro.service.cache import ResultCache, replica_key
+from repro.service.events import (
+    JobAdmitted,
+    JobCompleted,
+    JobFailed,
+    JobProgress,
+    ReplicaCompleted,
+    ReplicaFailed,
+    ReplicaRetried,
+    ServiceDegraded,
+)
+from repro.service.faults import (
+    KIND_CRASH,
+    KIND_IO_ERROR,
+    KIND_PERMANENT,
+    KIND_TIMEOUT,
+    SITE_BACKEND_RUN,
+    SITE_CACHE_DISK_GET,
+    SITE_CACHE_DISK_PUT,
+    SITE_JOURNAL_APPEND,
+    Fault,
+    FaultingPoolBackend,
+    FaultPlan,
+)
+from repro.service.journal import JobJournal
+from repro.service.manager import (
+    InlinePoolBackend,
+    JobManager,
+    JobState,
+    ProcessPoolBackend,
+    is_transient,
+)
+from repro.service.metrics import validate_metrics_snapshot
+
+SCALE = 0.05
+
+SPEC = ExperimentSpec.make("oltp", scale=SCALE)
+SPEC2 = SPEC.with_overrides(perturbation_replicas=2)
+SPEC3 = SPEC.with_overrides(perturbation_replicas=3)
+
+
+async def _no_sleep(_seconds: float) -> None:
+    """Backoff stub: keeps retry tests instant without losing determinism."""
+
+
+async def _collect(handle):
+    return [event async for event in handle.events()]
+
+
+def _faulting_manager(faults, **kwargs):
+    """An inline manager whose backend injects ``faults``."""
+    plan = FaultPlan(faults)
+    hang = kwargs.pop("hang_on_timeout", False)
+    backend = FaultingPoolBackend(InlinePoolBackend(), plan, hang_on_timeout=hang)
+    kwargs.setdefault("sleep", _no_sleep)
+    return JobManager(backend=backend, **kwargs), plan
+
+
+_BASELINES = {}
+
+
+def _clean_result(spec: ExperimentSpec):
+    """The unfaulted merged result of ``spec`` (memoised per label/replicas)."""
+    config, profile = spec.config(), spec.profile()
+    key = (spec.label, config.perturbation_replicas)
+    if key not in _BASELINES:
+        results = [
+            execute_replica_job(
+                ReplicaJob(config=config, profile=profile, replica_index=index)
+            )
+            for index in range(config.perturbation_replicas)
+        ]
+        _BASELINES[key] = select_minimum_replica(results)
+    return _BASELINES[key]
+
+
+def _assert_contract(events, *, max_attempts):
+    """The full streaming contract, fault events included."""
+    assert isinstance(events[0], JobAdmitted)
+    assert sum(isinstance(event, JobAdmitted) for event in events) == 1
+    assert events[-1].terminal
+    assert sum(event.terminal for event in events) == 1
+    core = [event for event in events if not event.informational]
+    assert all(not event.terminal for event in core[1:-1])
+    middle = core[1:-1]
+    assert len(middle) % 2 == 0
+    for index in range(0, len(middle), 2):
+        assert isinstance(middle[index], ReplicaCompleted)
+        assert isinstance(middle[index + 1], JobProgress)
+        assert middle[index + 1].completed == index // 2 + 1
+    # Retry sequences are well-formed: per replica, attempts count up from
+    # 1 and never reach the budget (the budget's last attempt either
+    # succeeds or quarantines -- it is never "retried").
+    retries = {}
+    for event in events:
+        if isinstance(event, ReplicaRetried):
+            retries.setdefault(event.replica_index, []).append(event.attempt)
+    for attempts in retries.values():
+        assert attempts == list(range(1, len(attempts) + 1))
+        assert max(attempts) < max_attempts
+
+
+class TestRetryPolicy:
+    def _run(self, spec, manager):
+        async def scenario():
+            async with manager:
+                handle = manager.submit(spec)
+                await manager.drain()
+                events = await _collect(handle)
+                return handle, events
+
+        return asyncio.run(scenario())
+
+    def test_worker_crash_is_retried_bit_identically(self):
+        manager, plan = _faulting_manager([Fault(SITE_BACKEND_RUN, 1, KIND_CRASH)])
+        handle, events = self._run(SPEC, manager)
+        _assert_contract(events, max_attempts=manager.max_attempts)
+        assert isinstance(events[-1], JobCompleted)
+        assert events[-1].result == _clean_result(SPEC)
+        retried = [e for e in events if isinstance(e, ReplicaRetried)]
+        assert len(retried) == 1 and retried[0].attempt == 1
+        assert retried[0].backoff_s == manager.backoff_base
+        assert manager.metrics.worker_crashes == 1
+        assert manager.metrics.replicas_retried == 1
+        assert manager.metrics.replicas_quarantined == 0
+        # The crashed attempt never reached the inner pool.
+        assert manager.backend.submissions == 1
+        assert len(plan.fired) == 1 and plan.pending() == []
+
+    def test_replica_deadline_kills_a_hung_worker_and_retries(self):
+        manager, _plan = _faulting_manager(
+            [Fault(SITE_BACKEND_RUN, 1, KIND_TIMEOUT)],
+            hang_on_timeout=True,
+            replica_timeout=0.05,
+        )
+        handle, events = self._run(SPEC, manager)
+        assert isinstance(events[-1], JobCompleted)
+        assert events[-1].result == _clean_result(SPEC)
+        assert manager.metrics.replica_timeouts == 1
+        assert manager.metrics.replicas_retried == 1
+        assert manager.metrics.worker_crashes == 0
+
+    def test_io_error_is_transient_and_retried(self):
+        manager, _plan = _faulting_manager(
+            [Fault(SITE_BACKEND_RUN, 1, KIND_IO_ERROR, "EIO")]
+        )
+        handle, events = self._run(SPEC, manager)
+        assert isinstance(events[-1], JobCompleted)
+        assert manager.metrics.replicas_retried == 1
+        assert manager.metrics.worker_crashes == 0
+        assert manager.metrics.replica_timeouts == 0
+
+    def test_permanent_error_quarantines_without_retry(self):
+        manager, _plan = _faulting_manager(
+            [Fault(SITE_BACKEND_RUN, 1, KIND_PERMANENT)]
+        )
+        handle, events = self._run(SPEC2, manager)
+        _assert_contract(events, max_attempts=manager.max_attempts)
+        # Replica 0 is quarantined on its *first* attempt; replica 1
+        # survives, so the job completes over the one finished replica.
+        assert isinstance(events[-1], JobCompleted)
+        assert not any(isinstance(e, ReplicaRetried) for e in events)
+        failed = [e for e in events if isinstance(e, ReplicaFailed)]
+        assert len(failed) == 1
+        assert failed[0].replica_index == 0
+        assert failed[0].permanent and failed[0].attempts == 1
+        assert set(handle.quarantined) == {0}
+        assert handle.state is JobState.COMPLETED
+        assert events[-1].result.replicas == 1
+        assert manager.metrics.replicas_quarantined == 1
+        assert manager.metrics.replicas_retried == 0
+        assert manager.metrics.jobs_completed == 1
+
+    def test_exhausted_attempt_budget_quarantines_then_fails_the_job(self):
+        manager, _plan = _faulting_manager(
+            [Fault(SITE_BACKEND_RUN, at, KIND_CRASH) for at in (1, 2, 3)],
+            max_attempts=3,
+        )
+        handle, events = self._run(SPEC, manager)
+        _assert_contract(events, max_attempts=3)
+        # The only replica burned its whole budget: two retries, one
+        # quarantine -- and with zero survivors the job fails.
+        assert isinstance(events[-1], JobFailed)
+        assert "quarantined" in events[-1].error
+        retried = [e for e in events if isinstance(e, ReplicaRetried)]
+        assert [e.attempt for e in retried] == [1, 2]
+        failed = [e for e in events if isinstance(e, ReplicaFailed)]
+        assert len(failed) == 1
+        assert failed[0].attempts == 3 and not failed[0].permanent
+        assert manager.metrics.worker_crashes == 3
+        assert manager.metrics.jobs_failed == 1
+        with pytest.raises(RuntimeError, match="quarantined"):
+            asyncio.run(handle.result())
+
+    def test_backoff_is_deterministic_exponential_and_capped(self):
+        sleeps = []
+
+        async def record_sleep(seconds):
+            sleeps.append(seconds)
+
+        manager, _plan = _faulting_manager(
+            [Fault(SITE_BACKEND_RUN, at, KIND_CRASH) for at in (1, 2)],
+            max_attempts=3,
+            sleep=record_sleep,
+        )
+        handle, events = self._run(SPEC, manager)
+        assert isinstance(events[-1], JobCompleted)
+        assert sleeps == [0.05, 0.1]
+        retried = [e for e in events if isinstance(e, ReplicaRetried)]
+        assert [e.backoff_s for e in retried] == [0.05, 0.1]
+        capped = JobManager(backoff_base=1.5, backoff_cap=2.0)
+        assert capped._backoff(1) == 1.5
+        assert capped._backoff(2) == 2.0  # 3.0 uncapped
+
+    def test_transient_classification(self):
+        assert is_transient(OSError(28, "disk full"))
+        assert is_transient(asyncio.TimeoutError())
+        assert is_transient(TimeoutError())
+        assert not is_transient(ValueError("bad spec"))
+        assert not is_transient(ZeroDivisionError())
+
+
+class TestWorkerCrashRecovery:
+    def test_dead_pool_worker_is_rebuilt_and_replica_requeued(self):
+        async def scenario():
+            backend = ProcessPoolBackend(max_workers=1)
+            # Warm the pool (workers spawn lazily), then kill its worker.
+            backend._ensure_executor().submit(os.getpid).result()
+            for process in backend.executor._processes.values():
+                process.kill()
+            async with JobManager(backend=backend, sleep=_no_sleep) as manager:
+                handle = manager.submit(SPEC)
+                await manager.drain()
+                result = await handle.result()
+                return backend, manager, result
+
+        backend, manager, result = asyncio.run(scenario())
+        assert result == _clean_result(SPEC)
+        assert backend.pool_rebuilds == 1
+        assert manager.metrics.worker_crashes == 1
+        assert manager.metrics.replicas_retried == 1
+        assert manager.metrics.jobs_completed == 1
+
+
+class TestCacheDegradation:
+    def _run_with_cache(self, cache, spec=SPEC):
+        async def scenario():
+            async with JobManager(cache=cache, sleep=_no_sleep) as manager:
+                handle = manager.submit(spec)
+                await manager.drain()
+                events = await _collect(handle)
+                return manager, handle, events
+
+        return asyncio.run(scenario())
+
+    def test_disk_put_fault_degrades_service_but_not_the_job(self, tmp_path):
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_PUT, 1, KIND_IO_ERROR)])
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+        manager, handle, events = self._run_with_cache(cache)
+        assert isinstance(events[-1], JobCompleted)
+        assert events[-1].result == _clean_result(SPEC)
+        assert cache.degraded
+        degraded = [e for e in events if isinstance(e, ServiceDegraded)]
+        assert len(degraded) == 1 and degraded[0].component == "cache"
+        assert "ENOSPC" in degraded[0].reason
+        health = manager.health()
+        assert health["degraded"] and "cache" in health["components"]
+        snapshot = manager.snapshot()
+        validate_metrics_snapshot(snapshot)
+        assert snapshot["health"]["degraded"] is True
+        assert snapshot["cache"]["disk_put_errors"] == 1
+
+    def test_corrupt_shard_recomputes_and_degrades(self, tmp_path):
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_GET, 1, "corrupt")])
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+        manager, handle, events = self._run_with_cache(cache)
+        assert isinstance(events[-1], JobCompleted)
+        assert events[-1].result == _clean_result(SPEC)
+        assert manager.backend.submissions == 1  # recomputed, not served
+        assert cache.degraded
+        assert "corrupt" in cache.degraded_reason
+        degraded = [e for e in events if isinstance(e, ServiceDegraded)]
+        assert len(degraded) == 1 and degraded[0].component == "cache"
+
+    def test_degradation_is_announced_once_across_jobs(self, tmp_path):
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_PUT, 1, KIND_IO_ERROR)])
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+
+        async def scenario():
+            async with JobManager(cache=cache, sleep=_no_sleep) as manager:
+                first = manager.submit(SPEC)
+                second = manager.submit(
+                    ExperimentSpec.make("oltp", protocol="diropt", scale=SCALE)
+                )
+                await manager.drain()
+                return (
+                    manager,
+                    await _collect(first),
+                    await _collect(second),
+                )
+
+        manager, first_events, second_events = asyncio.run(scenario())
+        announcements = [
+            event
+            for event in first_events + second_events
+            if isinstance(event, ServiceDegraded)
+        ]
+        assert len(announcements) == 1
+
+
+class TestJournalDegradation:
+    def test_journal_fault_degrades_but_the_job_completes(self, tmp_path):
+        plan = FaultPlan([Fault(SITE_JOURNAL_APPEND, 2, KIND_IO_ERROR)])
+        journal = JobJournal(
+            tmp_path / "journal.jsonl", fsync=False, fault_plan=plan
+        )
+
+        async def scenario():
+            async with JobManager(journal=journal, sleep=_no_sleep) as manager:
+                handle = manager.submit(SPEC)
+                await manager.drain()
+                events = await _collect(handle)
+                return manager, events
+
+        manager, events = asyncio.run(scenario())
+        journal.close()
+        assert isinstance(events[-1], JobCompleted)
+        degraded = [e for e in events if isinstance(e, ServiceDegraded)]
+        assert len(degraded) == 1 and degraded[0].component == "journal"
+        health = manager.health()
+        assert health["degraded"] and "journal" in health["components"]
+        # The journal stopped at the fault: submission recorded, nothing
+        # after it -- and no job was failed because of it.
+        assert journal.count("job-submitted") == 1
+        assert journal.count("replica-completed") == 0
+        assert manager.metrics.jobs_failed == 0
+
+
+class TestJournalRecovery:
+    def test_recovery_resumes_only_missing_replicas_bit_identically(
+        self, tmp_path
+    ):
+        config, profile = SPEC3.config(), SPEC3.profile()
+        keys = [replica_key(config, profile, index) for index in range(3)]
+        # First service life: replica 0 completed (journalled + cached),
+        # then the process died without a terminal record.
+        cache_dir = tmp_path / "cache"
+        first_cache = ResultCache(cache_dir)
+        first_cache.put(
+            keys[0],
+            execute_replica_job(
+                ReplicaJob(config=config, profile=profile, replica_index=0)
+            ),
+        )
+        with JobJournal(tmp_path / "journal.jsonl", fsync=False) as journal:
+            journal.append(
+                "job-submitted",
+                job="job-1",
+                priority=0,
+                spec=SPEC3.as_document(),
+                keys=keys,
+            )
+            journal.append(
+                "replica-completed",
+                job="job-1",
+                replica=0,
+                key=keys[0],
+                source="computed",
+            )
+
+        # Second life: recover() resubmits the unfinished job; replica 0
+        # replays from the cache, replicas 1 and 2 are recomputed.
+        async def scenario(journal, cache):
+            async with JobManager(
+                cache=cache, journal=journal, sleep=_no_sleep
+            ) as manager:
+                handles = manager.recover()
+                await manager.drain()
+                streams = [await _collect(handle) for handle in handles]
+                results = [await handle.result() for handle in handles]
+                return manager, handles, streams, results
+
+        journal = JobJournal(tmp_path / "journal.jsonl", fsync=False)
+        cache = ResultCache(cache_dir)
+        manager, handles, streams, results = asyncio.run(
+            scenario(journal, cache)
+        )
+        journal.close()
+        assert len(handles) == 1
+        assert handles[0].job_id == "job-2"  # numbering continues
+        _assert_contract(streams[0], max_attempts=manager.max_attempts)
+        assert results[0] == _clean_result(SPEC3)
+        assert manager.backend.submissions == 2
+        assert manager.metrics.replicas_from_cache == 1
+        assert manager.metrics.jobs_recovered == 1
+        assert journal.count("job-recovered") == 1
+        assert journal.count("job-completed") == 1
+        assert journal.unfinished_jobs() == []
+        snapshot = manager.snapshot()
+        validate_metrics_snapshot(snapshot)
+        assert snapshot["jobs"]["jobs_recovered"] == 1
+
+    def test_recover_is_a_noop_without_unfinished_work(self, tmp_path):
+        async def scenario():
+            journal = JobJournal(tmp_path / "journal.jsonl", fsync=False)
+            async with JobManager(journal=journal, sleep=_no_sleep) as manager:
+                assert manager.recover() == []
+            journal.close()
+            async with JobManager(sleep=_no_sleep) as bare:
+                assert bare.recover() == []
+
+        asyncio.run(scenario())
+
+
+class TestEventContractUnderRandomFaults:
+    SPECS = [
+        ExperimentSpec.make("oltp", protocol=protocol, scale=SCALE).with_overrides(
+            perturbation_replicas=2
+        )
+        for protocol in ("ts-snoop", "diropt", "dirclassic")
+    ]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16 - 1),
+        cancel_index=st.integers(min_value=-1, max_value=2),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_no_injected_fault_breaks_the_contract(self, seed, cancel_index):
+        plan = FaultPlan.seeded(
+            seed,
+            {
+                SITE_BACKEND_RUN: [
+                    KIND_CRASH,
+                    KIND_TIMEOUT,
+                    KIND_IO_ERROR,
+                    KIND_PERMANENT,
+                ]
+            },
+            invocations=16,
+            rate=0.3,
+        )
+
+        async def scenario(journal):
+            backend = FaultingPoolBackend(InlinePoolBackend(), plan)
+            async with JobManager(
+                backend=backend,
+                journal=journal,
+                max_attempts=2,
+                sleep=_no_sleep,
+            ) as manager:
+                handles = [manager.submit(spec) for spec in self.SPECS]
+                if cancel_index >= 0:
+                    assert handles[cancel_index].cancel()
+                await manager.drain()
+                streams = [await _collect(handle) for handle in handles]
+                return manager, handles, streams
+
+        with tempfile.TemporaryDirectory() as root:
+            journal = JobJournal(Path(root) / "journal.jsonl", fsync=False)
+            manager, handles, streams = asyncio.run(scenario(journal))
+            journal.close()
+
+        for events in streams:
+            _assert_contract(events, max_attempts=2)
+        # Completed jobs with no quarantined replica are bit-identical to
+        # an unfaulted run, whatever faults were retried along the way.
+        for spec, handle, events in zip(self.SPECS, handles, streams):
+            if isinstance(events[-1], JobCompleted) and not handle.quarantined:
+                assert events[-1].result == _clean_result(spec)
+        # Journal and metrics agree on every lifecycle count.
+        metrics = manager.metrics
+        assert journal.count("replica-retried") == metrics.replicas_retried
+        assert journal.count("replica-failed") == metrics.replicas_quarantined
+        assert journal.count("job-completed") == metrics.jobs_completed
+        assert journal.count("job-cancelled") == metrics.jobs_cancelled
+        assert journal.count("job-failed") == metrics.jobs_failed
+        assert journal.count("job-submitted") == metrics.jobs_submitted == 3
+        validate_metrics_snapshot(manager.snapshot())

@@ -1,0 +1,227 @@
+"""Tests for the crash-safe job journal.
+
+The headline properties: every whole record survives a reopen; a torn
+tail -- a half-written line, a checksum mismatch, a truncated JSON body --
+is truncated in place instead of poisoning the journal; the replay state
+machine reconstructs exactly which jobs and replicas are unfinished; and
+an incompatible schema is refused loudly rather than misread.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.faults import SITE_JOURNAL_APPEND, Fault, FaultPlan
+from repro.service.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JobJournal,
+    JournalError,
+    decode_line,
+    encode_record,
+    replay_records,
+)
+
+
+def _submit(journal, job="job-1", replicas=3):
+    keys = [f"{job}-key-{index}" for index in range(replicas)]
+    journal.append(
+        "job-submitted", job=job, priority=0, spec={"workload": "oltp"}, keys=keys
+    )
+    return keys
+
+
+class TestWireFormat:
+    def test_encode_decode_round_trip(self):
+        record = {"type": "job-submitted", "job": "job-1", "keys": ["k"]}
+        assert decode_line(encode_record(record)) == record
+
+    def test_missing_newline_is_torn(self):
+        line = encode_record({"type": "header"})[:-1]
+        with pytest.raises(JournalError, match="newline"):
+            decode_line(line)
+
+    def test_checksum_mismatch_is_torn(self):
+        line = bytearray(encode_record({"type": "header"}))
+        line[0] = ord("f") if line[0] != ord("f") else ord("0")
+        with pytest.raises(JournalError, match="checksum"):
+            decode_line(bytes(line))
+
+    def test_truncated_body_is_torn(self):
+        line = encode_record({"type": "header", "padding": "x" * 40})
+        with pytest.raises(JournalError):
+            decode_line(line[:20] + b"\n")
+
+    def test_non_object_body_rejected(self):
+        import json
+        import zlib
+
+        body = json.dumps([1, 2, 3], separators=(",", ":"))
+        crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
+        with pytest.raises(JournalError, match="object"):
+            decode_line(f"{crc:08x} {body}\n".encode())
+
+
+class TestJournalLifecycle:
+    def test_records_survive_close_and_reopen(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            keys = _submit(journal)
+            journal.append(
+                "replica-completed", job="job-1", replica=0, key=keys[0], source="c"
+            )
+        with JobJournal(path) as reopened:
+            assert reopened.torn_bytes_dropped == 0
+            assert reopened.count("job-submitted") == 1
+            assert reopened.count("replica-completed") == 1
+            assert reopened.records[0]["type"] == "header"
+            assert reopened.records[0]["schema_version"] == JOURNAL_SCHEMA_VERSION
+
+    def test_sequence_numbers_continue_across_lives(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            _submit(journal)
+        with JobJournal(path) as reopened:
+            record = reopened.append("job-cancelled", job="job-1")
+            assert record["n"] == 2  # header, job-submitted, then this
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        with JobJournal(tmp_path / "journal.jsonl") as journal:
+            with pytest.raises(JournalError, match="unknown journal record type"):
+                journal.append("job-exploded", job="job-1")
+
+    def test_append_after_close_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("job-cancelled", job="job-1")
+
+    def test_incompatible_header_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        record = {
+            "type": "header",
+            "kind": "repro.service.journal",
+            "schema_version": JOURNAL_SCHEMA_VERSION + 1,
+        }
+        path.write_bytes(encode_record(record))
+        with pytest.raises(JournalError, match="incompatible header"):
+            JobJournal(path)
+
+    def test_parent_directory_is_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "journal.jsonl"
+        with JobJournal(path) as journal:
+            _submit(journal)
+        assert path.is_file()
+
+
+class TestTornTail:
+    def test_half_line_without_newline_is_truncated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            _submit(journal)
+        clean_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b'deadbeef {"type":"replica-comp')
+        with JobJournal(path) as reopened:
+            assert reopened.torn_bytes_dropped > 0
+            assert reopened.torn_records_dropped == 1
+            assert reopened.count("job-submitted") == 1
+        # Truncated in place: the file is back to its acknowledged prefix.
+        assert path.stat().st_size == clean_size
+
+    def test_bad_checksum_line_and_everything_after_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            _submit(journal)
+        good_tail = encode_record({"type": "job-cancelled", "job": "job-1"})
+        with open(path, "ab") as handle:
+            handle.write(b'00000000 {"type":"job-completed","job":"job-1"}\n')
+            handle.write(good_tail)
+        with JobJournal(path) as reopened:
+            # Conservative truncation: records after the corrupt line are
+            # untrustworthy too, even if individually valid.
+            assert reopened.torn_records_dropped == 2
+            assert reopened.count("job-completed") == 0
+            assert reopened.count("job-cancelled") == 0
+
+    def test_reopen_after_truncation_appends_cleanly(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with JobJournal(path) as journal:
+            _submit(journal)
+        with open(path, "ab") as handle:
+            handle.write(b"garbage")
+        with JobJournal(path) as reopened:
+            reopened.append("job-completed", job="job-1")
+        with JobJournal(path) as final:
+            assert final.torn_bytes_dropped == 0
+            assert final.count("job-completed") == 1
+
+    def test_injected_torn_write_is_truncated_on_reopen(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        plan = FaultPlan([Fault(SITE_JOURNAL_APPEND, 2, "torn-write")])
+        with JobJournal(path, fault_plan=plan) as journal:
+            _submit(journal)  # invocation 1: fine
+            with pytest.raises(OSError, match="torn write"):
+                journal.append("replica-completed", job="job-1", replica=0)
+        with JobJournal(path) as reopened:
+            assert reopened.torn_bytes_dropped > 0
+            assert reopened.count("job-submitted") == 1
+            assert reopened.count("replica-completed") == 0
+
+
+class TestReplay:
+    def test_unfinished_job_reports_missing_replicas(self, tmp_path):
+        with JobJournal(tmp_path / "journal.jsonl") as journal:
+            keys = _submit(journal, replicas=3)
+            journal.append(
+                "replica-completed", job="job-1", replica=0, key=keys[0], source="c"
+            )
+            journal.append(
+                "replica-failed", job="job-1", replica=1, attempts=3, error="boom"
+            )
+            unfinished = journal.unfinished_jobs()
+            assert [entry.job_id for entry in unfinished] == ["job-1"]
+            entry = unfinished[0]
+            assert entry.completed == {0: keys[0]}
+            assert entry.failed == {1: "boom"}
+            assert entry.missing_replicas() == [2]
+            assert not entry.finished
+
+    def test_terminal_jobs_are_finished(self, tmp_path):
+        with JobJournal(tmp_path / "journal.jsonl") as journal:
+            _submit(journal, job="job-1")
+            _submit(journal, job="job-2")
+            journal.append("job-completed", job="job-1")
+            journal.append("job-cancelled", job="job-2")
+            assert journal.unfinished_jobs() == []
+            states = journal.job_states()
+            assert states["job-1"].terminal == "job-completed"
+            assert states["job-2"].terminal == "job-cancelled"
+
+    def test_recovered_jobs_are_not_recovered_twice(self, tmp_path):
+        with JobJournal(tmp_path / "journal.jsonl") as journal:
+            _submit(journal, job="job-1")
+            _submit(journal, job="job-2")
+            journal.append("job-recovered", job="job-2", **{"from": "job-1"})
+            unfinished = journal.unfinished_jobs()
+            # job-1 was resubmitted as job-2; only job-2 is still live.
+            assert [entry.job_id for entry in unfinished] == ["job-2"]
+            assert journal.job_states()["job-1"].recovered_to == "job-2"
+
+    def test_retry_records_keep_the_highest_attempt(self, tmp_path):
+        with JobJournal(tmp_path / "journal.jsonl") as journal:
+            _submit(journal)
+            journal.append(
+                "replica-retried", job="job-1", replica=0, attempt=1, error="a"
+            )
+            journal.append(
+                "replica-retried", job="job-1", replica=0, attempt=2, error="b"
+            )
+            entry = journal.job_states()["job-1"]
+            assert entry.retries == {0: 2}
+
+    def test_replica_records_for_unknown_jobs_are_ignored(self):
+        records = [
+            {"type": "replica-completed", "job": "ghost", "replica": 0, "key": "k"},
+            {"type": "job-completed", "job": "ghost"},
+        ]
+        assert replay_records(records) == {}

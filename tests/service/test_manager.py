@@ -29,6 +29,7 @@ from repro.service.events import (
     JobFailed,
     JobProgress,
     ReplicaCompleted,
+    ReplicaFailed,
 )
 from repro.service.manager import (
     AdmissionError,
@@ -87,6 +88,8 @@ async def _collect(handle):
 
 
 def _assert_stream_shape(events, terminal_type=JobCompleted):
+    assert not events[0].informational and not events[-1].informational
+    events = [event for event in events if not event.informational]
     assert isinstance(events[0], JobAdmitted)
     assert isinstance(events[-1], terminal_type)
     assert all(not event.terminal for event in events[1:-1])
@@ -160,9 +163,15 @@ class TestSingleJob:
         assert "injected backend failure" in events[-1].error
         assert handle.state is JobState.FAILED
         assert manager.metrics.jobs_failed == 1
-        # The second replica is skipped once the job has failed.
-        assert manager.backend.submissions == 1
-        assert manager.metrics.replicas_skipped_cancelled == 1
+        # A permanent error quarantines each replica individually; the job
+        # only fails because *every* replica ended up quarantined.
+        assert manager.backend.submissions == 2
+        assert manager.metrics.replicas_skipped_cancelled == 0
+        assert manager.metrics.replicas_quarantined == 2
+        assert set(handle.quarantined) == {0, 1}
+        quarantines = [e for e in events if isinstance(e, ReplicaFailed)]
+        assert len(quarantines) == 2
+        assert all(q.permanent and q.attempts == 1 for q in quarantines)
         with pytest.raises(RuntimeError, match="injected"):
             asyncio.run(handle.result())
 

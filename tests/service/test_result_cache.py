@@ -27,6 +27,12 @@ from repro.service.cache import (
     result_to_payload,
     run_matrix_cached,
 )
+from repro.service.faults import (
+    SITE_CACHE_DISK_GET,
+    SITE_CACHE_DISK_PUT,
+    Fault,
+    FaultPlan,
+)
 from repro.system.results import RunResult
 
 #: Small enough that a full three-protocol run stays fast.
@@ -229,6 +235,95 @@ class TestResultCache:
     def test_negative_memory_entries_rejected(self):
         with pytest.raises(ValueError):
             ResultCache(memory_entries=-1)
+
+
+class TestDegradedMode:
+    def _result(self, runtime=100):
+        return RunResult(
+            workload="oltp",
+            protocol="ts-snoop",
+            network="butterfly",
+            runtime_ns=runtime,
+            instructions=1,
+            references=1,
+            misses=1,
+            cache_to_cache_misses=0,
+            writebacks=0,
+            nacks=0,
+            retries=0,
+            data_touched_mb=0.0,
+            per_link_bytes=0.0,
+            traffic_bytes_by_category={},
+            average_miss_latency_ns=0.0,
+        )
+
+    def test_disk_put_fault_degrades_to_memory_only(self, tmp_path):
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_PUT, 1, "io-error")])
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+        key, other = "a" * 64, "b" * 64
+        cache.put(key, self._result(runtime=7))
+        assert cache.degraded
+        assert "ENOSPC" in cache.degraded_reason
+        assert cache.stats.disk_put_errors == 1
+        # The entry is still served from memory; nothing reached the disk.
+        assert cache.get(key).runtime_ns == 7
+        assert not any((tmp_path / "store").rglob("*.json"))
+        # Later puts skip the disk entirely (only one disk_put was fired).
+        cache.put(other, self._result())
+        assert plan.invocations(SITE_CACHE_DISK_PUT) == 1
+        assert cache.stats.disk_put_errors == 1
+
+    def test_disk_get_fault_degrades_and_counts(self, tmp_path):
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_GET, 1, "io-error", "EACCES")])
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+        key = "a" * 64
+        cache.put(key, self._result())
+        cache.clear_memory()
+        assert cache.get(key) is None
+        assert cache.degraded
+        assert "EACCES" in cache.degraded_reason
+        assert cache.stats.disk_get_errors == 1
+        assert cache.stats.misses == 1
+        # Degraded mode never touches the disk again.
+        assert cache.get(key) is None
+        assert plan.invocations(SITE_CACHE_DISK_GET) == 1
+        assert key not in cache
+
+    def test_corrupt_shard_degrades_but_memory_keeps_serving(self, tmp_path):
+        key = "ab" + "c" * 62
+        cache = ResultCache(tmp_path / "store")
+        cache.put(key, self._result())
+        cache.clear_memory()
+        shard = tmp_path / "store" / "ab" / f"{key}.json"
+        shard.write_text('{"kind": "wrong"}')
+        assert cache.get(key) is None
+        assert cache.degraded
+        assert "corrupt cache shard" in cache.degraded_reason
+        assert cache.stats.invalid_entries == 1
+        # The memory tier still works for new entries.
+        cache.put("d" * 64, self._result(runtime=9))
+        assert cache.get("d" * 64).runtime_ns == 9
+
+    def test_degradation_latches_the_first_reason(self, tmp_path):
+        plan = FaultPlan(
+            [
+                Fault(SITE_CACHE_DISK_PUT, 1, "io-error", "ENOSPC"),
+                Fault(SITE_CACHE_DISK_PUT, 2, "io-error", "EACCES"),
+            ]
+        )
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+        cache.put("a" * 64, self._result())
+        first_reason = cache.degraded_reason
+        cache.put("b" * 64, self._result())
+        assert cache.degraded_reason == first_reason
+        assert "ENOSPC" in first_reason
+
+    def test_memory_only_cache_never_degrades(self):
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_PUT, 1, "io-error")])
+        cache = ResultCache(fault_plan=plan)
+        cache.put("a" * 64, self._result())
+        assert not cache.degraded
+        assert plan.invocations(SITE_CACHE_DISK_PUT) == 0
 
 
 class TestRunMatrixCached:
