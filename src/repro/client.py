@@ -1,0 +1,242 @@
+"""Blocking HTTP client for the simulation-service gateway.
+
+Pure stdlib (``urllib``): the synchronous counterpart of
+:class:`repro.service.server.GatewayServer`, speaking the typed wire
+vocabulary of :mod:`repro.service.wire` end to end::
+
+    from repro.api import ExperimentSpec
+    from repro.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8642", client_id="nightly")
+    accepted = client.submit(ExperimentSpec.make("oltp", scale=0.1))
+    for event in client.stream(accepted.job_id):
+        print(event)
+    result = client.wait(accepted.job_id)
+
+Results obtained through the gateway are **bit-identical** to a direct
+:func:`repro.api.run_experiment` call with the same spec: the wire format
+round-trips every ``RunResult`` field JSON-exactly (see
+:mod:`repro.service.cache`), which the end-to-end tests assert.
+
+An admission rejection (HTTP 429) raises :class:`ServiceRejectedError`
+carrying the server's ``retry_after_s`` estimate, so callers can back off
+for exactly as long as the scheduler suggested rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional
+
+from repro.api.spec import ExperimentSpec
+from repro.service.events import JobCancelled, JobCompleted, JobEvent, JobFailed
+from repro.service.fairness import DEFAULT_CLIENT_ID
+from repro.service.manager import JobCancelledError
+from repro.service.wire import (
+    CancelResponse,
+    JobStatus,
+    SubmitAccepted,
+    SubmitRejected,
+    SubmitRequest,
+    event_from_wire,
+)
+from repro.system.results import RunResult
+
+__all__ = [
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceRejectedError",
+]
+
+
+class ServiceClientError(RuntimeError):
+    """The gateway answered with an error (or an unparseable response)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceRejectedError(ServiceClientError):
+    """Admission control rejected the submission (HTTP 429)."""
+
+    def __init__(self, rejection: SubmitRejected):
+        self.rejection = rejection
+        self.retry_after_s = rejection.retry_after_s
+        super().__init__(
+            429,
+            f"admission rejected (pending cost {rejection.pending_cost} over "
+            f"budget {rejection.budget}); retry after {rejection.retry_after_s:.2f}s",
+        )
+
+
+class ServiceClient:
+    """One client identity talking to one gateway.
+
+    ``client_id`` names the deficit-round-robin lane every submission from
+    this client is scheduled in; weights are server-side configuration
+    (``--client-weight`` on the CLI), so the client only has to be
+    consistent about its name.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client_id: str = DEFAULT_CLIENT_ID,
+        timeout: float = 120.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -------------------------------------------------------------- verbs
+    def submit(
+        self, spec: ExperimentSpec, *, priority: int = 0
+    ) -> SubmitAccepted:
+        """``POST /v1/jobs``; raises :class:`ServiceRejectedError` on 429."""
+        request = SubmitRequest(
+            spec=spec, priority=priority, client_id=self.client_id
+        )
+        status, document = self._request(
+            "POST", "/v1/jobs", body=request.to_wire()
+        )
+        if status == 429:
+            raise ServiceRejectedError(SubmitRejected.from_wire(document))
+        if status != 202:
+            raise ServiceClientError(status, _error_text(document))
+        return SubmitAccepted.from_wire(document)
+
+    def status(self, job_id: str) -> JobStatus:
+        """``GET /v1/jobs/{id}``."""
+        status, document = self._request("GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            raise ServiceClientError(status, _error_text(document))
+        return JobStatus.from_wire(document)
+
+    def cancel(self, job_id: str) -> CancelResponse:
+        """``DELETE /v1/jobs/{id}``."""
+        status, document = self._request("DELETE", f"/v1/jobs/{job_id}")
+        if status != 200:
+            raise ServiceClientError(status, _error_text(document))
+        return CancelResponse.from_wire(document)
+
+    def stream(self, job_id: str) -> Iterator[JobEvent]:
+        """``GET /v1/jobs/{id}/events`` as typed events (NDJSON transport).
+
+        Replays the job's full history from ``JobAdmitted`` and follows
+        live until (and including) the terminal event; connecting after
+        the job finished yields the identical complete sequence.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events", method="GET"
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise ServiceClientError(
+                error.code, _error_text(_read_json(error))
+            ) from None
+        with response:
+            for line in response:
+                text = line.strip()
+                if not text:
+                    continue
+                event = event_from_wire(json.loads(text.decode("utf-8")))
+                yield event
+                if event.terminal:
+                    return
+
+    def wait(self, job_id: str) -> RunResult:
+        """Follow the event stream to completion and return the result.
+
+        Raises :class:`~repro.service.manager.JobCancelledError` if the
+        job was cancelled and :class:`ServiceClientError` if it failed.
+        """
+        for event in self.stream(job_id):
+            if isinstance(event, JobCompleted):
+                return event.result
+            if isinstance(event, JobCancelled):
+                raise JobCancelledError(job_id)
+            if isinstance(event, JobFailed):
+                raise ServiceClientError(500, f"job {job_id} failed: {event.error}")
+        raise ServiceClientError(500, f"event stream of {job_id} ended early")
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        priority: int = 0,
+        retries: int = 0,
+    ) -> RunResult:
+        """Submit and wait; optionally honour 429 back-offs ``retries`` times."""
+        for attempt in range(retries + 1):
+            try:
+                accepted = self.submit(spec, priority=priority)
+            except ServiceRejectedError:
+                if attempt >= retries:
+                    raise
+                time.sleep(self._last_retry_after())
+                continue
+            return self.wait(accepted.job_id)
+        raise AssertionError("unreachable: the retry loop returns or raises")
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health``."""
+        status, document = self._request("GET", "/v1/health")
+        if status != 200:
+            raise ServiceClientError(status, _error_text(document))
+        return document
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /v1/metrics`` (the schema-v3 snapshot)."""
+        status, document = self._request("GET", "/v1/metrics")
+        if status != 200:
+            raise ServiceClientError(status, _error_text(document))
+        return document
+
+    # ----------------------------------------------------------- plumbing
+    def _last_retry_after(self) -> float:
+        # Overridden in tests; default to a short, bounded pause.
+        return 0.05
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> "tuple[int, Dict[str, Any]]":
+        data = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None
+            else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, _read_json(response)
+        except urllib.error.HTTPError as error:
+            with error:
+                return error.code, _read_json(error)
+
+
+def _read_json(response: Any) -> Dict[str, Any]:
+    raw = response.read()
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {"error": raw.decode("utf-8", errors="replace")}
+    return document if isinstance(document, dict) else {"error": repr(document)}
+
+
+def _error_text(document: Dict[str, Any]) -> str:
+    return str(document.get("error", document))

@@ -3,12 +3,22 @@
 This package turns the one-shot experiment API into a long-lived service:
 
 * :mod:`repro.service.manager` -- :class:`JobManager`, the asyncio
-  front-end with priority + FIFO scheduling, bounded-cost admission
+  front-end with per-client fair scheduling, bounded-cost admission
   control, per-job cancellation, in-flight deduplication, and a
   fault-tolerance layer (transient-failure retries with deterministic
   backoff, per-replica deadlines, worker-crash pool rebuilds, replica
   quarantine, journal-driven crash recovery) over a pluggable
   worker-pool backend.
+* :mod:`repro.service.fairness` -- :class:`DeficitRoundRobinQueue`, the
+  weighted deficit-round-robin scheduler behind the manager: one
+  priority+FIFO lane per client, starvation bounded by construction.
+* :mod:`repro.service.server` -- :class:`GatewayServer`, the stdlib
+  HTTP/WebSocket network front-end (``POST /v1/jobs``, status, cancel,
+  NDJSON/WebSocket event streams, health and metrics), and
+  :class:`ServerThread`, its synchronous single-process host; the
+  matching blocking client is :class:`repro.client.ServiceClient`.
+* :mod:`repro.service.wire` -- the typed, schema-versioned wire messages
+  (requests, responses, streamed events) both ends of the gateway speak.
 * :mod:`repro.service.cache` -- :class:`ResultCache`, the
   content-addressed (SHA-256 of the canonical experiment document)
   schema-versioned result store; cache hits replay bit-identically to
@@ -25,7 +35,8 @@ This package turns the one-shot experiment API into a long-lived service:
 * :mod:`repro.service.events` -- the streaming progress events yielded
   by :meth:`JobHandle.events` and their ordering contract.
 * :mod:`repro.service.metrics` -- :class:`ServiceMetrics`, queue /
-  cache / fault / health counters rendered as a schema-v2 JSON snapshot.
+  cache / fault / health / per-client counters rendered as a schema-v3
+  JSON snapshot.
 * :mod:`repro.service.cli` -- the ``python -m repro.service`` front-end,
   including the ``--self-test`` exercise (with its kill-and-recover
   pass) CI runs as a smoke test.
@@ -56,6 +67,11 @@ from repro.service.events import (
     ReplicaFailed,
     ReplicaRetried,
     ServiceDegraded,
+)
+from repro.service.fairness import (
+    DEFAULT_CLIENT_ID,
+    DEFAULT_WEIGHT,
+    DeficitRoundRobinQueue,
 )
 from repro.service.faults import (
     FAULT_KINDS,
@@ -95,18 +111,36 @@ from repro.service.metrics import (
     ServiceMetrics,
     validate_metrics_snapshot,
 )
+from repro.service.server import GatewayServer, ServerThread
+from repro.service.wire import (
+    WIRE_SCHEMA_VERSION,
+    CancelResponse,
+    JobStatus,
+    SubmitAccepted,
+    SubmitRejected,
+    SubmitRequest,
+    WireError,
+    error_to_wire,
+    event_from_wire,
+    event_to_wire,
+)
 
 __all__ = [
     "AdmissionError",
     "CacheError",
     "CacheStats",
+    "CancelResponse",
+    "DEFAULT_CLIENT_ID",
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_MAX_PENDING_COST",
+    "DEFAULT_WEIGHT",
+    "DeficitRoundRobinQueue",
     "FAULT_KINDS",
     "FAULT_SITES",
     "Fault",
     "FaultPlan",
     "FaultingPoolBackend",
+    "GatewayServer",
     "InjectedPermanentError",
     "InjectedWorkerCrash",
     "InlinePoolBackend",
@@ -122,6 +156,7 @@ __all__ = [
     "JobManager",
     "JobProgress",
     "JobState",
+    "JobStatus",
     "JournalError",
     "JournaledJob",
     "METRICS_SCHEMA_VERSION",
@@ -136,10 +171,19 @@ __all__ = [
     "SOURCE_CACHE",
     "SOURCE_COMPUTED",
     "SOURCE_DEDUPED",
+    "ServerThread",
     "ServiceDegraded",
     "ServiceMetrics",
+    "SubmitAccepted",
+    "SubmitRejected",
+    "SubmitRequest",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
     "WorkerCrashError",
     "entry_keys",
+    "error_to_wire",
+    "event_from_wire",
+    "event_to_wire",
     "is_transient",
     "job_cost",
     "make_backend",

@@ -153,6 +153,7 @@ class CacheStats:
     memory_hits: int = 0
     disk_hits: int = 0
     memory_evictions: int = 0
+    disk_evictions: int = 0
     invalid_entries: int = 0
     disk_put_errors: int = 0
     disk_get_errors: int = 0
@@ -170,6 +171,16 @@ class ResultCache:
     immutable JSON documents, so cross-process sharing of one directory is
     safe too (writes are atomic renames).
 
+    ``disk_budget_bytes`` bounds the on-disk store: the existing shards
+    are indexed at open (least-recently-modified first), every get/put
+    refreshes an entry's recency, and once the store would exceed the
+    budget the least-recently-used shards are unlinked
+    (``disk_evictions`` in the statistics; ``disk_bytes`` /
+    ``disk_entries`` gauges report the live footprint).  The entry being
+    written is never the eviction victim, so a budget smaller than one
+    entry degenerates to "keep only the newest".  Evicted entries are
+    simply misses later -- recomputation is always correct.
+
     **Degraded mode**: a disk fault (ENOSPC/EACCES on read or write, or a
     shard that no longer decodes) never propagates to callers.  The fault
     is counted (``disk_put_errors`` / ``disk_get_errors``), the cache flips
@@ -185,20 +196,30 @@ class ResultCache:
         path: Union[str, Path, None] = None,
         memory_entries: int = 512,
         *,
+        disk_budget_bytes: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if memory_entries < 0:
             raise ValueError("memory_entries must be non-negative")
+        if disk_budget_bytes is not None and disk_budget_bytes < 1:
+            raise ValueError("disk_budget_bytes must be positive (or None)")
         self.path = Path(path) if path is not None else None
         self.memory_entries = memory_entries
+        self.disk_budget_bytes = disk_budget_bytes
         self.stats = CacheStats()
         self.fault_plan = fault_plan
         self.degraded = False
         self.degraded_reason = ""
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: key -> shard size in bytes, least-recently-used first.
+        self._disk_index: "OrderedDict[str, int]" = OrderedDict()
+        self._disk_bytes = 0
         self._lock = threading.Lock()
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
+            if self.disk_budget_bytes is not None:
+                self._scan_disk()
+                self._evict_disk()
 
     # ------------------------------------------------------------- lookup
     def get(self, key: str) -> Optional[RunResult]:
@@ -265,7 +286,10 @@ class ResultCache:
 
     def stats_dict(self) -> Dict[str, int]:
         with self._lock:
-            return self.stats.as_dict()
+            out = self.stats.as_dict()
+            out["disk_bytes"] = self._disk_bytes
+            out["disk_entries"] = len(self._disk_index)
+            return out
 
     # ------------------------------------------------------------ internals
     def _remember(self, key: str, document: Dict[str, Any]) -> None:
@@ -280,6 +304,52 @@ class ResultCache:
     def _disk_path(self, key: str) -> Path:
         assert self.path is not None
         return self.path / key[:2] / f"{key}.json"
+
+    def _scan_disk(self) -> None:
+        """Index pre-existing shards, least-recently-modified first."""
+        assert self.path is not None
+        found = []
+        for shard in self.path.glob("??/*.json"):
+            try:
+                stat = shard.stat()
+            except OSError:
+                continue
+            found.append((stat.st_mtime_ns, shard.stem, stat.st_size))
+        found.sort()
+        with self._lock:
+            for _mtime, key, size in found:
+                self._disk_index[key] = size
+                self._disk_bytes += size
+
+    def _note_disk_entry(self, key: str, size: int) -> None:
+        """Record one live shard as most-recently-used (lock held)."""
+        self._disk_bytes += size - self._disk_index.get(key, 0)
+        self._disk_index[key] = size
+        self._disk_index.move_to_end(key)
+
+    def _evict_disk(self, protect: Optional[str] = None) -> None:
+        """Unlink least-recently-used shards until the budget holds.
+
+        ``protect`` (the key just written) is never the victim.  Only
+        meaningful with a ``disk_budget_bytes``; a no-op otherwise.
+        """
+        if self.disk_budget_bytes is None or self.path is None:
+            return
+        while True:
+            with self._lock:
+                if self._disk_bytes <= self.disk_budget_bytes:
+                    return
+                victim = next(
+                    (key for key in self._disk_index if key != protect), None
+                )
+                if victim is None:
+                    return
+                self._disk_bytes -= self._disk_index.pop(victim)
+                self.stats.disk_evictions += 1
+            try:
+                self._disk_path(victim).unlink()
+            except OSError:
+                pass  # already gone (or shared dir): the index is advisory
 
     def _degrade(self, reason: str) -> None:
         """Flip to memory-only operation after a disk fault (latching)."""
@@ -307,7 +377,12 @@ class ResultCache:
         try:
             self._fire(SITE_CACHE_DISK_GET)
             with open(target, "r", encoding="utf-8") as handle:
-                return json.load(handle)
+                document = json.load(handle)
+            if self.disk_budget_bytes is not None:
+                with self._lock:
+                    if key in self._disk_index:
+                        self._disk_index.move_to_end(key)
+            return document
         except FileNotFoundError:
             return None
         except CacheError as error:
@@ -337,6 +412,10 @@ class ResultCache:
                     document, handle, sort_keys=True, separators=(",", ":")
                 )
             os.replace(scratch, target)
+            if self.disk_budget_bytes is not None:
+                with self._lock:
+                    self._note_disk_entry(key, target.stat().st_size)
+                self._evict_disk(protect=key)
         except (OSError, CacheError) as error:
             with self._lock:
                 self.stats.disk_put_errors += 1

@@ -4,22 +4,33 @@
 
     python -m repro.service oltp,protocol=diropt,scale=0.2 dss,priority=1
     python -m repro.service --jobs 4 --cache-dir .repro-cache oltp dss
+    python -m repro.service --listen 127.0.0.1:8642 --client-weight nightly=2
     python -m repro.service --self-test --metrics-out service-metrics.json
 
 Each positional argument is one experiment request: a workload name
 followed by comma-separated ``key=value`` settings.  ``protocol``,
-``network``, ``scale`` and ``priority`` are recognised directly; any other
-key is passed through as a :class:`~repro.system.config.SystemConfig`
-override (``slack=2``, ``perturbation_replicas=3``, ...).  Requests are
-validated eagerly, streamed as they progress, and deduplicated through
-the shared result cache.
+``network``, ``scale`` and ``priority`` are recognised directly; any
+other key becomes a :class:`~repro.system.config.SystemConfig` override
+(``slack=2``, ``perturbation_replicas=3``, ...) applied through
+:meth:`~repro.api.spec.ExperimentSpec.with_overrides`, so the CLI
+surfaces the exact same validation errors as the Python API.  Requests
+are validated eagerly, streamed as they progress, and deduplicated
+through the shared result cache.
+
+``--listen HOST:PORT`` serves the HTTP/WebSocket gateway
+(:mod:`repro.service.server`) instead of running one-shot requests;
+``--client-weight CLIENT=N`` gives named clients weighted shares of the
+deficit-round-robin scheduler and ``--cache-budget BYTES`` bounds the
+on-disk result store (LRU eviction).
 
 ``--self-test`` runs a deterministic end-to-end exercise of the service
 (overlapping sweeps from two clients, cache replay, event-ordering and
-bit-identity checks, and a kill-and-recover pass that SIGKILLs a pool
-worker mid-sweep and resumes the job from the journal) and exits non-zero
-on any violation; CI runs it as a smoke test and archives the resulting
-metrics snapshot.
+bit-identity checks, a kill-and-recover pass that SIGKILLs a pool worker
+mid-sweep and resumes the job from the journal, and a loopback-gateway
+pass that drives two weighted HTTP clients through a real socket and
+asserts DRR fairness, cache eviction and wire bit-identity) and exits
+non-zero on any violation; CI runs it as a smoke test and archives the
+resulting metrics snapshot.
 """
 
 from __future__ import annotations
@@ -32,10 +43,12 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.spec import ExperimentSpec, ExperimentSpecError
+from repro.client import ServiceClient
 from repro.service.cache import ResultCache
 from repro.service.events import (
     SOURCE_COMPUTED,
     JobAdmitted,
+    JobCancelled,
     JobCompleted,
     JobEvent,
     JobProgress,
@@ -51,6 +64,7 @@ from repro.service.manager import (
     ProcessPoolBackend,
 )
 from repro.service.metrics import validate_metrics_snapshot
+from repro.service.server import GatewayServer, ServerThread
 
 _DIRECT_KEYS = ("workload", "protocol", "network")
 
@@ -76,7 +90,9 @@ def parse_request(
     Grammar: ``workload[,key=value]...`` -- e.g.
     ``oltp,protocol=diropt,scale=0.2,priority=1,slack=2``.  A request
     without an inline ``scale=`` falls back to ``default_scale`` (the
-    ``--scale`` flag) when one is given.
+    ``--scale`` flag) when one is given.  Config overrides are applied
+    through :meth:`ExperimentSpec.with_overrides`, so a bad override
+    raises the same :class:`ExperimentSpecError` the Python API would.
     """
     named: Dict[str, str] = {}
     workload: Optional[str] = None
@@ -105,9 +121,12 @@ def parse_request(
     workload = named.pop("workload", workload)
     if workload is None:
         raise ExperimentSpecError(f"request {text!r} does not name a workload")
-    if default_scale is not None:
-        overrides.setdefault("scale", default_scale)
-    spec = ExperimentSpec.make(workload, **named, **overrides)
+    scale = overrides.pop("scale", default_scale)
+    if scale is not None:
+        named["scale"] = scale
+    spec = ExperimentSpec.make(workload, **named)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
     return spec, priority
 
 
@@ -133,6 +152,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="persist the result cache under DIR (default: memory only)",
+    )
+    parser.add_argument(
+        "--cache-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="bound the on-disk result store to BYTES, evicting least-"
+        "recently-used entries (default: unbounded; needs --cache-dir)",
     )
     parser.add_argument(
         "--memory-entries",
@@ -185,6 +212,21 @@ def build_parser() -> argparse.ArgumentParser:
         "inline scale= (and for --self-test, where it defaults to 0.05)",
     )
     parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the HTTP/WebSocket gateway on HOST:PORT (port 0 picks "
+        "an ephemeral port) instead of running one-shot requests",
+    )
+    parser.add_argument(
+        "--client-weight",
+        action="append",
+        default=[],
+        metavar="CLIENT=WEIGHT",
+        help="give CLIENT a weighted share of the fair scheduler "
+        "(repeatable; unlisted clients get weight 1)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the event stream"
     )
     parser.add_argument(
@@ -198,12 +240,27 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        _parse_weights(args.client_weight)
+    except ValueError as error:
+        parser.error(str(error))
     if args.self_test:
         if args.requests:
             parser.error("--self-test takes no REQUEST arguments")
         return asyncio.run(_self_test(args))
+    if args.listen is not None:
+        if args.requests:
+            parser.error("--listen takes no REQUEST arguments")
+        try:
+            _parse_listen(args.listen)
+        except ValueError as error:
+            parser.error(str(error))
+        try:
+            return asyncio.run(_listen(args))
+        except KeyboardInterrupt:
+            return 0
     if not args.requests:
-        parser.error("no REQUEST given (or use --self-test)")
+        parser.error("no REQUEST given (or use --listen / --self-test)")
     try:
         requests = [parse_request(text, args.scale) for text in args.requests]
     except (ExperimentSpecError, ValueError) as error:
@@ -211,8 +268,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return asyncio.run(_serve(requests, args))
 
 
+def _parse_weights(entries: Sequence[str]) -> Dict[str, int]:
+    """``CLIENT=WEIGHT`` flags into a weights map (positive ints only)."""
+    weights: Dict[str, int] = {}
+    for entry in entries:
+        name, sep, value = entry.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ValueError(
+                f"--client-weight wants CLIENT=WEIGHT, got {entry!r}"
+            )
+        try:
+            weights[name] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"--client-weight {entry!r}: weight must be an integer"
+            ) from None
+    return weights
+
+
+def _parse_listen(text: str) -> Tuple[str, int]:
+    """``HOST:PORT`` into its parts (port 0 means ephemeral)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--listen wants HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--listen {text!r}: port must be an integer") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--listen {text!r}: port out of range")
+    return host, port
+
+
 def _make_manager(args: argparse.Namespace) -> JobManager:
-    cache = ResultCache(args.cache_dir, memory_entries=args.memory_entries)
+    cache = ResultCache(
+        args.cache_dir,
+        memory_entries=args.memory_entries,
+        disk_budget_bytes=args.cache_budget,
+    )
     budget: Optional[int]
     if args.budget is None:
         budget = DEFAULT_MAX_PENDING_COST
@@ -230,6 +324,7 @@ def _make_manager(args: argparse.Namespace) -> JobManager:
         journal=journal,
         max_attempts=args.max_attempts,
         replica_timeout=args.replica_timeout,
+        client_weights=_parse_weights(args.client_weight),
     )
 
 
@@ -296,6 +391,26 @@ async def _serve(
     return 1 if failures else 0
 
 
+async def _listen(args: argparse.Namespace) -> int:
+    """``--listen``: serve the HTTP/WebSocket gateway until interrupted."""
+    host, port = _parse_listen(args.listen)
+    manager = _make_manager(args)
+    async with manager:
+        gateway = GatewayServer(manager, host=host, port=port)
+        await gateway.start()
+        for handle in manager.recover():
+            gateway.track(handle)
+            print(f"recovered {handle.job_id} {handle.spec.label} from the journal")
+        print(f"serving on http://{host}:{gateway.port}", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await gateway.aclose()
+            if manager.journal is not None:
+                manager.journal.close()
+    return 0
+
+
 # -------------------------------------------------------------- self-test
 def _check(condition: bool, message: str, problems: List[str]) -> None:
     if not condition:
@@ -317,6 +432,8 @@ def _check_stream(events: List[JobEvent], problems: List[str]) -> None:
             problems,
         )
     events = [event for event in events if not event.informational]
+    if len(events) == 1 and isinstance(events[0], JobCancelled):
+        return  # cancelled before admission: a lone terminal is the contract
     _check(len(events) >= 2, f"{label}: stream has fewer than two events", problems)
     if not events:
         return
@@ -427,11 +544,17 @@ async def _self_test(args: argparse.Namespace) -> int:
     # recover the sweep from the journal + cache frontier.
     recovery_stats = await _kill_and_recover(scale, args.quiet, problems)
 
+    # Phase 4: drive the HTTP/WebSocket gateway over a real loopback
+    # socket with two weighted clients: DRR fairness, wire bit-identity,
+    # cached replay with zero pool submissions, disk-budget eviction.
+    gateway_stats = _loopback_gateway(scale, problems)
+
     manager.metrics.extra["self_test"] = {
         "scale": scale,
         "unique_replicas": unique_replicas,
         "replay_submissions": replay.backend.submissions,
         "kill_and_recover": recovery_stats,
+        "gateway": gateway_stats,
     }
     snapshot = manager.snapshot()
     try:
@@ -451,9 +574,178 @@ async def _self_test(args: argparse.Namespace) -> int:
             "with zero pool submissions; kill-and-recover resumed "
             f"{recovery_stats['recovered_jobs']} job(s) recomputing only "
             f"{recovery_stats['recovery_submissions']}/"
-            f"{recovery_stats['total_replicas']} replica(s), bit-identical"
+            f"{recovery_stats['total_replicas']} replica(s), bit-identical; "
+            "loopback gateway served 2:1 weighted clients within "
+            f"{gateway_stats['max_fairness_gap']:.0f}/"
+            f"{gateway_stats['quantum']} cost units of their shares, "
+            f"replayed over HTTP with {gateway_stats['replay_submissions']} "
+            f"pool submissions and evicted {gateway_stats['disk_evictions']} "
+            "entries under the disk budget"
         )
     return 1 if problems else 0
+
+
+def _loopback_gateway(scale: float, problems: List[str]) -> Dict[str, Any]:
+    """The ``--self-test`` loopback-gateway pass.
+
+    Hosts a real gateway on an ephemeral loopback port
+    (:class:`~repro.service.server.ServerThread`) and drives it with two
+    blocking :class:`~repro.client.ServiceClient` identities holding a
+    2:1 weight split.  The scheduler is paused while both clients submit,
+    so the deficit-round-robin schedule over the resulting backlog is
+    deterministic; every served prefix while both lanes stay backlogged
+    must keep the clients' cumulative unit-cost service within one
+    quantum of their weighted shares.  Results must be bit-identical to
+    direct ``api.run_experiment`` calls, a second gateway over the same
+    cache directory must replay the sweep with **zero** pool submissions,
+    and a third gateway with a small ``--cache-budget`` must evict
+    least-recently-used disk entries while staying under the budget.
+    """
+    weights = {"alpha": 2, "beta": 1}
+    alpha_specs = [
+        ExperimentSpec.make("oltp", protocol="ts-snoop", scale=scale),
+        ExperimentSpec.make("oltp", protocol="diropt", scale=scale),
+        ExperimentSpec.make("oltp", protocol="dirclassic", scale=scale),
+        ExperimentSpec.make("oltp", protocol="ts-snoop", scale=scale, slack=2),
+    ]
+    beta_specs = [
+        ExperimentSpec.make("oltp", protocol="diropt", scale=scale, slack=2),
+        ExperimentSpec.make("oltp", protocol="dirclassic", scale=scale, slack=2),
+    ]
+    all_specs = alpha_specs + beta_specs
+    stats: Dict[str, Any] = {
+        "weights": dict(weights),
+        "jobs": len(all_specs),
+        "quantum": 0,
+        "serve_prefixes_checked": 0,
+        "max_fairness_gap": 0.0,
+        "replay_submissions": -1,
+        "disk_evictions": 0,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-gateway-") as tmp:
+        root = Path(tmp)
+
+        # Phase A: weighted fairness and wire bit-identity.
+        with ServerThread(
+            jobs=1,
+            cache=ResultCache(root / "cache"),
+            client_weights=weights,
+            record_schedule=True,
+        ) as server:
+            clients = {
+                "alpha": ServiceClient(server.base_url, client_id="alpha"),
+                "beta": ServiceClient(server.base_url, client_id="beta"),
+            }
+            server.call(server.manager.pause_scheduling)
+            accepted = [
+                ("alpha", spec, clients["alpha"].submit(spec))
+                for spec in alpha_specs
+            ] + [
+                ("beta", spec, clients["beta"].submit(spec))
+                for spec in beta_specs
+            ]
+            server.call(server.manager.resume_scheduling)
+            fresh: List[Any] = []
+            for name, spec, ticket in accepted:
+                events = list(clients[name].stream(ticket.job_id))
+                _check_stream(events, problems)
+                final = events[-1] if events else None
+                _check(
+                    isinstance(final, JobCompleted),
+                    f"gateway job {ticket.job_id} did not complete",
+                    problems,
+                )
+                fresh.append(final.result if isinstance(final, JobCompleted) else None)
+            serve_log = server.call(
+                lambda: list(server.manager.scheduler.serve_log)
+            )
+            stats["quantum"] = server.call(
+                lambda: server.manager.scheduler.quantum
+            )
+
+        backlog = {"alpha": len(alpha_specs), "beta": len(beta_specs)}
+        served = {"alpha": 0, "beta": 0}
+        for client_id, cost in serve_log:
+            both_backlogged = backlog["alpha"] > 0 and backlog["beta"] > 0
+            served[client_id] += cost
+            backlog[client_id] -= 1
+            if not both_backlogged:
+                continue
+            gap = abs(
+                served["alpha"] / weights["alpha"]
+                - served["beta"] / weights["beta"]
+            )
+            stats["serve_prefixes_checked"] += 1
+            stats["max_fairness_gap"] = max(stats["max_fairness_gap"], gap)
+            _check(
+                gap <= stats["quantum"],
+                f"gateway DRR fairness violated: per-weight service gap "
+                f"{gap} exceeds the quantum {stats['quantum']} "
+                f"after serving {served}",
+                problems,
+            )
+        _check(
+            stats["serve_prefixes_checked"] > 0,
+            "gateway fairness pass never observed both lanes backlogged",
+            problems,
+        )
+        for spec, result in zip(all_specs, fresh):
+            _check(
+                result is not None and result == spec.run(),
+                f"gateway result for {spec.label} is not bit-identical to "
+                "a direct api.run_experiment call",
+                problems,
+            )
+
+        # Phase B: a second gateway over the same cache directory replays
+        # the whole sweep over HTTP without any pool submissions.
+        with ServerThread(jobs=1, cache=ResultCache(root / "cache")) as replay:
+            client = ServiceClient(replay.base_url, client_id="replay")
+            replayed = [client.run(spec) for spec in all_specs]
+            stats["replay_submissions"] = replay.call(
+                lambda: replay.manager.backend.submissions
+            )
+        _check(
+            stats["replay_submissions"] == 0,
+            f"gateway cached replay submitted {stats['replay_submissions']} "
+            "replicas to the pool, expected zero simulation work",
+            problems,
+        )
+        _check(
+            replayed == fresh,
+            "gateway cached replay is not bit-identical to the fresh run",
+            problems,
+        )
+
+        # Phase C: a disk budget of ~2.5 entries must evict LRU entries
+        # and stay under the budget while the sweep still completes.
+        sizes = sorted(
+            entry.stat().st_size for entry in (root / "cache").glob("??/*.json")
+        )
+        budget = sizes[0] + sizes[1] + sizes[2] // 2
+        with ServerThread(
+            jobs=1,
+            cache=ResultCache(root / "budgeted", disk_budget_bytes=budget),
+        ) as budgeted:
+            client = ServiceClient(budgeted.base_url, client_id="evict")
+            for spec in all_specs:
+                client.run(spec)
+            metrics = client.metrics()
+        cache_stats = metrics["cache"]
+        stats["disk_evictions"] = cache_stats["disk_evictions"]
+        _check(
+            cache_stats["disk_evictions"] > 0,
+            "gateway disk-budget pass evicted nothing despite writing "
+            f"{len(all_specs)} entries into a {budget}-byte budget",
+            problems,
+        )
+        _check(
+            cache_stats["disk_bytes"] <= budget,
+            f"disk store holds {cache_stats['disk_bytes']} bytes, over the "
+            f"{budget}-byte budget",
+            problems,
+        )
+    return stats
 
 
 async def _kill_and_recover(

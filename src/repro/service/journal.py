@@ -119,6 +119,8 @@ class JournaledJob:
     priority: int
     spec: Dict[str, Any]
     keys: List[str]
+    #: Fair-scheduling client lane the job was submitted under.
+    client: str = "default"
     #: Finished replicas: index -> cache key.
     completed: Dict[int, str] = field(default_factory=dict)
     #: Quarantined replicas: index -> error repr.
@@ -155,6 +157,7 @@ def replay_records(records: List[Dict[str, Any]]) -> Dict[str, JournaledJob]:
                 priority=record.get("priority", 0),
                 spec=record.get("spec", {}),
                 keys=list(record.get("keys", ())),
+                client=record.get("client", "default"),
             )
             continue
         entry = jobs.get(job_id)

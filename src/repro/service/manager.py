@@ -4,8 +4,13 @@
 requests from any number of concurrent clients and feeds the replica jobs
 of :mod:`repro.parallel` to a shared worker pool:
 
-* **Priority + FIFO fairness** -- jobs carry an integer priority (lower
-  runs first); within a priority class, replicas run in submission order.
+* **Per-client fair scheduling** -- every submission names a client id,
+  and the replica queue is a weighted deficit-round-robin scheduler
+  (:mod:`repro.service.fairness`) denominated in the admission
+  controller's unit-cost estimate, so no client can starve another
+  regardless of how much work it submits.  Within one client the old
+  contract holds exactly: jobs carry an integer priority (lower runs
+  first); within a priority class, replicas run in submission order.
 * **Admission control** -- the queue is bounded by *estimated cost* (a
   work proxy: references x nodes x replicas).  Once the pending cost
   would exceed the budget, :meth:`JobManager.submit` raises
@@ -55,6 +60,10 @@ from repro.parallel.executor import (
 from repro.parallel.jobs import ReplicaJob, execute_replica_job
 from repro.parallel.sweep import select_minimum_replica
 from repro.service.cache import ResultCache, replica_key
+from repro.service.fairness import (
+    DEFAULT_CLIENT_ID,
+    DeficitRoundRobinQueue,
+)
 from repro.service.events import (
     SOURCE_CACHE,
     SOURCE_COMPUTED,
@@ -290,13 +299,16 @@ class JobHandle:
         priority: int,
         keys: List[str],
         cancel: Callable[["JobHandle"], bool],
+        client_id: str = DEFAULT_CLIENT_ID,
     ) -> None:
         self.job_id = job_id
         self.spec = spec
         self.config = config
         self.profile = profile
         self.priority = priority
+        self.client_id = client_id
         self.keys = keys
+        self.admitted = False
         self.state = JobState.QUEUED
         self._cancel = cancel
         self._results: Dict[int, RunResult] = {}
@@ -310,6 +322,11 @@ class JobHandle:
     @property
     def total_replicas(self) -> int:
         return len(self.keys)
+
+    @property
+    def completed_replicas(self) -> int:
+        """How many replicas have finished so far (gauge for status polls)."""
+        return len(self._results)
 
     @property
     def quarantined(self) -> Dict[int, str]:
@@ -391,6 +408,8 @@ class JobManager:
         backoff_base: float = DEFAULT_BACKOFF_BASE_S,
         backoff_cap: float = DEFAULT_BACKOFF_CAP_S,
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+        client_weights: Optional[Dict[str, int]] = None,
+        record_schedule: bool = False,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
@@ -407,8 +426,13 @@ class JobManager:
         self.backoff_cap = backoff_cap
         self._sleep = sleep
         self._clock = clock
-        self._queue: "asyncio.PriorityQueue[Any]" = asyncio.PriorityQueue()
-        self._sequence = itertools.count()
+        self.scheduler = DeficitRoundRobinQueue(
+            weights=client_weights, record_schedule=record_schedule
+        )
+        self._queue = self.scheduler
+        #: Every handle this manager ever created, by job id (the registry
+        #: behind ``GET /v1/jobs/{id}`` and cross-request cancellation).
+        self.jobs: Dict[str, JobHandle] = {}
         # Job ids stay unique across every service life sharing one
         # journal: numbering continues after the journalled submissions.
         start = 1 if journal is None else journal.count("job-submitted") + 1
@@ -451,12 +475,21 @@ class JobManager:
         self.backend.close()
 
     # --------------------------------------------------------------- submit
-    def submit(self, spec: ExperimentSpec, *, priority: int = 0) -> JobHandle:
+    def submit(
+        self,
+        spec: ExperimentSpec,
+        *,
+        priority: int = 0,
+        client_id: str = DEFAULT_CLIENT_ID,
+    ) -> JobHandle:
         """Admit ``spec`` as a job and enqueue its replicas.
 
         Raises :class:`AdmissionError` when the pending-cost budget is
         exhausted (unless the queue is empty, which always admits).
-        Lower ``priority`` values run earlier; ties are FIFO.
+        ``client_id`` selects the deficit-round-robin lane the job's
+        replicas are scheduled in (see :mod:`repro.service.fairness`);
+        within a client, lower ``priority`` values run earlier and ties
+        are FIFO.
         """
         if self._closed:
             raise RuntimeError("manager is closed")
@@ -465,7 +498,47 @@ class JobManager:
         unit_cost = replica_cost(config, profile)
         total_cost = unit_cost * config.perturbation_replicas
         self._admit(total_cost)
-        return self._launch(spec, priority, config, profile, unit_cost)
+        return self._launch(spec, priority, config, profile, unit_cost, client_id)
+
+    async def submit_async(
+        self,
+        spec: ExperimentSpec,
+        *,
+        priority: int = 0,
+        client_id: str = DEFAULT_CLIENT_ID,
+    ) -> JobHandle:
+        """:meth:`submit` for network front-ends: the handle is registered
+        (and therefore cancellable) *before* the admission decision.
+
+        The gateway registers a job id as soon as the request is parsed,
+        then yields to the event loop before admission -- so a cancel can
+        land in between.  A job cancelled in that window is never
+        admitted: it emits **exactly one** terminal :class:`JobCancelled`
+        event (no ``JobAdmitted``), enqueues nothing, and still resolves
+        :meth:`JobHandle.result` with :class:`JobCancelledError`.
+        """
+        if self._closed:
+            raise RuntimeError("manager is closed")
+        config = spec.config(self.base_config)
+        profile = spec.profile()
+        unit_cost = replica_cost(config, profile)
+        handle = self._prepare_handle(spec, priority, config, profile, client_id)
+        # The admission decision is a separate scheduling step: a
+        # DELETE racing this submit can cancel the registered handle here.
+        await asyncio.sleep(0)
+        if handle.state is not JobState.QUEUED:
+            return handle
+        try:
+            self._admit(unit_cost * config.perturbation_replicas)
+        except AdmissionError:
+            self.jobs.pop(handle.job_id, None)
+            raise
+        self._activate(handle, unit_cost)
+        return handle
+
+    def get_job(self, job_id: str) -> Optional[JobHandle]:
+        """The handle registered under ``job_id``, if this manager made one."""
+        return self.jobs.get(job_id)
 
     def _launch(
         self,
@@ -474,33 +547,58 @@ class JobManager:
         config: SystemConfig,
         profile: WorkloadProfile,
         unit_cost: int,
+        client_id: str = DEFAULT_CLIENT_ID,
     ) -> JobHandle:
         """Enqueue an already-admitted job (shared by submit and recover)."""
+        handle = self._prepare_handle(spec, priority, config, profile, client_id)
+        self._activate(handle, unit_cost)
+        return handle
+
+    def _prepare_handle(
+        self,
+        spec: ExperimentSpec,
+        priority: int,
+        config: SystemConfig,
+        profile: WorkloadProfile,
+        client_id: str,
+    ) -> JobHandle:
+        """Create and register a handle (no admission, nothing enqueued)."""
         job_id = f"job-{next(self._job_numbers)}"
         keys = [
             replica_key(config, profile, index)
             for index in range(config.perturbation_replicas)
         ]
-        handle = JobHandle(job_id, spec, config, profile, priority, keys, self._cancel)
+        handle = JobHandle(
+            job_id, spec, config, profile, priority, keys, self._cancel, client_id
+        )
+        self.jobs[job_id] = handle
+        return handle
+
+    def _activate(self, handle: JobHandle, unit_cost: int) -> None:
+        """Admit a prepared handle: count it, journal it, enqueue its units."""
+        keys = handle.keys
+        handle.admitted = True
         self.metrics.jobs_submitted += 1
         self.metrics.note_enqueued(len(keys), unit_cost * len(keys))
         self._journal_record(
             handle,
             "job-submitted",
-            job=job_id,
-            priority=priority,
-            spec=spec.as_document(),
+            job=handle.job_id,
+            priority=handle.priority,
+            client=handle.client_id,
+            spec=handle.spec.as_document(),
             keys=keys,
         )
         self._emit(
             handle,
             JobAdmitted(
-                job_id,
-                label=spec.label,
+                handle.job_id,
+                label=handle.spec.label,
                 total_replicas=len(keys),
-                priority=priority,
+                priority=handle.priority,
             ),
         )
+        config, profile = handle.config, handle.profile
         for index, key in enumerate(keys):
             unit = _ReplicaUnit(
                 handle=handle,
@@ -509,8 +607,10 @@ class JobManager:
                 job=ReplicaJob(config=config, profile=profile, replica_index=index),
                 cost=unit_cost,
             )
-            self._queue.put_nowait((priority, next(self._sequence), unit))
-        return handle
+            self._queue.put_nowait(
+                handle.client_id, handle.priority, unit_cost, unit
+            )
+        return None
 
     def recover(self) -> List[JobHandle]:
         """Resubmit the journal's unfinished jobs; returns their handles.
@@ -538,6 +638,7 @@ class JobManager:
                 config,
                 profile,
                 replica_cost(config, profile),
+                entry.client,
             )
             self.metrics.jobs_recovered += 1
             self._journal_record(
@@ -584,9 +685,21 @@ class JobManager:
         return True
 
     # -------------------------------------------------------------- workers
+    def pause_scheduling(self) -> None:
+        """Hold every queued unit back (enqueues still accepted).
+
+        Used by tests and the ``--self-test`` fairness pass to build a
+        deterministic multi-client backlog before any unit dispatches.
+        """
+        self._queue.hold()
+
+    def resume_scheduling(self) -> None:
+        """Release units held back by :meth:`pause_scheduling`."""
+        self._queue.release()
+
     async def _worker(self) -> None:
         while True:
-            _priority, _sequence, unit = await self._queue.get()
+            unit = await self._queue.get()
             try:
                 await self._process(unit)
             except Exception as error:  # defensive: keep the worker alive
@@ -906,9 +1019,11 @@ class JobManager:
 
     # -------------------------------------------------------------- introspect
     def snapshot(self) -> Dict[str, Any]:
-        """Metrics snapshot including cache statistics and service health."""
+        """Metrics snapshot including cache stats, health and client shares."""
         cache_stats = self.cache.stats_dict() if self.cache is not None else None
-        return self.metrics.snapshot(cache_stats, self.health())
+        return self.metrics.snapshot(
+            cache_stats, self.health(), self.scheduler.clients_dict()
+        )
 
 
 def _copy_result(result: RunResult) -> RunResult:

@@ -13,8 +13,10 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional
 
 #: Version of the metrics snapshot document.  v2 added the ``faults`` and
-#: ``health`` sections plus the recovery counters.
-METRICS_SCHEMA_VERSION = 2
+#: ``health`` sections plus the recovery counters; v3 added the
+#: ``clients`` section (per-client weight / served cost / backlog from the
+#: deficit-round-robin scheduler) and the disk-eviction cache statistics.
+METRICS_SCHEMA_VERSION = 3
 
 #: ``kind`` discriminator of metrics snapshot documents.
 METRICS_KIND = "repro.service.metrics"
@@ -117,12 +119,16 @@ class ServiceMetrics:
         self,
         cache_stats: Optional[Dict[str, int]] = None,
         health: Optional[Dict[str, Any]] = None,
+        clients: Optional[Dict[str, Dict[str, int]]] = None,
     ) -> Dict[str, Any]:
-        """The schema-v2 JSON document archived by CI and the perf harness.
+        """The schema-v3 JSON document archived by CI and the perf harness.
 
         ``health`` is the manager's degradation report (see
         :meth:`repro.service.manager.JobManager.health`); a snapshot taken
-        without one reports a healthy service.
+        without one reports a healthy service.  ``clients`` is the
+        fair-scheduler ledger (per-client weight, served cost/units and
+        backlog, see
+        :meth:`repro.service.fairness.DeficitRoundRobinQueue.clients_dict`).
         """
         document: Dict[str, Any] = {
             "schema_version": METRICS_SCHEMA_VERSION,
@@ -132,6 +138,11 @@ class ServiceMetrics:
             document[section] = {name: getattr(self, name) for name in names}
         document["workers"]["utilisation"] = self.utilisation()
         document["cache"] = dict(cache_stats) if cache_stats else {}
+        document["clients"] = (
+            {name: dict(body) for name, body in clients.items()}
+            if clients is not None
+            else {}
+        )
         document["health"] = (
             dict(health)
             if health is not None
@@ -172,6 +183,10 @@ def validate_metrics_snapshot(document: Any) -> None:
                 )
     if "cache" not in document:
         raise MetricsSchemaError("snapshot is missing section 'cache'")
+    if not isinstance(document.get("clients"), dict):
+        raise MetricsSchemaError(
+            "snapshot is missing the 'clients' fair-scheduling section"
+        )
     health = document.get("health")
     if not isinstance(health, dict) or "degraded" not in health:
         raise MetricsSchemaError(

@@ -1,0 +1,549 @@
+"""HTTP/WebSocket gateway in front of :class:`~repro.service.manager.JobManager`.
+
+Stdlib-only (``asyncio`` streams, no web framework), speaking the typed
+wire vocabulary of :mod:`repro.service.wire`:
+
+===========  =========================  =========================================
+Method       Path                       Meaning
+===========  =========================  =========================================
+``POST``     ``/v1/jobs``               submit a :class:`~repro.service.wire.SubmitRequest`;
+                                        ``202`` + ``SubmitAccepted``, or ``429`` +
+                                        ``SubmitRejected`` with a ``Retry-After`` header
+``GET``      ``/v1/jobs/{id}``          ``JobStatus`` (state, progress, merged result)
+``DELETE``   ``/v1/jobs/{id}``          cancel; ``CancelResponse``
+``GET``      ``/v1/jobs/{id}/events``   the job's event stream -- NDJSON by default,
+                                        RFC 6455 WebSocket text frames when the
+                                        request carries ``Upgrade: websocket``
+``GET``      ``/v1/health``             the manager's degradation report
+``GET``      ``/v1/metrics``            the schema-v3 metrics snapshot
+===========  =========================  =========================================
+
+Event streams are **replayable**: the gateway pumps each job's
+single-consumer :meth:`~repro.service.manager.JobHandle.events` iterator
+into a per-job record the moment the job is submitted, so any number of
+stream requests -- connecting at any time, even after the job finished --
+see the identical full sequence from ``JobAdmitted`` (or the lone
+``JobCancelled`` of a cancel-before-admit race) through the terminal
+event.
+
+:class:`ServerThread` hosts a manager plus gateway on a dedicated thread
+with its own event loop, which is what lets the *blocking* urllib-based
+:class:`repro.client.ServiceClient` drive a gateway from synchronous code
+(tests, the ``--self-test`` loopback pass).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import math
+import struct
+import threading
+from typing import Any, AsyncIterator, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.service.events import JobEvent
+from repro.service.manager import (
+    AdmissionError,
+    JobHandle,
+    JobManager,
+    JobState,
+)
+from repro.service.wire import (
+    CancelResponse,
+    JobStatus,
+    SubmitAccepted,
+    SubmitRejected,
+    SubmitRequest,
+    WireError,
+    error_to_wire,
+    event_to_wire,
+)
+
+#: RFC 6455 magic GUID appended to ``Sec-WebSocket-Key`` in the handshake.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Largest request body the gateway will read (a spec document is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+_JSON_HEADERS = (("Content-Type", "application/json"),)
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _JobRecord:
+    """One job's replayable event history plus its pump task."""
+
+    def __init__(self, handle: JobHandle) -> None:
+        self.handle = handle
+        self.events: List[JobEvent] = []
+        self.changed = asyncio.Condition()
+        self.pump: Optional["asyncio.Task[None]"] = None
+
+    async def run_pump(self) -> None:
+        """Copy the handle's single-consumer stream into the record."""
+        async for event in self.handle.events():
+            async with self.changed:
+                self.events.append(event)
+                self.changed.notify_all()
+
+    @property
+    def done(self) -> bool:
+        return bool(self.events) and self.events[-1].terminal
+
+    async def stream(self) -> AsyncIterator[JobEvent]:
+        """Replay the history, then follow live until the terminal event."""
+        index = 0
+        while True:
+            async with self.changed:
+                while index >= len(self.events):
+                    await self.changed.wait()
+                batch = self.events[index:]
+                index = len(self.events)
+            for event in batch:
+                yield event
+                if event.terminal:
+                    return
+
+
+class GatewayServer:
+    """The asyncio HTTP/WebSocket front-end of one job manager.
+
+    The manager must already be started (workers running) and stays owned
+    by the caller; the gateway only owns its listening socket and the
+    per-job pump tasks.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._records: Dict[str, _JobRecord] = {}
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Bind and start serving; ``self.port`` holds the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop accepting connections and cancel the event pumps."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for record in self._records.values():
+            if record.pump is not None and not record.pump.done():
+                record.pump.cancel()
+        pumps = [r.pump for r in self._records.values() if r.pump is not None]
+        if pumps:
+            await asyncio.gather(*pumps, return_exceptions=True)
+
+    async def __aenter__(self) -> "GatewayServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc_info: Any) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------- plumbing
+    def track(self, handle: JobHandle) -> _JobRecord:
+        """Start pumping ``handle``'s events into a replayable record."""
+        record = self._records.get(handle.job_id)
+        if record is None:
+            record = _JobRecord(handle)
+            record.pump = asyncio.create_task(record.run_pump())
+            self._records[handle.job_id] = record
+        return record
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            await self._dispatch(method, path, headers, body, writer)
+        except ConnectionError:
+            pass
+        except Exception as error:  # defensive: one bad request, one 500
+            try:
+                _write_response(
+                    writer, 500, error_to_wire(500, f"internal error: {error!r}")
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if path == "/v1/jobs":
+            if method != "POST":
+                _write_response(
+                    writer, 405, error_to_wire(405, f"{method} not allowed here")
+                )
+                return
+            await self._submit(body, writer)
+            return
+        if path == "/v1/health" and method == "GET":
+            _write_response(writer, 200, self.manager.health())
+            return
+        if path == "/v1/metrics" and method == "GET":
+            _write_response(writer, 200, self.manager.snapshot())
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/") :]
+            if rest.endswith("/events"):
+                job_id = rest[: -len("/events")]
+                if method != "GET":
+                    _write_response(
+                        writer, 405, error_to_wire(405, "events are GET-only")
+                    )
+                    return
+                await self._events(job_id, headers, writer)
+                return
+            job_id = rest
+            handle = self.manager.get_job(job_id)
+            if handle is None:
+                _write_response(
+                    writer, 404, error_to_wire(404, f"no such job {job_id!r}")
+                )
+                return
+            if method == "GET":
+                _write_response(writer, 200, (await _status_of(handle)).to_wire())
+                return
+            if method == "DELETE":
+                cancelled = handle.cancel()
+                _write_response(
+                    writer,
+                    200,
+                    CancelResponse(
+                        job_id=handle.job_id,
+                        cancelled=cancelled,
+                        state=handle.state.value,
+                    ).to_wire(),
+                )
+                return
+            _write_response(
+                writer, 405, error_to_wire(405, f"{method} not allowed here")
+            )
+            return
+        _write_response(writer, 404, error_to_wire(404, f"no route for {path!r}"))
+
+    # --------------------------------------------------------------- routes
+    async def _submit(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            _write_response(
+                writer, 400, error_to_wire(400, f"request body is not JSON: {error}")
+            )
+            return
+        try:
+            request = SubmitRequest.from_wire(document)
+        except WireError as error:
+            _write_response(writer, 400, error_to_wire(400, str(error)))
+            return
+        try:
+            handle = await self.manager.submit_async(
+                request.spec,
+                priority=request.priority,
+                client_id=request.client_id,
+            )
+        except AdmissionError as error:
+            rejection = SubmitRejected(
+                pending_cost=error.pending_cost,
+                budget=error.budget,
+                retry_after_s=error.retry_after_s,
+            )
+            _write_response(
+                writer,
+                429,
+                rejection.to_wire(),
+                extra_headers=(
+                    ("Retry-After", str(max(1, math.ceil(error.retry_after_s)))),
+                ),
+            )
+            return
+        self.track(handle)
+        accepted = SubmitAccepted(
+            job_id=handle.job_id,
+            label=handle.spec.label,
+            total_replicas=handle.total_replicas,
+            priority=handle.priority,
+            client_id=handle.client_id,
+        )
+        _write_response(writer, 202, accepted.to_wire())
+
+    async def _events(
+        self, job_id: str, headers: Dict[str, str], writer: asyncio.StreamWriter
+    ) -> None:
+        handle = self.manager.get_job(job_id)
+        if handle is None:
+            _write_response(
+                writer, 404, error_to_wire(404, f"no such job {job_id!r}")
+            )
+            return
+        record = self.track(handle)
+        if headers.get("upgrade", "").lower() == "websocket":
+            await self._events_websocket(record, headers, writer)
+        else:
+            await self._events_ndjson(record, writer)
+
+    async def _events_ndjson(
+        self, record: _JobRecord, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        async for event in record.stream():
+            line = json.dumps(event_to_wire(event), sort_keys=True)
+            writer.write(line.encode("utf-8") + b"\n")
+            await writer.drain()
+
+    async def _events_websocket(
+        self,
+        record: _JobRecord,
+        headers: Dict[str, str],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            _write_response(
+                writer,
+                400,
+                error_to_wire(400, "websocket upgrade without Sec-WebSocket-Key"),
+            )
+            return
+        accept = base64.b64encode(
+            hashlib.sha1((key + _WS_GUID).encode("ascii")).digest()
+        ).decode("ascii")
+        writer.write(
+            (
+                "HTTP/1.1 101 Switching Protocols\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Accept: {accept}\r\n\r\n"
+            ).encode("ascii")
+        )
+        await writer.drain()
+        async for event in record.stream():
+            payload = json.dumps(event_to_wire(event), sort_keys=True)
+            writer.write(_ws_frame(0x1, payload.encode("utf-8")))
+            await writer.drain()
+        writer.write(_ws_frame(0x8, struct.pack("!H", 1000)))
+        await writer.drain()
+
+
+# ---------------------------------------------------------- HTTP plumbing
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request: ``(method, path, headers, body)``."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ValueError(f"request body of {length} bytes exceeds the limit")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method, path, headers, body
+
+
+def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    document: Dict[str, Any],
+    *,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> None:
+    body = json.dumps(document, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}"]
+    for name, value in _JSON_HEADERS + extra_headers:
+        head.append(f"{name}: {value}")
+    head.append(f"Content-Length: {len(body)}")
+    head.append("Connection: close")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+
+
+def _ws_frame(opcode: int, payload: bytes) -> bytes:
+    """One unmasked server-to-client WebSocket frame (FIN set)."""
+    head = bytes([0x80 | opcode])
+    length = len(payload)
+    if length < 126:
+        head += bytes([length])
+    elif length < (1 << 16):
+        head += bytes([126]) + struct.pack("!H", length)
+    else:
+        head += bytes([127]) + struct.pack("!Q", length)
+    return head + payload
+
+
+async def _status_of(handle: JobHandle) -> JobStatus:
+    """The ``GET /v1/jobs/{id}`` view of one handle."""
+    result = None
+    error: Optional[str] = None
+    if handle.state is JobState.COMPLETED:
+        result = await handle.result()
+    elif handle.state in (JobState.CANCELLED, JobState.FAILED):
+        try:
+            await handle.result()
+        except Exception as failure:
+            error = str(failure)
+    return JobStatus(
+        job_id=handle.job_id,
+        state=handle.state.value,
+        label=handle.spec.label,
+        client_id=handle.client_id,
+        priority=handle.priority,
+        completed_replicas=handle.completed_replicas,
+        total_replicas=handle.total_replicas,
+        result=result,
+        error=error,
+    )
+
+
+# ------------------------------------------------------------ thread host
+class ServerThread:
+    """A manager + gateway on a dedicated thread with its own event loop.
+
+    The synchronous host for the blocking :class:`repro.client.ServiceClient`::
+
+        with ServerThread(jobs=1, client_weights={"a": 2, "b": 1}) as server:
+            client = ServiceClient(server.base_url, client_id="a")
+            accepted = client.submit(spec)
+            result = client.wait(accepted.job_id)
+
+    ``manager_kwargs`` pass straight to :class:`JobManager`, which is
+    constructed *inside* the serving thread so every asyncio primitive
+    binds to the right loop.  ``call`` / ``run`` marshal work onto that
+    loop for cross-thread introspection (pausing the scheduler, reading
+    metrics) without data races.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", **manager_kwargs: Any) -> None:
+        self.host = host
+        self._manager_kwargs = manager_kwargs
+        self.port: Optional[int] = None
+        self.manager: Optional[JobManager] = None
+        self.gateway: Optional[GatewayServer] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        if self.port is None:
+            raise RuntimeError("server is not running")
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve()), daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        assert self.loop is not None and self._stop is not None
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.stop()
+
+    async def _serve(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.manager = JobManager(**self._manager_kwargs)
+            await self.manager.start()
+            self.gateway = GatewayServer(self.manager, host=self.host)
+            await self.gateway.start()
+            self.port = self.gateway.port
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.gateway.aclose()
+        await self.manager.aclose()
+
+    # --------------------------------------------------------- marshalling
+    def run(self, coroutine: Awaitable[Any]) -> Any:
+        """Run ``coroutine`` on the server loop; blocks for the result."""
+        assert self.loop is not None
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop).result()
+
+    def call(self, function: Callable[[], Any]) -> Any:
+        """Run a plain callable on the server loop thread; blocks."""
+
+        async def _invoke() -> Any:
+            return function()
+
+        return self.run(_invoke())

@@ -419,6 +419,34 @@ class TestCancellation:
         manager = asyncio.run(scenario())
         assert manager.backend.submissions == 0
 
+    def test_cancel_before_admission_emits_lone_terminal_event(self):
+        # Regression: a DELETE racing a POST can land in the window
+        # between handle registration and the admission decision.  Such
+        # a job must never be admitted -- no JobAdmitted, nothing
+        # enqueued, exactly one terminal JobCancelled on the stream.
+        async def scenario():
+            manager = JobManager()
+            task = asyncio.ensure_future(manager.submit_async(SPEC))
+            await asyncio.sleep(0)  # submit_async parks at its admission yield
+            handle = manager.get_job("job-1")
+            assert handle is not None
+            events_task = asyncio.ensure_future(_collect(handle))
+            assert handle.cancel()
+            resolved = await task
+            assert resolved is handle
+            events = await events_task
+            with pytest.raises(JobCancelledError, match=handle.job_id):
+                await handle.result()
+            return manager, handle, events
+
+        manager, handle, events = asyncio.run(scenario())
+        assert not handle.admitted
+        assert handle.state is JobState.CANCELLED
+        assert [type(event) for event in events] == [JobCancelled]
+        assert manager.metrics.jobs_submitted == 0
+        assert manager.metrics.jobs_cancelled == 1
+        assert len(manager.scheduler) == 0
+
 
 class TestScheduling:
     def test_lower_priority_number_runs_first(self):

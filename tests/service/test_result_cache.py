@@ -237,6 +237,118 @@ class TestResultCache:
             ResultCache(memory_entries=-1)
 
 
+class TestDiskBudget:
+    """LRU eviction of disk shards under a byte budget."""
+
+    @staticmethod
+    def _result():
+        return RunResult(
+            workload="oltp",
+            protocol="ts-snoop",
+            network="butterfly",
+            runtime_ns=100,
+            instructions=1,
+            references=1,
+            misses=1,
+            cache_to_cache_misses=0,
+            writebacks=0,
+            nacks=0,
+            retries=0,
+            data_touched_mb=0.0,
+            per_link_bytes=0.0,
+            traffic_bytes_by_category={},
+            average_miss_latency_ns=0.0,
+        )
+
+    def _shard_size(self, tmp_path):
+        """One entry's on-disk size (all keys here encode to equal sizes)."""
+        probe = ResultCache(tmp_path / "probe", disk_budget_bytes=1 << 30)
+        probe.put("f" * 64, self._result())
+        return probe.stats_dict()["disk_bytes"]
+
+    def test_put_evicts_least_recently_used_shard(self, tmp_path):
+        size = self._shard_size(tmp_path)
+        cache = ResultCache(
+            tmp_path / "store", disk_budget_bytes=2 * size + size // 2
+        )
+        keys = [ch * 64 for ch in "abcd"]
+        for key in keys:
+            cache.put(key, self._result())
+        stats = cache.stats_dict()
+        assert stats["disk_evictions"] == 2
+        assert stats["disk_entries"] == 2
+        assert stats["disk_bytes"] <= 2 * size + size // 2
+        # The two oldest shards are gone from disk, the newest two remain.
+        shards = sorted(p.stem for p in (tmp_path / "store").glob("??/*.json"))
+        assert shards == sorted(keys[2:])
+
+    def test_disk_read_refreshes_lru_position(self, tmp_path):
+        size = self._shard_size(tmp_path)
+        cache = ResultCache(
+            tmp_path / "store", disk_budget_bytes=2 * size + size // 2
+        )
+        a, b, c = "a" * 64, "b" * 64, "c" * 64
+        cache.put(a, self._result())
+        cache.put(b, self._result())
+        cache.clear_memory()  # force the next get through the disk tier
+        assert cache.get(a) is not None  # a becomes most-recently-used
+        cache.put(c, self._result())
+        cache.clear_memory()
+        assert cache.get(b) is None  # b, not a, was the LRU victim
+        assert cache.get(a) is not None
+        assert cache.get(c) is not None
+
+    def test_just_written_shard_is_never_the_victim(self, tmp_path):
+        size = self._shard_size(tmp_path)
+        cache = ResultCache(tmp_path / "store", disk_budget_bytes=size)
+        a, b = "a" * 64, "b" * 64
+        cache.put(a, self._result())
+        cache.put(b, self._result())  # over budget: a is evicted, not b
+        cache.clear_memory()
+        assert cache.get(a) is None
+        assert cache.get(b) is not None
+        assert cache.stats.disk_evictions == 1
+
+    def test_reopening_over_budget_directory_evicts_oldest(self, tmp_path):
+        import time
+
+        size = self._shard_size(tmp_path)
+        writer = ResultCache(tmp_path / "store")  # unbudgeted: no eviction
+        keys = [ch * 64 for ch in "abc"]
+        for key in keys:
+            writer.put(key, self._result())
+            time.sleep(0.01)  # order the shard mtimes deterministically
+        reopened = ResultCache(
+            tmp_path / "store", disk_budget_bytes=2 * size + size // 2
+        )
+        stats = reopened.stats_dict()
+        assert stats["disk_evictions"] == 1
+        assert stats["disk_entries"] == 2
+        assert reopened.get(keys[0]) is None  # oldest shard was the victim
+        assert reopened.get(keys[1]) is not None
+        assert reopened.get(keys[2]) is not None
+
+    def test_evicted_key_is_a_miss_then_restorable(self, tmp_path):
+        size = self._shard_size(tmp_path)
+        cache = ResultCache(
+            tmp_path / "store", memory_entries=0, disk_budget_bytes=size
+        )
+        a, b = "a" * 64, "b" * 64
+        cache.put(a, self._result())
+        cache.put(b, self._result())
+        assert cache.get(a) is None
+        cache.put(a, self._result())  # recomputed entries re-enter cleanly
+        assert cache.get(a) is not None
+        assert cache.stats_dict()["disk_entries"] == 1
+
+    def test_unbudgeted_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path / "store")
+        for ch in "abcdef":
+            cache.put(ch * 64, self._result())
+        assert cache.stats.disk_evictions == 0
+        assert len(list((tmp_path / "store").glob("??/*.json"))) == 6
+
+
 class TestDegradedMode:
     def _result(self, runtime=100):
         return RunResult(
