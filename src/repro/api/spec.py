@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.protocols import PROTOCOL_ALIASES as _PROTOCOL_ALIASES
+from repro.protocols import PROTOCOLS as _PROTOCOLS
 from repro.system.config import SystemConfig
 from repro.workloads.profiles import WorkloadProfile, get_profile, workload_names
 
@@ -41,22 +43,11 @@ class ExperimentSpecError(ValueError):
     """A spec field failed eager validation (message lists valid choices)."""
 
 
-#: Canonical protocol names, in paper order.
-PROTOCOL_NAMES = ("ts-snoop", "dirclassic", "diropt")
-
-#: Accepted aliases, mirroring :func:`repro.protocols.make_protocol`.
-_PROTOCOL_ALIASES = {
-    "ts-snoop": "ts-snoop",
-    "tssnoop": "ts-snoop",
-    "snoop": "ts-snoop",
-    "timestamp-snooping": "ts-snoop",
-    "dirclassic": "dirclassic",
-    "dir-classic": "dirclassic",
-    "classic": "dirclassic",
-    "diropt": "diropt",
-    "dir-opt": "diropt",
-    "opt": "diropt",
-}
+#: Canonical protocol names, in registry order (the paper trio first, then
+#: the MESI/MOESI matrix variants).  Derived from the single source of
+#: truth, :data:`repro.protocols.PROTOCOLS`; the ``repro.lint`` registry
+#: parity rule keeps the two in lockstep.
+PROTOCOL_NAMES = tuple(_PROTOCOLS)
 
 #: Canonical network names.
 NETWORK_NAMES = ("butterfly", "torus")

@@ -48,6 +48,10 @@ class MSHREntry:
     data_version: int = 0
     #: the data came from another cache (3-hop / dirty miss)
     data_from_cache: bool = False
+    #: MESI: the data response granted clean exclusivity (install in E)
+    data_exclusive: bool = False
+    #: MOESI: own GETM ordered while we held O; permission-only upgrade
+    upgrade: bool = False
     #: invalidation acks the directory told us to expect; None = no data yet
     acks_required: Optional[int] = None
     #: forwards deferred while our own fill is in flight (directory caches)

@@ -48,6 +48,7 @@ _SUITES: Dict[str, List[Tuple[str, Callable[[float], Dict[str, Any]]]]] = {
     "scale": [
         (SCALE_FILE, sc.scale_snooping),
         (SCALE_FILE, sc.scale_directory),
+        (SCALE_FILE, sc.scale_mesi_directory),
     ],
     "smoke": [
         (KERNEL_FILE, sc.kernel_microbench),
@@ -62,6 +63,7 @@ _SUITES: Dict[str, List[Tuple[str, Callable[[float], Dict[str, Any]]]]] = {
         (FIGURES_FILE, sc.parallel_sweep),
         (SCALE_FILE, sc.scale_snooping),
         (SCALE_FILE, sc.scale_directory),
+        (SCALE_FILE, sc.scale_mesi_directory),
     ],
 }
 

@@ -32,6 +32,7 @@ SCENARIOS: Dict[str, Callable[[float], Dict[str, Any]]] = {
     "parallel_sweep": sc.parallel_sweep,
     "scale_snooping": sc.scale_snooping,
     "scale_directory": sc.scale_directory,
+    "scale_mesi_directory": sc.scale_mesi_directory,
 }
 
 _SORT_KEYS = {"cumulative": "cumtime", "tottime": "tottime"}

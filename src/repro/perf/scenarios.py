@@ -312,6 +312,12 @@ def scale_directory(scale: float = 0.15) -> Dict[str, Any]:
     return _scale_comparison("scale_directory", "diropt", "torus", 256, scale)
 
 
+def scale_mesi_directory(scale: float = 0.15) -> Dict[str, Any]:
+    """64-node MESI directory on an 8x8 torus (clean-exclusive grants trim
+    upgrade misses, so the event mix differs from the MSI directories)."""
+    return _scale_comparison("scale_mesi_directory", "mesi-dir", "torus", 64, scale)
+
+
 def parallel_sweep(scale: float = 0.2, jobs: int = 2) -> Dict[str, Any]:
     """The (protocol x replica) grid on a small process pool."""
     start = time.perf_counter()

@@ -10,6 +10,17 @@ The issue loop reads references through a *puller* chosen once at
 construction: packed streams yield plain ints straight from their columns,
 eager ``Reference`` lists are indexed in place, and bare iterators keep
 working for hand-fed tests.  No path materialises new per-reference objects.
+
+``ProcessorConfig.consistency`` selects the memory model:
+
+* ``"sc"`` (default) -- the blocking core above, bit-identical to the
+  pre-matrix simulator;
+* ``"tso"`` -- stores retire into a per-core FIFO
+  :class:`~repro.processor.consistency.StoreBuffer` and drain to the cache
+  in order after a rest delay, loads forward from the youngest buffered
+  store to the same block (and otherwise still block), and atomics act as
+  fences that wait for the buffer to drain.  This is the store->load
+  reordering SPARC/x86 TSO permits.
 """
 # repro-lint: hot
 
@@ -19,6 +30,12 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.memory.coherence import ACCESS_FROM_CODE, AccessType
+from repro.processor.consistency import (
+    CONSISTENCY_MODELS,
+    STORE_BUFFER_CAPACITY,
+    TSO_DRAIN_DELAY_NS,
+    StoreBuffer,
+)
 from repro.protocols.base import CacheControllerBase
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
@@ -31,13 +48,21 @@ class ProcessorConfig:
 
     ``instructions_per_ns`` is 4 in the paper (e.g. a 1 GHz, IPC-4 core or a
     2 GHz, IPC-2 core with a perfect memory system above the L2).
+    ``consistency`` is the memory model ("sc" or "tso", see the module
+    docstring); SC remains the default.
     """
 
     instructions_per_ns: int = 4
+    consistency: str = "sc"
 
     def __post_init__(self) -> None:
         if self.instructions_per_ns <= 0:
             raise ValueError("instructions_per_ns must be positive")
+        if self.consistency not in CONSISTENCY_MODELS:
+            raise ValueError(
+                f"unknown consistency model {self.consistency!r}; "
+                f"choose one of {CONSISTENCY_MODELS}"
+            )
 
     def compute_time(self, instructions: int) -> int:
         """Nanoseconds needed to execute ``instructions`` between references."""
@@ -49,13 +74,17 @@ class ProcessorConfig:
 class Processor(Component):
     """An in-order core that blocks on every L2 reference."""
 
-    def __init__(self, sim: Simulator, node: int,
-                 controller: CacheControllerBase,
-                 stream: Iterable[Reference],
-                 config: Optional[ProcessorConfig] = None,
-                 on_finish: Optional[Callable[["Processor"], None]] = None,
-                 on_phase: Optional[Callable[["Processor"], None]] = None,
-                 phase_boundary: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        controller: CacheControllerBase,
+        stream: Iterable[Reference],
+        config: Optional[ProcessorConfig] = None,
+        on_finish: Optional[Callable[["Processor"], None]] = None,
+        on_phase: Optional[Callable[["Processor"], None]] = None,
+        phase_boundary: Optional[int] = None,
+    ) -> None:
         super().__init__(sim, f"cpu{node}")
         self.node = node
         self.controller = controller
@@ -79,6 +108,23 @@ class Processor(Component):
         self._ctr_references = self.stats.counter("references")
         self._ctr_writes = self.stats.counter("writes")
         self._ctr_reads = self.stats.counter("reads")
+        # The consistency model is chosen once here; the SC issue loop is
+        # untouched (and bit-identical to the pre-TSO simulator) because the
+        # model only swaps which advance callback drives the core.
+        if self.config.consistency == "tso":
+            self._advance: Callable[[], None] = self._next_reference_tso
+            self.store_buffer: Optional[StoreBuffer] = StoreBuffer(
+                STORE_BUFFER_CAPACITY
+            )
+            self._drain_delay = TSO_DRAIN_DELAY_NS
+            self._draining = False
+            self._retry_pending = False
+            self._finish_after_drain = False
+            self._ctr_sb_forwards = self.stats.counter("store_buffer_forwards")
+            self._ctr_sb_stalls = self.stats.counter("store_buffer_stalls")
+        else:
+            self._advance = self._next_reference
+            self.store_buffer = None
 
     @staticmethod
     def _make_puller(stream) -> Callable[[], Optional[tuple]]:
@@ -118,8 +164,11 @@ class Processor(Component):
                     return None
                 cursor = i + 1
                 reference = stream[i]
-                return (reference.block, reference.access_type,
-                        reference.think_instructions)
+                return (
+                    reference.block,
+                    reference.access_type,
+                    reference.think_instructions,
+                )
 
             return pull_sequence
         iterator = iter(stream)
@@ -130,8 +179,11 @@ class Processor(Component):
             reference = next(iterator, None)
             if reference is None:
                 return None
-            return (reference.block, reference.access_type,
-                    reference.think_instructions)
+            return (
+                reference.block,
+                reference.access_type,
+                reference.think_instructions,
+            )
 
         return pull_iterator
 
@@ -141,7 +193,7 @@ class Processor(Component):
         if self._started:
             raise RuntimeError(f"{self.name} started twice")
         self._started = True
-        self.schedule(0, self._next_reference, label="start")
+        self.schedule(0, self._advance, label="start")
 
     def resume(self) -> None:
         """Continue past a phase barrier (see ``phase_boundary``)."""
@@ -149,15 +201,17 @@ class Processor(Component):
             return
         self._stalled_at_phase = False
         self._phase_passed = True
-        self.schedule(0, self._next_reference, label="resume")
+        self.schedule(0, self._advance, label="resume")
 
     def _next_reference(self) -> None:
         # Guard order matters: after the warm-up barrier _phase_passed is
         # True, so the measured phase pays one boolean test per reference.
-        if (not self._phase_passed
-                and self._phase_boundary is not None
-                and self.references_issued >= self._phase_boundary
-                and not self._stalled_at_phase):
+        if (
+            not self._phase_passed
+            and self._phase_boundary is not None
+            and self.references_issued >= self._phase_boundary
+            and not self._stalled_at_phase
+        ):
             # Warm-up complete: wait here until the harness resumes us so all
             # processors enter the measured phase together.
             self._stalled_at_phase = True
@@ -192,6 +246,111 @@ class Processor(Component):
         else:
             self._ctr_reads.value += 1
         self.controller.access(block, access_type, self._next_reference)
+
+    # ------------------------------------------------------------------ tso
+    def _next_reference_tso(self) -> None:
+        if (
+            not self._phase_passed
+            and self._phase_boundary is not None
+            and self.references_issued >= self._phase_boundary
+            and not self._stalled_at_phase
+        ):
+            self._stalled_at_phase = True
+            if self._on_phase is not None:
+                self._on_phase(self)
+            return
+        pulled = self._pull()
+        if pulled is None:
+            if self.store_buffer or self._draining:
+                # Drain every buffered store before declaring the core done
+                # so quiescence (and the invariant checkers) see no
+                # in-flight work.
+                self._finish_after_drain = True
+            else:
+                self._finish()
+            return
+        block, access_type, think = pulled
+        self.instructions_executed += think
+        ipns = self._ipns
+        think_ns = (think + ipns - 1) // ipns
+        self._pending_block = block
+        self._pending_access = access_type
+        self.sim.schedule_batched(think_ns, self._issue_pending_tso)
+
+    def _count_issue_tso(self, access_type: AccessType) -> None:
+        self.references_issued += 1
+        self._ctr_references.value += 1
+        if access_type.needs_write_permission:
+            self._ctr_writes.value += 1
+        else:
+            self._ctr_reads.value += 1
+
+    def _issue_pending_tso(self) -> None:
+        block = self._pending_block
+        access_type = self._pending_access
+        buffer = self.store_buffer
+        if access_type is AccessType.STORE:
+            if buffer.full:
+                # Wait for the head drain to complete, then retry this store.
+                self._ctr_sb_stalls.value += 1
+                self._retry_pending = True
+                return
+            self._count_issue_tso(access_type)
+            buffer.push(block, self.now + self._drain_delay)
+            if not self._draining:
+                self._start_drain()
+            # The store retires into the buffer and the core moves straight
+            # on: this is the store->load reordering TSO permits.
+            self._next_reference_tso()
+        elif access_type is AccessType.ATOMIC:
+            if buffer or self._draining:
+                # Atomics are fences: the buffer must drain completely
+                # before the read-modify-write issues (and blocks).
+                self._retry_pending = True
+                return
+            self._count_issue_tso(access_type)
+            self.controller.access(block, access_type, self._advance)
+        else:
+            if buffer.forward(block) is not None:
+                # Same-address forwarding: the youngest buffered store
+                # satisfies the load without touching the coherence fabric.
+                self._count_issue_tso(access_type)
+                self._ctr_sb_forwards.value += 1
+                self.sim.schedule_batched(
+                    self.controller.timing.l2_hit_ns, self._advance
+                )
+            else:
+                self._count_issue_tso(access_type)
+                self.controller.access(block, access_type, self._advance)
+
+    def _start_drain(self) -> None:
+        self._draining = True
+        _block, ready = self.store_buffer.head()
+        self.sim.schedule_batched(max(0, ready - self.now), self._drain_head)
+
+    def _drain_head(self) -> None:
+        block, _ready = self.store_buffer.head()
+        # The head entry stays in the buffer until the store completes, so
+        # loads to it keep forwarding and a same-block demand access can
+        # never collide with the drain in the controller's MSHRs.
+        self.controller.access(block, AccessType.STORE, self._drain_done)
+
+    def _drain_done(self) -> None:
+        self.store_buffer.pop()
+        if self.store_buffer:
+            self._start_drain()
+        else:
+            self._draining = False
+        if self._retry_pending:
+            self._retry_pending = False
+            self._issue_pending_tso()
+        elif (
+            self._finish_after_drain
+            and not self._draining
+            and not self.store_buffer
+        ):
+            self._finish_after_drain = False
+            self._finish()
 
     def _finish(self) -> None:
         self.finished = True

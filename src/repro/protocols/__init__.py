@@ -1,7 +1,7 @@
-"""Cache-coherence protocols evaluated in the paper.
+"""Cache-coherence protocols.
 
-Three protocols, all MSI, all allowing silent S -> I downgrades, as in
-Section 4.2:
+The paper's three protocols, all MSI, all allowing silent S -> I downgrades
+(Section 4.2):
 
 * :mod:`repro.protocols.ts_snoop` -- **TS-Snoop**, timestamp snooping with a
   per-block memory owner bit (the Synapse trick of Section 3) and the
@@ -11,6 +11,18 @@ Section 4.2:
 * :mod:`repro.protocols.dir_opt` -- **DirOpt**, a NACK-free directory that
   relies on a point-to-point ordered forwarding network and never blocks at
   the home node.
+
+Two matrix extensions beyond the paper (ROADMAP item 3):
+
+* :mod:`repro.protocols.mesi_dir` -- **MESIDir**, DirOpt plus a
+  clean-exclusive (E) state with silent E -> M store upgrades;
+* :mod:`repro.protocols.moesi_snoop` -- **MOESISnoop**, TS-Snoop plus an
+  owned-sharing (O) state that supplies data without memory writebacks.
+
+:data:`PROTOCOLS` is the canonical registry (same pattern as
+``repro.sim.kernel.SCHEDULERS``): canonical lower-case name -> factory
+class.  ``repro.api`` and ``repro.lint`` both derive their protocol lists
+from it, so adding a protocol here is the single registration point.
 """
 
 from repro.protocols.base import (
@@ -34,6 +46,8 @@ from repro.protocols.directory import (
 )
 from repro.protocols.dir_classic import DirClassicProtocol
 from repro.protocols.dir_opt import DirOptProtocol
+from repro.protocols.mesi_dir import MESIDirProtocol
+from repro.protocols.moesi_snoop import MOESISnoopProtocol
 
 __all__ = [
     "ProtocolName",
@@ -52,19 +66,57 @@ __all__ = [
     "DirectoryMemoryController",
     "DirClassicProtocol",
     "DirOptProtocol",
+    "MESIDirProtocol",
+    "MOESISnoopProtocol",
+    "PROTOCOLS",
+    "PROTOCOL_ALIASES",
+    "canonical_protocol_name",
     "make_protocol",
 ]
 
+#: Canonical protocol registry, in paper order first: canonical name ->
+#: factory class.  ``repro.api.spec`` derives its accepted names (and hence
+#: ``ExperimentSpec`` cache keys) from the keys of this dict.
+PROTOCOLS = {
+    "ts-snoop": TSSnoopProtocol,
+    "dirclassic": DirClassicProtocol,
+    "diropt": DirOptProtocol,
+    "mesi-dir": MESIDirProtocol,
+    "moesi-snoop": MOESISnoopProtocol,
+}
+
+#: Accepted spellings -> canonical name (canonical names map to themselves).
+PROTOCOL_ALIASES = {
+    "ts-snoop": "ts-snoop",
+    "tssnoop": "ts-snoop",
+    "snoop": "ts-snoop",
+    "timestamp-snooping": "ts-snoop",
+    "dirclassic": "dirclassic",
+    "dir-classic": "dirclassic",
+    "classic": "dirclassic",
+    "diropt": "diropt",
+    "dir-opt": "diropt",
+    "opt": "diropt",
+    "mesi-dir": "mesi-dir",
+    "mesidir": "mesi-dir",
+    "mesi": "mesi-dir",
+    "moesi-snoop": "moesi-snoop",
+    "moesisnoop": "moesi-snoop",
+    "moesi": "moesi-snoop",
+}
+
+
+def canonical_protocol_name(name: str) -> str:
+    """Resolve any accepted spelling to its canonical registry key."""
+    key = name.strip().lower().replace("_", "-")
+    try:
+        return PROTOCOL_ALIASES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
+        ) from None
+
 
 def make_protocol(name: str):
-    """Factory returning a protocol object by its paper name."""
-    key = name.strip().lower().replace("_", "-")
-    if key in ("ts-snoop", "tssnoop", "snoop", "timestamp-snooping"):
-        return TSSnoopProtocol()
-    if key in ("dirclassic", "dir-classic", "classic"):
-        return DirClassicProtocol()
-    if key in ("diropt", "dir-opt", "opt"):
-        return DirOptProtocol()
-    raise ValueError(
-        f"unknown protocol {name!r}; expected 'ts-snoop', 'dirclassic' or 'diropt'"
-    )
+    """Factory returning a protocol object by any accepted name."""
+    return PROTOCOLS[canonical_protocol_name(name)]()

@@ -22,11 +22,18 @@ from repro.sim.randomness import PerturbationModel
 
 
 class ProtocolName(str, Enum):
-    """The three evaluated protocols (Section 4.2)."""
+    """The evaluated protocols.
+
+    The first three are the paper's protocols (Section 4.2, all MSI); the
+    last two extend the matrix with an E-state directory variant and an
+    owned-sharing snooping variant (ROADMAP item 3).
+    """
 
     TS_SNOOP = "TS-Snoop"
     DIR_CLASSIC = "DirClassic"
     DIR_OPT = "DirOpt"
+    MESI_DIR = "MESIDir"
+    MOESI_SNOOP = "MOESISnoop"
 
 
 class MissSource(str, Enum):
@@ -174,6 +181,13 @@ class CacheControllerBase(Component, ABC):
         #: optional CoherenceChecker; concrete protocols overwrite this with
         #: the checker handed to them by the system builder.
         self.checker = None
+        #: True when the protocol grants clean-exclusive (E) lines; stores
+        #: that hit in E then upgrade to M silently, with no transaction.
+        self._has_exclusive_state = False
+        #: optional ``(block, version) -> None`` hook invoked when a load
+        #: completes (hit or fill), used by the litmus harness to observe
+        #: which write each load returned.
+        self.load_observer: Optional[Callable[[int, int], None]] = None
         # Pre-bound stat handles for the per-access fast path.
         self._ctr_misses = self.stats.counter("misses")
         self._ctr_write_misses = self.stats.counter("write_misses")
@@ -210,10 +224,19 @@ class CacheControllerBase(Component, ABC):
         self._ctr_hits.value += 1
         self.cache.touch(block)
         if access_type.needs_write_permission:
+            if (
+                self._has_exclusive_state
+                and self._state_of(block) is CacheState.EXCLUSIVE
+            ):
+                # MESI silent E->M upgrade: exclusivity was granted at fill
+                # time, so the first store needs no coherence transaction.
+                self.cache.set_state(block, CacheState.MODIFIED)
             new_version = self.cache.version_of(block) + 1
             self.cache.write(block, new_version)
             if self.checker is not None:
                 self.checker.record_write(self.node, block, new_version, self.now)
+        elif self.load_observer is not None:
+            self.load_observer(block, self.cache.version_of(block))
         # Hits are the most frequent event in the simulator; completing them
         # through the per-tick dispatch batches costs two list appends
         # instead of a kernel push+pop per hit.

@@ -72,6 +72,10 @@ class DirectoryPolicy:
     #: old owners confirm ownership transfers to the home so it can leave its
     #: busy state (needed only when busy states exist)
     requires_transfer_ack: bool
+    #: MESI: a GETS that finds the block uncached is granted a clean
+    #: exclusive (E) copy; the directory reuses MODIFIED for the E owner
+    #: (the classic EM ambiguity), so forwards and PUTMs work unchanged.
+    has_exclusive_state: bool = False
 
 
 class DirectoryCacheController(CacheControllerBase):
@@ -101,6 +105,7 @@ class DirectoryCacheController(CacheControllerBase):
             pool=pool,
         )
         self.policy = policy
+        self._has_exclusive_state = policy.has_exclusive_state
         self.request_network = request_network
         self.forward_network = forward_network
         self.response_network = response_network
@@ -195,7 +200,10 @@ class DirectoryCacheController(CacheControllerBase):
             self._ctr_deferred_forwards.increment()
             return
 
-        if entry is None and self.cache.state_of(block) is CacheState.MODIFIED:
+        if entry is None and self.cache.state_of(block) in (
+            CacheState.MODIFIED,
+            CacheState.EXCLUSIVE,
+        ):
             self._service_forward(
                 block, requester, exclusive, self.cache.version_of(block)
             )
@@ -322,6 +330,7 @@ class DirectoryCacheController(CacheControllerBase):
         payload = message.payload
         entry.data_version = payload.get("version", 0)
         entry.data_from_cache = payload.get("from_cache", False)
+        entry.data_exclusive = message.kind is MessageKind.DATA_EXCLUSIVE
         acks = payload.get("acks_expected", 0)
         entry.acks_required = acks
         entry.acks_expected = acks
@@ -371,11 +380,21 @@ class DirectoryCacheController(CacheControllerBase):
             version += 1
             if self.checker is not None:
                 self.checker.record_write(self.node, block, version, complete_time)
-        elif self.checker is not None:
-            self.checker.record_read(self.node, block, version, complete_time)
+        else:
+            if self.checker is not None:
+                self.checker.record_read(self.node, block, version, complete_time)
+            if self.load_observer is not None:
+                self.load_observer(block, version)
 
         wants_modified = access_type.needs_write_permission
-        install_state = CacheState.MODIFIED if wants_modified else CacheState.SHARED
+        if wants_modified:
+            install_state = CacheState.MODIFIED
+        elif self._has_exclusive_state and entry.data_exclusive:
+            # MESI: the home found the block uncached and granted clean
+            # exclusivity; a later store upgrades silently in _complete_hit.
+            install_state = CacheState.EXCLUSIVE
+        else:
+            install_state = CacheState.SHARED
         deferred: Optional[List[Message]] = entry.deferred_forwards
         invalidate_on_fill = entry.invalidate_on_fill
         if invalidate_on_fill and not deferred:
@@ -387,7 +406,13 @@ class DirectoryCacheController(CacheControllerBase):
                 version=version,
                 dirty=install_state is CacheState.MODIFIED,
             )
-            if eviction.needs_writeback:
+            if eviction.needs_writeback or (
+                self._has_exclusive_state
+                and eviction.victim_state is CacheState.EXCLUSIVE
+            ):
+                # Clean-E victims use the dirty-eviction path too: a silent
+                # drop would leave the directory believing we own the block
+                # and forward requests to us forever.
                 self._evict_dirty(eviction.victim_block, eviction.victim_version)
 
         record = MissRecord(
@@ -524,6 +549,17 @@ class DirectoryMemoryController(Component):
                 entry.awaiting_data = True
             return
         # Memory owns the block: serve it after the directory+memory access.
+        if (
+            self.policy.has_exclusive_state
+            and entry.state is DirectoryState.UNCACHED
+        ):
+            # MESI: nobody holds a copy, so grant clean exclusivity.  The
+            # directory tracks the E owner as MODIFIED (the usual EM
+            # ambiguity): a later store upgrades silently at the cache, and
+            # forwards / PUTMs behave identically for E and M owners.
+            entry.make_modified(requester)
+            self._send_data(message, entry, exclusive=True, acks_expected=0)
+            return
         entry.add_sharer(requester)
         self._send_data(message, entry, exclusive=False, acks_expected=0)
 

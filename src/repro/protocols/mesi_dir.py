@@ -1,0 +1,34 @@
+"""MESIDir: DirOpt extended with a clean-exclusive (E) state.
+
+A GETS that finds its block uncached at the home is granted exclusivity
+(DATA_EXCLUSIVE with no acks) and installs in E; the first store then
+upgrades E -> M silently, with no coherence transaction.  The directory
+reuses its MODIFIED state for the E owner (the classic EM ambiguity), so
+forwards, invalidations and PUTMs are byte-identical to DirOpt's; clean-E
+victims still announce their eviction through the PUTM/writeback plane so
+the home never forwards requests to a silently-dropped copy.
+
+Everything else -- NACK-free home, point-to-point ordered forwards,
+deferred forwards at the caches -- is inherited from DirOpt's policy.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import ProtocolName
+from repro.protocols.directory import DirectoryPolicy, DirectoryProtocol
+
+
+MESI_DIR_POLICY = DirectoryPolicy(
+    protocol=ProtocolName.MESI_DIR,
+    nack_when_busy=False,
+    ordered_forward_network=True,
+    requires_transfer_ack=False,
+    has_exclusive_state=True,
+)
+
+
+class MESIDirProtocol(DirectoryProtocol):
+    """Full-bit-vector MESI directory (DirOpt plus clean-exclusive grants)."""
+
+    def __init__(self) -> None:
+        super().__init__(MESI_DIR_POLICY)

@@ -1,0 +1,35 @@
+"""MOESISnoop: timestamp snooping with an owned-sharing (O) state.
+
+TS-Snoop extended so a dirty owner answering a GETS downgrades to **O**
+instead of S and keeps supplying data: no sharing writeback is sent, and
+memory's per-block owner bit keeps naming the O holder, so later requests
+still route to it.  A store that hits an O copy broadcasts a GETM as usual
+but completes as a permission-only **upgrade** the moment its own broadcast
+is ordered (the O copy is already the only valid data).  Ownership returns
+to memory only when the O holder evicts, through the ordinary PUTM +
+writeback-data plane M evictions use.
+
+All of this is the ``owned_state`` flag on :class:`TSSnoopNode`; with the
+flag off the node is bit-identical to the paper's MSI TS-Snoop.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import ProtocolName
+from repro.protocols.ts_snoop import TSSnoopProtocol
+
+
+class MOESISnoopProtocol(TSSnoopProtocol):
+    """Timestamp snooping MOESI (TS-Snoop plus owned sharing)."""
+
+    name = ProtocolName.MOESI_SNOOP
+
+    def __init__(
+        self, prefetch: bool = True, slack: int = 0, detailed_network: bool = False
+    ) -> None:
+        super().__init__(
+            prefetch=prefetch,
+            slack=slack,
+            detailed_network=detailed_network,
+            owned_state=True,
+        )

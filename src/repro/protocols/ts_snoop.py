@@ -98,6 +98,7 @@ class TSSnoopNode(CacheControllerBase):
         address_network: AddressNetworkInterface,
         data_network: DataNetwork,
         prefetch: bool = True,
+        owned_state: bool = False,
         checker: Optional[Any] = None,
         pool: Optional[MessagePool] = None,
     ) -> None:
@@ -118,6 +119,10 @@ class TSSnoopNode(CacheControllerBase):
         self._send_on_data = data_network.send
         self._sched_batched = sim.schedule_batched
         self.prefetch = prefetch
+        #: MOESI: a dirty owner answering a GETS downgrades to O and keeps
+        #: supplying data (no sharing writeback); memory's owner bit stays
+        #: pointed at the O holder until it upgrades or evicts.
+        self._owned_state = owned_state
         self.checker = checker
         self.home_blocks: Dict[int, _HomeBlockState] = {}
         self.writeback_buffer: Dict[int, _WritebackEntry] = {}
@@ -206,7 +211,9 @@ class TSSnoopNode(CacheControllerBase):
             return
 
         state = self._state_of(block)
-        if state is CacheState.MODIFIED:
+        if state is CacheState.MODIFIED or (
+            self._owned_state and state is CacheState.OWNED
+        ):
             self._respond_from_cache(delivery, requester, exclusive)
         elif state is CacheState.SHARED and exclusive:
             self.cache.set_state(block, CacheState.INVALID)
@@ -224,6 +231,11 @@ class TSSnoopNode(CacheControllerBase):
         if kind is MessageKind.GETS:
             if state.owner is None:
                 self._memory_respond(delivery, state, exclusive=False)
+            elif self._owned_state:
+                # MOESI: the owning cache downgrades to O and keeps the
+                # owner role; no writeback comes and the owner bit is
+                # unchanged, so later requests still route to it.
+                pass
             else:
                 # The owning cache responds and (per MSI) writes the block
                 # back, so memory becomes the owner again once that data
@@ -325,9 +337,22 @@ class TSSnoopNode(CacheControllerBase):
                 entry.owed = [(requester, exclusive)]
             else:
                 entry.owed.append((requester, exclusive))
-            entry.logical_state = (
-                CacheState.INVALID if exclusive else CacheState.SHARED
-            )
+            if exclusive:
+                entry.logical_state = CacheState.INVALID
+            elif self._owned_state:
+                # MOESI: we stay the logical owner in O and keep answering
+                # requesters ordered behind us (possibly several).
+                entry.logical_state = CacheState.OWNED
+            else:
+                entry.logical_state = CacheState.SHARED
+            self._ctr_owed_responses.increment()
+        elif self._owned_state and logical is CacheState.OWNED:
+            if entry.owed is None:
+                entry.owed = [(requester, exclusive)]
+            else:
+                entry.owed.append((requester, exclusive))
+            if exclusive:
+                entry.logical_state = CacheState.INVALID
             self._ctr_owed_responses.increment()
         elif logical is CacheState.SHARED and exclusive:
             entry.logical_state = CacheState.INVALID
@@ -342,6 +367,10 @@ class TSSnoopNode(CacheControllerBase):
         self._send_cache_data(requester, block, version, send_time)
         if exclusive:
             self.cache.set_state(block, CacheState.INVALID)
+        elif self._owned_state:
+            # MOESI: downgrade to O (dirty is preserved) and keep supplying
+            # data; no writeback, memory's owner bit still points at us.
+            self.cache.set_state(block, CacheState.OWNED)
         else:
             # MSI: the owner downgrades to S and memory becomes the owner
             # again, which requires writing the dirty block back (this is the
@@ -353,7 +382,14 @@ class TSSnoopNode(CacheControllerBase):
         self, delivery: OrderedDelivery, requester: int, exclusive: bool
     ) -> None:
         block = delivery.message.block
-        wb_entry = self.writeback_buffer.pop(block)
+        if self._owned_state and not exclusive:
+            # MOESI: memory's owner bit still points at us until our PUTM is
+            # ordered, so the buffered copy must keep answering later GETSs;
+            # it is dropped when the PUTM orders (or an exclusive request
+            # moves ownership on).
+            wb_entry = self.writeback_buffer[block]
+        else:
+            wb_entry = self.writeback_buffer.pop(block)
         send_time = self._cache_response_time(delivery)
         self._send_cache_data(requester, block, wb_entry.version, send_time)
         self._ctr_writeback_buffer_responses.increment()
@@ -407,11 +443,20 @@ class TSSnoopNode(CacheControllerBase):
             return
         entry.ordered = True
         entry.ordered_time = delivery.ordered_time
-        entry.logical_state = (
-            CacheState.MODIFIED
-            if message.kind is MessageKind.GETM
-            else CacheState.SHARED
-        )
+        if message.kind is MessageKind.GETM:
+            entry.logical_state = CacheState.MODIFIED
+            if (
+                self._owned_state
+                and self._state_of(block) is CacheState.OWNED
+            ):
+                # MOESI upgrade: we already hold the only valid copy in O,
+                # so ordering alone grants write permission -- no data
+                # message is coming (memory's owner bit names us).
+                entry.upgrade = True
+                entry.data_received = True
+                entry.data_version = self.cache.version_of(block)
+        else:
+            entry.logical_state = CacheState.SHARED
         self._maybe_complete(block)
 
     # ------------------------------------------------------------ data plane
@@ -455,21 +500,30 @@ class TSSnoopNode(CacheControllerBase):
             version += 1
             if self.checker is not None:
                 self.checker.record_write(self.node, block, version, complete_time)
-        elif self.checker is not None:
-            self.checker.record_read(self.node, block, version, complete_time)
+        else:
+            if self.checker is not None:
+                self.checker.record_read(self.node, block, version, complete_time)
+            if self.load_observer is not None:
+                self.load_observer(block, version)
 
         if logical_state is not CacheState.INVALID:
-            install_state = (
-                CacheState.MODIFIED
-                if access_type.needs_write_permission
+            if (
+                access_type.needs_write_permission
                 and logical_state is CacheState.MODIFIED
-                else CacheState.SHARED
-            )
+            ):
+                install_state = CacheState.MODIFIED
+            elif self._owned_state and logical_state is CacheState.OWNED:
+                # MOESI: a GETS ordered behind our GETM downgraded us to the
+                # logical owner; install dirty O and keep supplying data.
+                install_state = CacheState.OWNED
+            else:
+                install_state = CacheState.SHARED
             eviction = self.cache.install(
                 block,
                 install_state,
                 version=version,
-                dirty=install_state is CacheState.MODIFIED,
+                dirty=install_state
+                in (CacheState.MODIFIED, CacheState.OWNED),
             )
             if eviction.needs_writeback:
                 self._evict_dirty(eviction.victim_block, eviction.victim_version)
@@ -482,7 +536,11 @@ class TSSnoopNode(CacheControllerBase):
             access=access_type,
             issue_time=entry.issue_time,
             complete_time=complete_time,
-            source=(MissSource.CACHE if from_cache else MissSource.MEMORY),
+            source=(
+                MissSource.UPGRADE
+                if entry.upgrade
+                else MissSource.CACHE if from_cache else MissSource.MEMORY
+            ),
         )
         self.record_miss(record)
         done: DoneCallback = entry.done
@@ -494,6 +552,15 @@ class TSSnoopNode(CacheControllerBase):
         if not owed:
             return
         send_time = self.now + self.timing.cache_access_ns
+        if self._owned_state:
+            # MOESI: as the (logical) owner we answer every requester ordered
+            # behind us with data and never write back -- ownership either
+            # stays with us (all GETSs) or passes to the last requester (a
+            # GETM, which is always the final owed entry since it takes us
+            # to logical I and later requests route to the new owner).
+            for owed_requester, _owed_exclusive in owed:
+                self._send_cache_data(owed_requester, block, version, send_time)
+            return
         first_requester, first_exclusive = owed[0]
         self._send_cache_data(first_requester, block, version, send_time)
         if not first_exclusive:
@@ -530,13 +597,18 @@ class TSSnoopProtocol(CoherenceProtocol):
     name = ProtocolName.TS_SNOOP
 
     def __init__(
-        self, prefetch: bool = True, slack: int = 0, detailed_network: bool = False
+        self,
+        prefetch: bool = True,
+        slack: int = 0,
+        detailed_network: bool = False,
+        owned_state: bool = False,
     ) -> None:
         if slack < 0:
             raise ValueError("slack must be non-negative")
         self.prefetch = prefetch
         self.slack = slack
         self.detailed_network = detailed_network
+        self.owned_state = owned_state
 
     def build(self, context: ProtocolBuildContext) -> List[TSSnoopNode]:
         sim = context.sim
@@ -583,6 +655,7 @@ class TSSnoopProtocol(CoherenceProtocol):
                     address_network,
                     data_network,
                     prefetch=self.prefetch,
+                    owned_state=self.owned_state,
                     checker=context.checker,
                     pool=pool,
                 )

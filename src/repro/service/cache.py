@@ -234,7 +234,15 @@ class ResultCache:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
                 self.stats.memory_hits += 1
-                return decode_entry(document, expected_key=key)
+                if key in self._disk_index:
+                    self._disk_index.move_to_end(key)
+        if document is not None:
+            # A memory hit is still a *use* of the disk shard: refresh its
+            # recency too, or the disk LRU would evict exactly the entries
+            # hot enough to live in memory (and a restart, which rebuilds
+            # order from shard mtimes, would see them as cold).
+            self._touch_disk(key)
+            return decode_entry(document, expected_key=key)
         document = self._read_disk(key)
         if document is None:
             with self._lock:
@@ -273,7 +281,18 @@ class ResultCache:
                 return True
         if self.path is None or self.degraded:
             return False
-        return self._disk_path(key).is_file()
+        # The probe is a disk access like any other: it goes through the
+        # ``cache.disk_get`` fault site and the degraded-mode accounting,
+        # so an unreadable store cannot keep answering "present" to
+        # membership checks while every actual read fails.
+        try:
+            self._fire(SITE_CACHE_DISK_GET)
+            return self._disk_path(key).is_file()
+        except (CacheError, OSError) as error:
+            with self._lock:
+                self.stats.disk_get_errors += 1
+            self._degrade(f"disk probe of {key[:12]}... failed: {error}")
+            return False
 
     def __len__(self) -> int:
         with self._lock:
@@ -351,6 +370,15 @@ class ResultCache:
             except OSError:
                 pass  # already gone (or shared dir): the index is advisory
 
+    def _touch_disk(self, key: str) -> None:
+        """Best-effort mtime refresh of ``key``'s shard (hit bookkeeping)."""
+        if self.path is None or self.degraded:
+            return
+        try:
+            os.utime(self._disk_path(key))
+        except OSError:
+            pass  # shard evicted meanwhile (or shared dir): best effort
+
     def _degrade(self, reason: str) -> None:
         """Flip to memory-only operation after a disk fault (latching)."""
         if not self.degraded:
@@ -378,10 +406,17 @@ class ResultCache:
             self._fire(SITE_CACHE_DISK_GET)
             with open(target, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
-            if self.disk_budget_bytes is not None:
-                with self._lock:
-                    if key in self._disk_index:
-                        self._disk_index.move_to_end(key)
+            with self._lock:
+                if key in self._disk_index:
+                    self._disk_index.move_to_end(key)
+            # Persist the read recency: a reopened cache rebuilds its LRU
+            # order from shard mtimes (``_scan_disk``), so without the
+            # touch every restart would evict by *write* age and throw
+            # away the most-read entries first.
+            try:
+                os.utime(target)
+            except OSError:
+                pass  # concurrent eviction or read-only share: best effort
             return document
         except FileNotFoundError:
             return None

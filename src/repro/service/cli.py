@@ -3,9 +3,11 @@
 ::
 
     python -m repro.service oltp,protocol=diropt,scale=0.2 dss,priority=1
+    python -m repro.service oltp,protocol=mesi-dir,consistency=tso
     python -m repro.service --jobs 4 --cache-dir .repro-cache oltp dss
     python -m repro.service --listen 127.0.0.1:8642 --client-weight nightly=2
     python -m repro.service --self-test --metrics-out service-metrics.json
+    python -m repro.service --litmus
 
 Each positional argument is one experiment request: a workload name
 followed by comma-separated ``key=value`` settings.  ``protocol``,
@@ -234,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the deterministic service exercise and exit non-zero on failure",
     )
+    parser.add_argument(
+        "--litmus",
+        action="store_true",
+        help="run the consistency litmus matrix (sb/mp/lb on every "
+        "protocol under sc and tso) and exit non-zero if any model "
+        "produces a forbidden outcome",
+    )
     return parser
 
 
@@ -244,6 +253,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _parse_weights(args.client_weight)
     except ValueError as error:
         parser.error(str(error))
+    if args.litmus:
+        if args.requests:
+            parser.error("--litmus takes no REQUEST arguments")
+        return _litmus()
     if args.self_test:
         if args.requests:
             parser.error("--self-test takes no REQUEST arguments")
@@ -409,6 +422,30 @@ async def _listen(args: argparse.Namespace) -> int:
             if manager.journal is not None:
                 manager.journal.close()
     return 0
+
+
+def _litmus() -> int:
+    """``--litmus``: the consistency matrix as a pass/fail CLI check."""
+    from repro.processor.litmus import litmus_matrix
+    from repro.protocols import PROTOCOLS
+
+    results = litmus_matrix(tuple(PROTOCOLS))
+    violations = 0
+    for (pattern, protocol, consistency), result in sorted(results.items()):
+        outcomes = " ".join(str(o) for o in sorted(result.outcomes))
+        verdict = "ok"
+        if not result.clean:
+            violations += 1
+            verdict = (
+                "FORBIDDEN "
+                + " ".join(str(o) for o in sorted(result.forbidden_observed))
+            )
+        print(f"{pattern:3s} {protocol:12s} {consistency:3s} {outcomes:24s} {verdict}")
+    print(
+        f"[litmus] {len(results)} cells, {violations} violations",
+        flush=True,
+    )
+    return 1 if violations else 0
 
 
 # -------------------------------------------------------------- self-test

@@ -138,7 +138,8 @@ class SystemBuilder:
         controllers = protocol.build(context)
 
         processor_config = ProcessorConfig(
-            instructions_per_ns=config.instructions_per_ns
+            instructions_per_ns=config.instructions_per_ns,
+            consistency=config.consistency,
         )
         processors = []
         for node in range(config.num_nodes):

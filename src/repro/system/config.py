@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.memory.cache import CACHE_ARRAYS, DEFAULT_CACHE_ARRAY
 from repro.network.timing import NetworkTiming
+from repro.processor.consistency import CONSISTENCY_MODELS
 from repro.protocols.base import ProtocolTiming
 from repro.sim.kernel import DEFAULT_SCHEDULER, SCHEDULERS
 
@@ -30,11 +31,17 @@ class SystemConfig:
     block_size_bytes: int = 64
     memory_bytes: int = 1 << 30
 
-    # Protocol selection and options.
-    protocol: str = "ts-snoop"  # "ts-snoop", "dirclassic", "diropt"
+    # Protocol selection and options (see ``repro.protocols.PROTOCOLS``):
+    # "ts-snoop", "dirclassic", "diropt", "mesi-dir", "moesi-snoop".
+    protocol: str = "ts-snoop"
     prefetch_optimization: bool = True  # Section 3, optimisation 1
     slack: int = 0  # initial slack S of Section 2.2
     detailed_address_network: bool = False
+
+    # Memory-consistency model driven by the processors: "sc" (blocking,
+    # the paper's model and the default) or "tso" (per-core FIFO store
+    # buffer with load forwarding; see ``repro.processor.consistency``).
+    consistency: str = "sc"
 
     # Timing.
     network_timing: NetworkTiming = field(default_factory=NetworkTiming)
@@ -104,6 +111,11 @@ class SystemConfig:
             raise ValueError(
                 f"unknown cache array {self.cache_array!r}; "
                 f"choose one of {sorted(CACHE_ARRAYS)}"
+            )
+        if self.consistency not in CONSISTENCY_MODELS:
+            raise ValueError(
+                f"unknown consistency model {self.consistency!r}; "
+                f"choose one of {CONSISTENCY_MODELS}"
             )
         if self.block_size_bytes <= 0 or self.block_size_bytes & (
             self.block_size_bytes - 1

@@ -44,7 +44,7 @@ class TestValidation:
 
     def test_unknown_protocol_lists_choices(self):
         with pytest.raises(ExperimentSpecError, match="ts-snoop, dirclassic"):
-            ExperimentSpec.make("oltp", protocol="mesi")
+            ExperimentSpec.make("oltp", protocol="dragon")
 
     def test_unknown_network_lists_choices(self):
         with pytest.raises(ExperimentSpecError, match="butterfly, torus"):
@@ -89,9 +89,11 @@ class TestCanonicalisation:
 
     def test_protocol_name_helpers(self):
         assert canonical_protocol_name("Timestamp-Snooping") == "ts-snoop"
+        assert canonical_protocol_name("mesi") == "mesi-dir"
+        assert canonical_protocol_name("moesi") == "moesi-snoop"
         assert canonical_network_name("2d-torus") == "torus"
         with pytest.raises(ExperimentSpecError):
-            canonical_protocol_name("moesi")
+            canonical_protocol_name("dragon")
 
     def test_override_order_irrelevant(self):
         a = ExperimentSpec(overrides=(("slack", 2), ("num_nodes", 4)))

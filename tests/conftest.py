@@ -90,5 +90,7 @@ def build_and_run(protocol: str, streams: Sequence[Sequence[Reference]],
     return system
 
 
-ALL_PROTOCOLS = ("ts-snoop", "dirclassic", "diropt")
+ALL_PROTOCOLS = (
+    "ts-snoop", "dirclassic", "diropt", "mesi-dir", "moesi-snoop",
+)
 BOTH_NETWORKS = ("butterfly", "torus")

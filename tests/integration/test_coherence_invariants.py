@@ -1,7 +1,7 @@
 """Executable coherence invariants, checked inside real protocol runs.
 
 Three invariant layers run against every protocol (TS-Snoop, DirClassic,
-DirOpt) under both batched and unbatched dispatch:
+DirOpt, MESIDir, MOESISnoop) under both batched and unbatched dispatch:
 
 * **single-writer / multiple-reader** over the stable cache states,
   re-checked periodically *during* the run (between event slices) and at
@@ -39,7 +39,8 @@ from repro.system.config import SystemConfig
 from repro.workloads.profiles import get_profile
 
 SANITIZE = os.environ.get("REPRO_SANITIZE", "") == "1"
-PROTOCOLS = ("ts-snoop", "dirclassic", "diropt")
+PROTOCOLS = ("ts-snoop", "dirclassic", "diropt", "mesi-dir", "moesi-snoop")
+SNOOPERS = ("ts-snoop", "moesi-snoop")
 DISPATCH_MODES = (True, False)
 CASES = [
     (protocol, batched) for protocol in PROTOCOLS for batched in DISPATCH_MODES
@@ -84,7 +85,7 @@ def _run_with_invariant_hook(
 
 def _final_invariants(protocol, system):
     problems = check_swmr_invariant(system.controllers)
-    if protocol == "ts-snoop":
+    if protocol in SNOOPERS:
         problems += check_snoop_home_invariant(system.controllers)
     else:
         problems += check_directory_invariant(system.controllers)

@@ -172,7 +172,9 @@ class TestHarness:
         report = load_report(written[SCALE_FILE])
         assert report["suite"] == "scale"
         names = [scenario["name"] for scenario in report["scenarios"]]
-        assert names == ["scale_snooping", "scale_directory"]
+        assert names == [
+            "scale_snooping", "scale_directory", "scale_mesi_directory",
+        ]
         for scenario in report["scenarios"]:
             metrics = scenario["metrics"]
             # the packed data path must have matched the dict reference
@@ -185,8 +187,8 @@ class TestHarness:
 class TestProfile:
     def test_scenario_registry_covers_all_suites(self):
         assert {"kernel_microbench", "figure3_runtime", "figure4_traffic",
-                "parallel_sweep", "scale_snooping",
-                "scale_directory"} <= set(SCENARIOS)
+                "parallel_sweep", "scale_snooping", "scale_directory",
+                "scale_mesi_directory"} <= set(SCENARIOS)
 
     def test_profile_reports_hotspots(self):
         rows = profile_scenario("kernel_microbench", scale=0.02, top=5,

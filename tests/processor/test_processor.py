@@ -1,8 +1,9 @@
-"""Unit tests for the blocking processor model."""
+"""Unit tests for the blocking processor model (SC and TSO cores)."""
 
 import pytest
 
 from repro.processor.processor import Processor, ProcessorConfig
+from repro.protocols.base import ProtocolTiming
 from repro.sim.component import Component
 from repro.sim.kernel import Simulator
 
@@ -102,3 +103,85 @@ class TestProcessor:
         sim.run()
         assert cpu.finished
         assert cpu.finish_time == 0
+
+
+class FakeTSOController(FakeController):
+    """The stub plus the timing handle the TSO forwarding path consults."""
+
+    def __init__(self, sim, latency=50):
+        super().__init__(sim, latency)
+        self.timing = ProtocolTiming()
+
+
+TSO = ProcessorConfig(consistency="tso")
+
+
+def _run_tso(stream, latency=50):
+    sim = Simulator()
+    controller = FakeTSOController(sim, latency=latency)
+    cpu = Processor(sim, 0, controller, iter(stream), config=TSO)
+    cpu.start()
+    sim.run()
+    return cpu, controller
+
+
+class TestTSOProcessor:
+    def test_sc_remains_the_default_with_no_store_buffer(self):
+        assert ProcessorConfig().consistency == "sc"
+        sim = Simulator()
+        cpu = Processor(sim, 0, FakeController(sim), iter([]))
+        assert cpu.store_buffer is None
+
+    def test_unknown_consistency_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown consistency model"):
+            ProcessorConfig(consistency="weak")
+
+    def test_store_retires_into_the_buffer_and_the_load_overtakes_it(self):
+        # ref order is store x, load y -- but the load reaches the cache at
+        # t=0 while the store drains at t=30.  This is the store->load
+        # reordering TSO permits (and the SB litmus outcome's mechanism).
+        cpu, controller = _run_tso([ref(1, "store"), ref(2, "load")])
+        assert [(t, b) for t, b, _a in controller.accesses] == [(0, 2), (30, 1)]
+        assert cpu.finished
+        # The load returned at 50; the drain (issued at 30) finished at 80,
+        # and the core only declares itself done once the buffer is empty.
+        assert cpu.finish_time == 80
+        assert cpu.references_issued == 2
+        assert cpu.stats.counter("writes").value == 1
+        assert cpu.stats.counter("reads").value == 1
+
+    def test_same_block_load_forwards_from_the_buffer(self):
+        cpu, controller = _run_tso([ref(1, "store"), ref(1, "load")])
+        # Only the drain touches the cache: the load was satisfied from the
+        # youngest buffered store without a coherence transaction.
+        assert [(t, b) for t, b, _a in controller.accesses] == [(30, 1)]
+        assert cpu.stats.counter("store_buffer_forwards").value == 1
+        assert cpu.finished
+        assert cpu.finish_time == 80
+
+    def test_atomic_fences_wait_for_the_buffer_to_drain(self):
+        cpu, controller = _run_tso([ref(1, "store"), ref(2, "atomic")])
+        # The atomic cannot issue at t=0: it waits for the drain (30 + 50
+        # latency) and only then performs its blocking access.
+        assert [(t, b) for t, b, _a in controller.accesses] == [
+            (30, 1),
+            (80, 2),
+        ]
+        assert cpu.finished
+        assert cpu.finish_time == 130
+
+    def test_full_buffer_stalls_the_ninth_store(self):
+        stream = [ref(block, "store") for block in range(9)]
+        cpu, controller = _run_tso(stream)
+        assert cpu.stats.counter("store_buffer_stalls").value >= 1
+        assert cpu.finished
+        assert cpu.references_issued == 9
+        # Every store eventually drained through the cache, in FIFO order.
+        assert [b for _t, b, _a in controller.accesses] == list(range(9))
+
+    def test_finish_waits_for_the_tail_drain(self):
+        cpu, controller = _run_tso([ref(1, "store")])
+        assert cpu.finished
+        # push at 0, drain issues at 30, completes at 80.
+        assert cpu.finish_time == 80
+        assert not cpu.store_buffer

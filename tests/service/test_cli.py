@@ -116,7 +116,7 @@ class TestServeMode:
 
     def test_bad_request_is_a_usage_error(self, capsys):
         with pytest.raises(SystemExit) as info:
-            main(["oltp,protocol=mesi"])
+            main(["oltp,protocol=dragon"])
         assert info.value.code == 2
         assert "valid choices" in capsys.readouterr().err
 

@@ -337,6 +337,49 @@ class TestCacheDegradation:
         assert len(announcements) == 1
 
 
+class TestContainsFaultSite:
+    """``key in cache`` probes disk through the ``cache.disk_get`` site."""
+
+    def test_contains_probe_fires_the_disk_get_site(self, tmp_path):
+        # Two planned invocations of cache.disk_get: the first (the probe
+        # below) passes, the second faults.  A passing probe proves the
+        # membership check consumes fault-site invocations like any read.
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_GET, 2, KIND_IO_ERROR)])
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+        key = replica_key(SPEC.config(), SPEC.profile(), 0)
+        cache.put(key, _clean_result(SPEC))
+        cache.clear_memory()
+        assert key in cache  # invocation 1: clean probe
+        assert cache.get(key) is None  # invocation 2: injected I/O error
+        assert cache.degraded
+
+    def test_contains_fault_degrades_and_counts(self, tmp_path):
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_GET, 1, KIND_IO_ERROR)])
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+        key = replica_key(SPEC.config(), SPEC.profile(), 0)
+        cache.put(key, _clean_result(SPEC))
+        cache.clear_memory()
+        assert key not in cache  # the probe itself hits the injected fault
+        assert cache.degraded
+        assert "disk probe" in cache.degraded_reason
+        assert cache.stats.disk_get_errors == 1
+        # Degraded mode latches: later probes answer from memory only,
+        # without touching the (faulted) disk store again.
+        assert key not in cache
+        assert cache.stats.disk_get_errors == 1
+
+    def test_memory_hit_still_answers_while_degraded(self, tmp_path):
+        plan = FaultPlan([Fault(SITE_CACHE_DISK_GET, 1, KIND_IO_ERROR)])
+        cache = ResultCache(tmp_path / "store", fault_plan=plan)
+        key = replica_key(SPEC.config(), SPEC.profile(), 0)
+        cache.put(key, _clean_result(SPEC))
+        other = replica_key(SPEC2.config(), SPEC2.profile(), 1)
+        assert other not in cache  # faults, degrades
+        assert cache.degraded
+        assert key in cache  # memory tier is unaffected
+        assert cache.get(key) == _clean_result(SPEC)
+
+
 class TestJournalDegradation:
     def test_journal_fault_degrades_but_the_job_completes(self, tmp_path):
         plan = FaultPlan([Fault(SITE_JOURNAL_APPEND, 2, KIND_IO_ERROR)])

@@ -9,6 +9,7 @@ performs zero simulation work on its second pass.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -297,6 +298,72 @@ class TestDiskBudget:
         assert cache.get(b) is None  # b, not a, was the LRU victim
         assert cache.get(a) is not None
         assert cache.get(c) is not None
+
+    def test_memory_hit_refreshes_disk_lru_position(self, tmp_path):
+        """A hit served from memory must not leave its disk shard cold."""
+        size = self._shard_size(tmp_path)
+        cache = ResultCache(
+            tmp_path / "store", disk_budget_bytes=2 * size + size // 2
+        )
+        a, b, c = "a" * 64, "b" * 64, "c" * 64
+        cache.put(a, self._result())
+        cache.put(b, self._result())
+        assert cache.get(a) is not None  # memory hit -- a is the hot entry
+        cache.put(c, self._result())
+        cache.clear_memory()
+        assert cache.get(b) is None  # b, not the hot a, was the LRU victim
+        assert cache.get(a) is not None
+        assert cache.get(c) is not None
+
+    def test_read_recency_survives_stop_and_reopen(self, tmp_path):
+        """Restart-time LRU order reflects *reads*, not just writes.
+
+        A reopened cache rebuilds its eviction order from shard mtimes,
+        so every hit must leave a timestamp on disk: here ``a`` is written
+        first (the oldest write) but read last, and after a reopen under a
+        one-entry budget the never-read ``b`` -- not ``a`` -- is evicted.
+        """
+        size = self._shard_size(tmp_path)
+        store = tmp_path / "store"
+        cache = ResultCache(store, memory_entries=0)
+        a, b = "a" * 64, "b" * 64
+        cache.put(a, self._result())
+        cache.put(b, self._result())
+        # Push both shards into the past (distinct mtimes, a older than
+        # b), as if the service had been running for a while.
+        for key, age in ((a, 2000), (b, 1000)):
+            shard = store / key[:2] / f"{key}.json"
+            stamp = shard.stat().st_mtime - age
+            os.utime(shard, (stamp, stamp))
+        assert cache.get(a) is not None  # disk hit: a is now the hot entry
+
+        reopened = ResultCache(
+            store, memory_entries=0, disk_budget_bytes=size + size // 2
+        )
+        assert reopened.stats_dict()["disk_entries"] == 1
+        assert reopened.get(b) is None  # cold b was the reopen victim
+        assert reopened.get(a) is not None
+
+    def test_memory_hit_recency_survives_stop_and_reopen(self, tmp_path):
+        """The restart regression again, with the read served from memory."""
+        size = self._shard_size(tmp_path)
+        store = tmp_path / "store"
+        cache = ResultCache(store)
+        a, b = "a" * 64, "b" * 64
+        cache.put(a, self._result())
+        cache.put(b, self._result())
+        for key, age in ((a, 2000), (b, 1000)):
+            shard = store / key[:2] / f"{key}.json"
+            stamp = shard.stat().st_mtime - age
+            os.utime(shard, (stamp, stamp))
+        assert cache.get(a) is not None  # memory hit
+        assert cache.stats.memory_hits == 1
+
+        reopened = ResultCache(
+            store, memory_entries=0, disk_budget_bytes=size + size // 2
+        )
+        assert reopened.get(b) is None
+        assert reopened.get(a) is not None
 
     def test_just_written_shard_is_never_the_victim(self, tmp_path):
         size = self._shard_size(tmp_path)
